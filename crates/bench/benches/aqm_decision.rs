@@ -1,0 +1,100 @@
+//! Per-packet decision cost: PIE vs PI2 vs coupled PI2 vs RED.
+//!
+//! The paper's simplicity claim: "squaring the output ... is less
+//! computationally expensive" than PIE's heuristic machinery. These
+//! benches measure the hot path of each AQM — one enqueue decision —
+//! and the controller update tick.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pi2_aqm::{
+    CoupledPi2, CoupledPi2Config, Pi2, Pi2Config, Pie, PieConfig, Red, RedConfig, SquareMode,
+};
+use pi2_netsim::{Aqm, Ecn, FlowId, Packet, QueueSnapshot};
+use pi2_simcore::{Rng, Time};
+
+fn snap() -> QueueSnapshot {
+    QueueSnapshot {
+        qlen_bytes: 45_000,
+        qlen_pkts: 30,
+        link_rate_bps: 10_000_000,
+        last_sojourn: Some(pi2_simcore::Duration::from_millis(21)),
+    }
+}
+
+fn bench_enqueue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enqueue_decision");
+    let s = snap();
+    let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+    let ect1 = Packet::data(FlowId(0), 0, 1500, Ecn::Ect1, Time::ZERO);
+
+    let mut pie = Pie::new(PieConfig::paper_default());
+    // Drive the controllers to a realistic operating point first.
+    for _ in 0..50 {
+        pie.update(&s, Time::ZERO);
+    }
+    let mut rng = Rng::new(1);
+    group.bench_function("pie", |b| {
+        b.iter(|| black_box(pie.on_enqueue(black_box(&pkt), &s, Time::ZERO, &mut rng)))
+    });
+
+    let mut pi2 = Pi2::new(Pi2Config::default());
+    for _ in 0..50 {
+        pi2.update(&s, Time::ZERO);
+    }
+    group.bench_function("pi2_multiply", |b| {
+        b.iter(|| black_box(pi2.on_enqueue(black_box(&pkt), &s, Time::ZERO, &mut rng)))
+    });
+
+    let mut pi2_two = Pi2::new(Pi2Config {
+        square_mode: SquareMode::TwoCompare,
+        ..Pi2Config::default()
+    });
+    for _ in 0..50 {
+        pi2_two.update(&s, Time::ZERO);
+    }
+    group.bench_function("pi2_two_compare", |b| {
+        b.iter(|| black_box(pi2_two.on_enqueue(black_box(&pkt), &s, Time::ZERO, &mut rng)))
+    });
+
+    let mut coupled = CoupledPi2::new(CoupledPi2Config::default());
+    for _ in 0..50 {
+        coupled.update(&s, Time::ZERO);
+    }
+    group.bench_function("coupled_classic", |b| {
+        b.iter(|| black_box(coupled.on_enqueue(black_box(&pkt), &s, Time::ZERO, &mut rng)))
+    });
+    group.bench_function("coupled_scalable", |b| {
+        b.iter(|| black_box(coupled.on_enqueue(black_box(&ect1), &s, Time::ZERO, &mut rng)))
+    });
+
+    let mut red = Red::new(RedConfig::default());
+    group.bench_function("red", |b| {
+        b.iter(|| black_box(red.on_enqueue(black_box(&pkt), &s, Time::ZERO, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_update");
+    let s = snap();
+
+    let mut pie = Pie::new(PieConfig::paper_default());
+    group.bench_function("pie_update", |b| {
+        b.iter(|| {
+            pie.update(black_box(&s), Time::ZERO);
+            black_box(pie.control_variable())
+        })
+    });
+
+    let mut pi2 = Pi2::new(Pi2Config::default());
+    group.bench_function("pi2_update", |b| {
+        b.iter(|| {
+            pi2.update(black_box(&s), Time::ZERO);
+            black_box(pi2.control_variable())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enqueue, bench_update);
+criterion_main!(benches);

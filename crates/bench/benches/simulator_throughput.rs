@@ -1,0 +1,74 @@
+//! End-to-end simulator throughput: how much wall-clock time one
+//! simulated second costs per AQM. Establishes that the figure
+//! regeneration runs are dominated by simulated traffic, not AQM
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pi2_aqm::{Pi2, Pi2Config, Pie, PieConfig};
+use pi2_netsim::{Aqm, MonitorConfig, PathConf, QueueConfig, Sim, SimConfig};
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting, TcpConfig, TcpSource};
+
+fn build(aqm: Box<dyn Aqm>) -> Sim {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 50_000_000,
+                buffer_bytes: 60_000_000,
+            },
+            seed: 7,
+            monitor: MonitorConfig {
+                record_sojourns: false,
+                record_probs: false,
+                ..MonitorConfig::default()
+            },
+            trace_capacity: 0,
+        },
+        aqm,
+    );
+    for _ in 0..10 {
+        sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(20)),
+            "reno",
+            Time::ZERO,
+            |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    CcKind::Reno,
+                    EcnSetting::NotEcn,
+                    TcpConfig::default(),
+                ))
+            },
+        );
+    }
+    sim
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_second");
+    group.sample_size(10);
+    group.bench_function("pie_10flows_50mbps", |b| {
+        b.iter_batched(
+            || build(Box::new(Pie::new(PieConfig::paper_default()))),
+            |mut sim| {
+                sim.run_until(Time::from_secs(1));
+                sim.core.events.popped()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("pi2_10flows_50mbps", |b| {
+        b.iter_batched(
+            || build(Box::new(Pi2::new(Pi2Config::default()))),
+            |mut sim| {
+                sim.run_until(Time::from_secs(1));
+                sim.core.events.popped()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: footnote 5 — the paper's testbed had a Linux bug capping the
+//! bandwidth-delay product at 1 MB, causing "anomalous results at the
+//! high RTT end of the higher link rates" in Figures 15–18. Our simulator
+//! has no such bug by default; this binary switches the artefact on
+//! (`TcpConfig::max_cwnd` = 1 MB/MSS) to show exactly which grid cells it
+//! poisons and how.
+
+use pi2_bench::{f, header, run_secs, table};
+use pi2_experiments::ablation::bdp_bug;
+
+fn main() {
+    header(
+        "Ablation: the footnote-5 BDP bug",
+        "Cubic vs ECN-Cubic under PIE, with and without the 1 MB window cap",
+    );
+    let secs = run_secs(40);
+    let mut rows = vec![vec![
+        "cell".to_string(),
+        "BDP".into(),
+        "ratio (free)".into(),
+        "util % (free)".into(),
+        "ratio (1MB cap)".into(),
+        "util % (1MB cap)".into(),
+    ]];
+    for &(link, rtt) in &[(40u64, 20i64), (120, 50), (120, 100), (200, 50), (200, 100)] {
+        let bdp_mb = link as f64 * rtt as f64 / 8.0 / 1000.0;
+        let (r_free, u_free) = bdp_bug(link, rtt, false, secs, 0xbd);
+        let (r_cap, u_cap) = bdp_bug(link, rtt, true, secs, 0xbd);
+        rows.push(vec![
+            format!("{link}Mb {rtt}ms"),
+            format!("{bdp_mb:.2}MB"),
+            f(r_free),
+            f(u_free),
+            f(r_cap),
+            f(u_cap),
+        ]);
+    }
+    table(&rows);
+    println!(
+        "shape check: cells whose BDP stays under ~1 MB are unaffected. Beyond it,\n\
+         two effects reproduce the paper's anomalous high-BDP cells: (a) with the\n\
+         1 MB cap, utilization pins at 2 x 1MB/RTT / link (the footnote-5 artefact\n\
+         proper); (b) even uncapped, the drop-based flow starves against the\n\
+         marked flow at extreme BDP — at p this small every loss costs Cubic a\n\
+         multi-second recovery while ECN marking costs its rival nothing, so the\n\
+         asymmetry compounds. Ironically the cap 'fixes' the ratio by pinning\n\
+         both flows at the same window."
+    );
+}

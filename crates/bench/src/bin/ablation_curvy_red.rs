@@ -1,0 +1,103 @@
+//! Ablation: Curvy RED (the DualQ draft's example AQM, paper §3) vs PI2.
+//!
+//! Both encode the Classic probability as a square of a linear quantity —
+//! but Curvy RED reads that quantity off the *queue delay* (so its
+//! standing queue must grow with load, RED's original sin), while PI2's
+//! integral action moves only `p'` and pins the delay at the target.
+
+use pi2_bench::{f, header, table};
+use pi2_experiments::scenario::{AqmKind, FlowGroup, Scenario};
+use pi2_aqm::{CurvyRed, CurvyRedConfig};
+use pi2_netsim::Aqm;
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting};
+
+fn run(curvy: bool, flows: usize) -> (f64, f64) {
+    // Scenario has no Curvy variant; run it via the generic path by
+    // constructing the AQM directly for the curvy case.
+    if curvy {
+        use pi2_netsim::{MonitorConfig, PathConf, QueueConfig, Sim, SimConfig};
+        use pi2_transport::{TcpConfig, TcpSource};
+        let mut sim = Sim::new(
+            SimConfig {
+                queue: QueueConfig {
+                    rate_bps: 10_000_000,
+                    buffer_bytes: 40_000 * 1500,
+                },
+                seed: 0xc0,
+                monitor: MonitorConfig {
+                    warmup: Duration::from_secs(20),
+                    ..MonitorConfig::default()
+                },
+                trace_capacity: 0,
+            },
+            Box::new(CurvyRed::new(CurvyRedConfig::default())) as Box<dyn Aqm>,
+        );
+        for _ in 0..flows {
+            sim.add_flow(
+                PathConf::symmetric(Duration::from_millis(100)),
+                "reno",
+                Time::ZERO,
+                |id| {
+                    Box::new(TcpSource::new(
+                        id,
+                        CcKind::Reno,
+                        EcnSetting::NotEcn,
+                        TcpConfig::default(),
+                    ))
+                },
+            );
+        }
+        sim.run_until(Time::from_secs(80));
+        let m = &sim.core.monitor;
+        let s: Vec<f64> = m.sojourn_ms.iter().map(|&x| x as f64).collect();
+        let util: f64 = m.util_samples.iter().map(|&x| x as f64).sum::<f64>()
+            / m.util_samples.len() as f64;
+        (pi2_stats::mean(&s), util * 100.0)
+    } else {
+        let mut sc = Scenario::new(AqmKind::pi2_default(), 10_000_000);
+        sc.tcp.push(FlowGroup::new(
+            flows,
+            CcKind::Reno,
+            EcnSetting::NotEcn,
+            "reno",
+            Duration::from_millis(100),
+        ));
+        sc.duration = Time::from_secs(80);
+        sc.warmup = Duration::from_secs(20);
+        sc.seed = 0xc0;
+        let r = sc.run();
+        (r.delay_summary().mean, r.util_summary().mean)
+    }
+}
+
+fn main() {
+    header(
+        "Ablation: Curvy RED vs PI2",
+        "standing queue vs load: curve-read probability vs PI-controlled probability",
+    );
+    let mut rows = vec![vec![
+        "flows".to_string(),
+        "curvy delay ms".into(),
+        "curvy util %".into(),
+        "pi2 delay ms".into(),
+        "pi2 util %".into(),
+    ]];
+    for &n in &[2usize, 5, 15, 40] {
+        let (cd, cu) = run(true, n);
+        let (pd, pu) = run(false, n);
+        rows.push(vec![
+            n.to_string(),
+            f(cd),
+            f(cu),
+            f(pd),
+            f(pu),
+        ]);
+    }
+    table(&rows);
+    println!(
+        "shape check: Curvy RED's mean delay climbs with the flow count (the\n\
+         operating point slides up its curve — the RED behaviour Hollot et al.\n\
+         criticized), while PI2 holds ~20 ms at every load; utilizations comparable."
+    );
+}

@@ -1,0 +1,48 @@
+//! Ablation: delayed ACKs and the CReno constant.
+//!
+//! The paper derives k = 1.19 from `W_creno = 1.68/√p` but validates
+//! k = 2 empirically. A classic per-ACK-counting sender would see its
+//! constant halve under delayed ACKs (1.68 → 1.19); our senders — like
+//! modern Linux — count acked packets (RFC 3465 byte counting), so the
+//! constant barely moves and the k-slack must come from elsewhere
+//! (DCTCP's EWMA-delayed response). This binary measures both effects.
+
+use pi2_bench::{f, header, run_secs, table};
+use pi2_experiments::ablation::{delayed_ack_balance, delayed_ack_constant};
+
+fn main() {
+    header(
+        "Ablation: delayed ACKs",
+        "the CReno constant and the coexistence balance under RFC 1122 delayed ACKs",
+    );
+    println!("--- effective constant c in W = c/sqrt(p) (CReno mode, fixed p) ---");
+    let mut rows = vec![vec![
+        "p".to_string(),
+        "per-packet ACKs".into(),
+        "delayed ACKs".into(),
+        "paper's models".into(),
+    ]];
+    for &p in &[0.01, 0.02, 0.05] {
+        rows.push(vec![
+            f(p),
+            f(delayed_ack_constant(p, false, 0xda)),
+            f(delayed_ack_constant(p, true, 0xda)),
+            "1.68 vs 1.19".to_string(),
+        ]);
+    }
+    table(&rows);
+
+    println!("--- Cubic/DCTCP balance with delayed ACKs, k sweep (40 Mb/s, 10 ms) ---");
+    let mut rows = vec![vec!["k".to_string(), "ratio".into()]];
+    for &k in &[1.19, 1.4, 2.0, 2.8] {
+        rows.push(vec![f(k), f(delayed_ack_balance(k, run_secs(60), 0xda))]);
+    }
+    table(&rows);
+    println!(
+        "shape check: with byte-counting senders the constant is ~insensitive to\n\
+         delayed ACKs (both a bit under the deterministic 1.68 — stochastic loss\n\
+         clusters), and k = 2 remains the balanced coupling either way. The paper's\n\
+         analytic-1.19 vs empirical-2 gap is a transport-dynamics effect, not an\n\
+         ACK-policy one."
+    );
+}

@@ -1,0 +1,74 @@
+//! Ablation: PI2's gain multiplier (the paper chose 2.5× PIE's gains from
+//! the flat-margin headroom of Figure 7).
+//!
+//! Two views: (a) analytic — the minimum gain margin over the full load
+//! range as the gains scale; (b) empirical — transient peak and steady
+//! delay of the Figure 11(a) workload.
+
+use pi2_bench::{f, header, table};
+use pi2_experiments::ablation::gain_sweep;
+use pi2_fluid::{margins, nyquist, LoopTf, PiGains, Stability};
+
+fn main() {
+    header(
+        "Ablation: gain sweep",
+        "responsiveness vs stability as PI2 gains scale",
+    );
+
+    println!("--- analytic: minimum gain margin over p' in [0.1%, 100%], R0 = 100 ms ---");
+    let mut rows = vec![vec![
+        "multiplier (x PIE gains)".to_string(),
+        "min GM dB".into(),
+        "min PM deg".into(),
+        "nyquist".into(),
+    ]];
+    for &m in &[1.0, 2.0, 2.5, 3.0, 5.0, 10.0] {
+        let mut min_gm = f64::INFINITY;
+        let mut min_pm = f64::INFINITY;
+        let mut all_stable = true;
+        for i in 0..40 {
+            let pp = 10f64.powf(-3.0 + 3.0 * i as f64 / 39.0);
+            let tf = LoopTf {
+                kind: pi2_fluid::LoopKind::RenoOnPSquared,
+                gains: PiGains::pie().scaled(m),
+                r0: 0.1,
+                p0_prime: pp,
+            };
+            let mg = margins(&tf);
+            min_gm = min_gm.min(mg.gain_margin_db);
+            min_pm = min_pm.min(mg.phase_margin_deg);
+            all_stable &= nyquist(&tf) == Stability::Stable;
+        }
+        rows.push(vec![
+            f(m),
+            f(min_gm),
+            f(min_pm),
+            if all_stable { "stable" } else { "UNSTABLE" }.to_string(),
+        ]);
+    }
+    table(&rows);
+
+    println!("--- empirical: figure 11(a) workload (5 Reno flows, 10 Mb/s, 100 ms) ---");
+    let pts = gain_sweep(&[1.0, 2.5, 5.0, 10.0], 0xab);
+    let mut rows = vec![vec![
+        "multiplier".to_string(),
+        "peak ms".into(),
+        "mean ms".into(),
+        "p99 ms".into(),
+    ]];
+    for p in &pts {
+        rows.push(vec![
+            f(p.multiplier),
+            f(p.peak_ms),
+            f(p.delay.mean),
+            f(p.delay.p99),
+        ]);
+    }
+    table(&rows);
+    println!(
+        "shape check: the analytic minimum gain margin shrinks ~20log10(m) dB with\n\
+         the multiplier and crosses zero somewhere past the paper's 2.5x choice;\n\
+         empirically, higher gains cut the start-up peak until instability costs\n\
+         more than responsiveness gains."
+    );
+}

@@ -1,0 +1,24 @@
+//! Ablation: the coupling factor k (paper: analytic 1.19 from eq. (14),
+//! empirical 2). Sweeps k and reports the Cubic/DCTCP rate balance.
+
+use pi2_bench::{f, header, run_secs, table};
+use pi2_experiments::ablation::k_sweep;
+
+fn main() {
+    header(
+        "Ablation: k sweep",
+        "Cubic/DCTCP per-flow rate ratio vs coupling factor (40 Mb/s, 10 ms)",
+    );
+    let pts = k_sweep(&[1.0, 1.19, 1.4, 2.0, 2.8, 4.0], run_secs(60));
+    let mut rows = vec![vec!["k".to_string(), "Cubic/DCTCP ratio".into()]];
+    for p in &pts {
+        rows.push(vec![f(p.k), f(p.ratio)]);
+    }
+    table(&rows);
+    println!(
+        "shape check: the ratio rises monotonically with k (gentler Classic\n\
+         signal); the paper's empirical k = 2 sits near balance for real-stack\n\
+         dynamics, while the idealized eq.-(14) value 1.19 undershoots here\n\
+         because our DCTCP reacts with the idealized once-per-RTT cut."
+    );
+}

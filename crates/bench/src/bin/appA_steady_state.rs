@@ -1,0 +1,75 @@
+//! Appendix A: steady-state window laws validated in the packet
+//! simulator, plus the eq. (14) coupling relation.
+
+use pi2_bench::{f, header, table};
+use pi2_experiments::appendix_a::{appendix_a, coupling_check, step_vs_probabilistic};
+
+fn main() {
+    header(
+        "Appendix A",
+        "steady-state window laws: measured vs closed form",
+    );
+    let points = appendix_a();
+    let mut rows = vec![vec![
+        "cc".to_string(),
+        "p".into(),
+        "measured W".into(),
+        "predicted W".into(),
+        "rel err".into(),
+    ]];
+    for pt in &points {
+        rows.push(vec![
+            pt.cc.to_string(),
+            f(pt.p),
+            f(pt.measured_w),
+            f(pt.predicted_w),
+            format!("{:.1}%", pt.rel_err * 100.0),
+        ]);
+    }
+    table(&rows);
+
+    println!("--- eq. (11) vs eq. (12): how DCTCP is marked changes the exponent ---");
+    let (p, w_step, w_prob) = step_vs_probabilistic(0x57e9);
+    let rows = vec![
+        vec![
+            "marking".to_string(),
+            "realized p".into(),
+            "measured W".into(),
+            "2/p".into(),
+            "2/p^2".into(),
+        ],
+        vec![
+            "step threshold".into(),
+            f(p),
+            f(w_step),
+            f(2.0 / p),
+            f(2.0 / (p * p)),
+        ],
+        vec![
+            "probabilistic".into(),
+            f(p),
+            f(w_prob),
+            f(2.0 / p),
+            f(2.0 / (p * p)),
+        ],
+    ];
+    table(&rows);
+
+    println!("--- eq. (14) coupling relation: pc = (ps/k)^2, k = 2 ---");
+    let (_, pc, ps) = coupling_check(2.0, 3);
+    println!(
+        "realized: pc = {:.4}, ps = {:.4}, (ps/2)^2 = {:.4}",
+        pc,
+        ps,
+        (ps / 2.0) * (ps / 2.0)
+    );
+    println!(
+        "\nshape check: Reno tracks 1.22/sqrt(p), CReno 1.68/sqrt(p) at small BDP,\n\
+         DCTCP and the half-packet scalable control track 2/p (probabilistic\n\
+         marking, not the 2/p^2 step-marking law); the step-vs-probabilistic table\n\
+         shows the exponent change directly (same fraction, very different W —\n\
+         the Irteza et al. phenomenon the paper cites); the realized classic\n\
+         probability follows the coupled square relation up to sawtooth-induced\n\
+         convexity bias."
+    );
+}

@@ -1,0 +1,54 @@
+//! Extension: RTT fairness. The paper's grid keeps coexisting flows at
+//! equal base RTTs; here we mix a 10 ms and a 100 ms Reno flow and
+//! measure the short/long throughput ratio under each AQM, plus a PI2
+//! target sweep showing the standing queue's equalizing effect — one of
+//! the structural arguments for a nonzero delay target.
+
+use pi2_bench::{f, header, run_secs, table};
+use pi2_experiments::rttfair::{run_one, target_sweep};
+use pi2_experiments::scenario::AqmKind;
+
+fn main() {
+    header(
+        "Extension: RTT fairness",
+        "10 ms vs 100 ms Reno flows sharing 40 Mb/s (250 ms buffer)",
+    );
+    let secs = run_secs(60);
+    println!("--- per-AQM ratio at the default 20 ms target ---");
+    let mut rows = vec![vec![
+        "aqm".to_string(),
+        "short Mb/s".into(),
+        "long Mb/s".into(),
+        "short/long".into(),
+    ]];
+    for aqm in [
+        AqmKind::pie_default(),
+        AqmKind::pi2_default(),
+        AqmKind::TailDrop,
+    ] {
+        let r = run_one(aqm, 20, secs, 0x477);
+        rows.push(vec![
+            r.aqm.to_string(),
+            f(r.short_mbps),
+            f(r.long_mbps),
+            f(r.ratio),
+        ]);
+    }
+    table(&rows);
+
+    println!("--- PI2 target sweep: deeper queues equalize effective RTTs ---");
+    let mut rows = vec![vec!["target ms".to_string(), "short/long ratio".into()]];
+    for r in target_sweep(&[5, 10, 20, 40, 80], secs, 0x477) {
+        rows.push(vec![r.target_ms.to_string(), f(r.ratio)]);
+    }
+    table(&rows);
+    println!(
+        "shape check: every single-queue AQM inherits TCP's RTT bias (the 10 ms\n\
+         flow wins), softened by the shared queue: effective RTTs are\n\
+         (base + queue), so the ratio falls as the PI2 target deepens — the\n\
+         latency/fairness trade a delay target embodies. PIE and PI2 behave\n\
+         alike. Tail-drop manages to be worse on both axes: 250 ms of latency\n\
+         AND more bias, because its synchronized overflow losses punish the\n\
+         slow-recovering long-RTT flow hardest."
+    );
+}

@@ -1,0 +1,80 @@
+//! Extension: the whole Scalable family (paper §5 names "DCTCP,
+//! Relentless, Scalable, ...") against Cubic under the coupled AQM.
+//!
+//! All four are B = 1 controls, but their window constants differ —
+//! DCTCP `2/p`, half-packet `2/p`, Relentless `1/p`, Scalable TCP
+//! `0.08/p` — so the k = 2 coupling tuned for DCTCP lands each at a
+//! different (but bounded, predictable) balance point. Compare with
+//! PIE, under which every one of them starves Cubic outright.
+
+use pi2_bench::{f, header, run_secs, table};
+use pi2_experiments::scenario::{AqmKind, FlowGroup, Scenario};
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting};
+
+fn run(aqm: AqmKind, cc: CcKind, secs: u64) -> (f64, f64, f64) {
+    let rtt = Duration::from_millis(10);
+    let mut sc = Scenario::new(aqm, 40_000_000);
+    sc.tcp.push(FlowGroup::new(
+        1,
+        CcKind::Cubic,
+        EcnSetting::NotEcn,
+        "cubic",
+        rtt,
+    ));
+    sc.tcp.push(FlowGroup::new(1, cc, EcnSetting::Scalable, "scal", rtt));
+    sc.duration = Time::from_secs(secs);
+    sc.warmup = Duration::from_secs(secs as i64 / 3);
+    sc.seed = 0xfa1;
+    let r = sc.run();
+    let c = r.per_flow_tput_mbps("cubic");
+    let s = r.per_flow_tput_mbps("scal");
+    (c, s, r.monitor.flows[1].signal_fraction())
+}
+
+fn main() {
+    header(
+        "Extension: the Scalable family",
+        "Cubic vs each B=1 control (40 Mb/s, 10 ms), coupled PI2 vs PIE",
+    );
+    let secs = run_secs(60);
+    let mut rows = vec![vec![
+        "scalable cc".to_string(),
+        "law".into(),
+        "aqm".into(),
+        "cubic Mb/s".into(),
+        "scal Mb/s".into(),
+        "ratio c/s".into(),
+        "scal sig".into(),
+    ]];
+    for (cc, law) in [
+        (CcKind::Dctcp, "2/p"),
+        (CcKind::ScalableHalfPkt, "2/p"),
+        (CcKind::Relentless, "1/p"),
+        (CcKind::ScalableTcp, "0.08/p"),
+    ] {
+        for aqm in [AqmKind::coupled_default(), AqmKind::pie_default()] {
+            let name = aqm.name();
+            let (c, s, sig) = run(aqm, cc, secs);
+            rows.push(vec![
+                format!("{cc:?}"),
+                law.to_string(),
+                name.to_string(),
+                f(c),
+                f(s),
+                f(c / s.max(1e-9)),
+                f(sig),
+            ]);
+        }
+    }
+    table(&rows);
+    println!(
+        "shape check: under PIE the 2/p and 1/p controls starve Cubic. Under the\n\
+         coupled AQM each lands at a bounded balance set by its window constant:\n\
+         DCTCP and the half-packet idealization (both 2/p) sit at ~1; Relentless\n\
+         (1/p, half the window at the same p) gives Cubic ~2x; Scalable TCP\n\
+         (0.08/p, 25x gentler) is dominated by Cubic — k = 2 is a DCTCP-specific\n\
+         constant, and the coupling transparently exposes each control's own\n\
+         aggressiveness rather than hiding it."
+    );
+}

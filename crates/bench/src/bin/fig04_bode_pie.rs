@@ -1,0 +1,53 @@
+//! Figure 4: Bode gain/phase margins of PIE for p from 0.0001 % to 100 %,
+//! with tune ∈ {auto, 1, ½, ⅛}; R = 100 ms, α=0.125·tune, β=1.25·tune,
+//! T = 32 ms.
+
+use pi2_bench::{f, header, table};
+use pi2_fluid::{margins, pie_tune_factor, LoopKind, LoopTf, PiGains};
+
+fn main() {
+    header(
+        "Figure 4",
+        "PIE Bode margins vs drop probability (R=100 ms, T=32 ms)",
+    );
+    let r0 = 0.1;
+    let tunes: [(&str, Option<f64>); 4] = [
+        ("auto", None),
+        ("1", Some(1.0)),
+        ("1/2", Some(0.5)),
+        ("1/8", Some(0.125)),
+    ];
+    let mut rows = vec![vec![
+        "p [%]".to_string(),
+        "GM(auto) dB".into(),
+        "PM(auto) deg".into(),
+        "GM(1) dB".into(),
+        "PM(1) deg".into(),
+        "GM(1/2) dB".into(),
+        "PM(1/2) deg".into(),
+        "GM(1/8) dB".into(),
+        "PM(1/8) deg".into(),
+    ]];
+    for i in 0..25 {
+        let p = 10f64.powf(-6.0 + 6.0 * i as f64 / 24.0);
+        let mut row = vec![format!("{:.4}", p * 100.0)];
+        for &(_, tune) in &tunes {
+            let factor = tune.unwrap_or_else(|| pie_tune_factor(p));
+            let tf = LoopTf {
+                kind: LoopKind::RenoOnP,
+                gains: PiGains::pie().scaled(factor),
+                r0,
+                p0_prime: p.sqrt(),
+            };
+            let m = margins(&tf);
+            row.push(f(m.gain_margin_db));
+            row.push(f(m.phase_margin_deg));
+        }
+        rows.push(row);
+    }
+    table(&rows);
+    println!(
+        "shape check: fixed-tune margins run diagonally (≈20 dB per decade of p)\n\
+         and cross zero at low p; tune=auto keeps both margins positive everywhere."
+    );
+}

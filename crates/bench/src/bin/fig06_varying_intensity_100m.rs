@@ -1,0 +1,44 @@
+//! Figure 6: fixed-gain PI vs PI2 under varying traffic intensity,
+//! 10:30:50:30:10 flows × 50 s, 100 Mb/s, RTT 10 ms.
+
+use pi2_bench::{f, header, series_row, table};
+use pi2_experiments::fig06::fig06;
+
+fn main() {
+    header(
+        "Figure 6",
+        "queue delay, PI (fixed gains) vs PI2; 10:30:50:30:10 Reno flows, 100 Mb/s, 10 ms",
+    );
+    let runs = fig06();
+    let mut rows = vec![vec![
+        "aqm".to_string(),
+        "mean ms".into(),
+        "p50 ms".into(),
+        "p99 ms".into(),
+        "max ms".into(),
+        "steady-phase std ms".into(),
+    ]];
+    for r in &runs {
+        rows.push(vec![
+            r.aqm.to_string(),
+            f(r.delay.mean),
+            f(r.delay.p50),
+            f(r.delay.p99),
+            f(r.delay.max),
+            f(r.steady_phase_std_ms),
+        ]);
+    }
+    table(&rows);
+    for r in &runs {
+        println!("{} qdelay(ms) @5s: {}", r.aqm, series_row(&r.qdelay, 5));
+    }
+    println!(
+        "\nshape check: 'pi2' stays pinned near the 20 ms target throughout. Note on\n\
+         'pi': in this idealized substrate the fixed-gain controller remains small-\n\
+         signal stable at this exact operating point (its Bode margins at the ~30 ms\n\
+         loop RTT are still positive; see fig04_bode_pie), so the testbed's visible\n\
+         limit cycle does not reappear here. Its failure mode — aggressive\n\
+         over-suppression and underutilization — emerges at lower p; see the\n\
+         fixed_gain_pi_oversuppresses_at_low_p integration test and EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 7: Bode margins of reno-PIE (auto-tuned), reno-PI2
+//! (α=0.3125, β=3.125) and scalable-PI (α=0.625, β=6.25); R = 100 ms.
+
+use pi2_bench::{f, header, table};
+use pi2_fluid::{margins, LoopTf};
+
+fn main() {
+    header(
+        "Figure 7",
+        "Bode margins: reno-pie vs reno-pi2 vs scal-pi (R=100 ms, T=32 ms)",
+    );
+    let r0 = 0.1;
+    let mut rows = vec![vec![
+        "p' [%]".to_string(),
+        "GM pie dB".into(),
+        "PM pie deg".into(),
+        "GM pi2 dB".into(),
+        "PM pi2 deg".into(),
+        "GM scal dB".into(),
+        "PM scal deg".into(),
+    ]];
+    for i in 0..25 {
+        let pp = 10f64.powf(-3.0 + 3.0 * i as f64 / 24.0);
+        let pie = margins(&LoopTf::pie_auto(pp * pp, r0));
+        let pi2 = margins(&LoopTf::pi2(pp, r0));
+        let scal = margins(&LoopTf::scal_pi(pp, r0));
+        rows.push(vec![
+            format!("{:.3}", pp * 100.0),
+            f(pie.gain_margin_db),
+            f(pie.phase_margin_deg),
+            f(pi2.gain_margin_db),
+            f(pi2.phase_margin_deg),
+            f(scal.gain_margin_db),
+            f(scal.phase_margin_deg),
+        ]);
+    }
+    table(&rows);
+    println!(
+        "shape check: pi2's gain margin is flattened (no 20 dB/decade diagonal) and\n\
+         positive over the whole range despite gains 2.5x PIE's; scal-pi with doubled\n\
+         gains tracks reno-pi2 closely; only at p' > ~60% do margins drift up."
+    );
+}

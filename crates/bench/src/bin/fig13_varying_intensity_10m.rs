@@ -1,0 +1,39 @@
+//! Figure 13: PIE vs PI2 under varying traffic intensity,
+//! 10:30:50:30:10 flows × 50 s, 10 Mb/s, RTT 100 ms.
+
+use pi2_bench::{f, header, series_row, table};
+use pi2_experiments::fig06::fig13;
+
+fn main() {
+    header(
+        "Figure 13",
+        "queue delay, PIE vs PI2; 10:30:50:30:10 Reno flows, 10 Mb/s, 100 ms",
+    );
+    let runs = fig13();
+    let mut rows = vec![vec![
+        "aqm".to_string(),
+        "mean ms".into(),
+        "p50 ms".into(),
+        "p99 ms".into(),
+        "max ms".into(),
+        "steady-phase std ms".into(),
+    ]];
+    for r in &runs {
+        rows.push(vec![
+            r.aqm.to_string(),
+            f(r.delay.mean),
+            f(r.delay.p50),
+            f(r.delay.p99),
+            f(r.delay.max),
+            f(r.steady_phase_std_ms),
+        ]);
+    }
+    table(&rows);
+    for r in &runs {
+        println!("{} qdelay(ms) @5s: {}", r.aqm, series_row(&r.qdelay, 5));
+    }
+    println!(
+        "\nshape check: PI2 shows less overshoot at each load change and smaller\n\
+         upward fluctuations during the steady phases than PIE."
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 15: throughput balance over the link×RTT grid (one Cubic flow
+//! vs one ECN-Cubic or DCTCP flow; PIE vs coupled PI2).
+//!
+//! Tip: `grid_all` prints Figures 15–18 from a single grid run.
+
+use pi2_bench::{gridview, header, run_secs};
+use pi2_experiments::grid::run_grid;
+
+fn main() {
+    header("Figure 15", "rate balance over the link x RTT grid");
+    let cells = run_grid(run_secs(60));
+    gridview::print_fig15(&cells);
+}

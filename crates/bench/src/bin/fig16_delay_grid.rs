@@ -1,0 +1,12 @@
+//! Figure 16: queue delay (mean + P99) over the link×RTT grid.
+//!
+//! Tip: `grid_all` prints Figures 15–18 from a single grid run.
+
+use pi2_bench::{gridview, header, run_secs};
+use pi2_experiments::grid::run_grid;
+
+fn main() {
+    header("Figure 16", "queue delay over the link x RTT grid");
+    let cells = run_grid(run_secs(60));
+    gridview::print_fig16(&cells);
+}

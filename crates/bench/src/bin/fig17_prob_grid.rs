@@ -1,0 +1,12 @@
+//! Figure 17: applied mark/drop probability over the link×RTT grid.
+//!
+//! Tip: `grid_all` prints Figures 15–18 from a single grid run.
+
+use pi2_bench::{gridview, header, run_secs};
+use pi2_experiments::grid::run_grid;
+
+fn main() {
+    header("Figure 17", "mark/drop probability over the link x RTT grid");
+    let cells = run_grid(run_secs(60));
+    gridview::print_fig17(&cells);
+}

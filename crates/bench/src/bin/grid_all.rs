@@ -1,0 +1,20 @@
+//! Figures 15–18 from a single run of the link×RTT coexistence grid
+//! (each cell feeds all four figures, so this is 4× cheaper than running
+//! the individual binaries).
+
+use pi2_bench::{gridview, header, run_secs};
+use pi2_experiments::grid::run_grid;
+
+fn main() {
+    header(
+        "Figures 15-18",
+        "the full coexistence grid: rate balance, delay, probability, utilization",
+    );
+    let secs = run_secs(60);
+    eprintln!("running 100 cells x {secs} s simulated ... (set PI2_SECS to trade accuracy for time)");
+    let cells = run_grid(secs);
+    gridview::print_fig15(&cells);
+    gridview::print_fig16(&cells);
+    gridview::print_fig17(&cells);
+    gridview::print_fig18(&cells);
+}

@@ -1,0 +1,168 @@
+//! `pi2sim` — run any dumbbell scenario against any AQM in this
+//! workspace, from the command line.
+//!
+//! ```text
+//! cargo run -p pi2-bench --release --bin pi2sim -- \
+//!     --aqm coupled --rate 40M --rtt 10ms --flows 1xcubic,1xdctcp --secs 60
+//! ```
+
+use pi2_aqm::{
+    Codel, CodelConfig, CoupledPi2, CoupledPi2Config, CurvyRed, CurvyRedConfig, DualPi2,
+    DualPi2Config, FqConfig, FqDrr, Pi, PiConfig, Pi2, Pi2Config, Pie, PieConfig, Red, RedConfig,
+};
+use pi2_bench::cli::{parse_args, usage, CliArgs};
+use pi2_netsim::{
+    Aqm, Ecn, MonitorConfig, PassAqm, PathConf, Qdisc, QueueConfig, Sim, SimConfig, UdpCbrSource,
+};
+use pi2_simcore::{Duration, Time};
+use pi2_stats::Summary;
+use pi2_transport::{TcpConfig, TcpSource};
+
+fn build_sim(a: &CliArgs) -> Sim {
+    let cfg = SimConfig {
+        queue: QueueConfig {
+            rate_bps: a.rate_bps,
+            buffer_bytes: 40_000 * 1500,
+        },
+        seed: a.seed,
+        monitor: MonitorConfig {
+            warmup: Duration::from_secs(a.warmup_secs as i64),
+            record_flow_sojourns: true,
+            ..MonitorConfig::default()
+        },
+        trace_capacity: a.trace,
+    };
+    let target = a.target;
+    match a.aqm.as_str() {
+        "dualq" => {
+            let mut dq = DualPi2Config::for_link(a.rate_bps);
+            dq.target = target;
+            Sim::with_qdisc(cfg, Box::new(DualPi2::new(dq)) as Box<dyn Qdisc>)
+        }
+        "fq" => Sim::with_qdisc(
+            cfg,
+            Box::new(FqDrr::new(FqConfig::for_link(a.rate_bps))) as Box<dyn Qdisc>,
+        ),
+        name => {
+            let aqm: Box<dyn Aqm> = match name {
+                "pi2" => Box::new(Pi2::new(Pi2Config {
+                    target,
+                    ..Pi2Config::default()
+                })),
+                "pie" => Box::new(Pie::new(PieConfig {
+                    target,
+                    ..PieConfig::paper_default()
+                })),
+                "bare-pie" => Box::new(Pie::new(PieConfig {
+                    target,
+                    ..PieConfig::bare()
+                })),
+                "pi" => Box::new(Pi::new(PiConfig {
+                    target,
+                    ..PiConfig::untuned_pie_gains()
+                })),
+                "coupled" => Box::new(CoupledPi2::new(CoupledPi2Config {
+                    target,
+                    ..CoupledPi2Config::default()
+                })),
+                "red" => Box::new(Red::new(RedConfig::for_link(
+                    a.rate_bps,
+                    target / 2,
+                    target * 3,
+                ))),
+                "codel" => Box::new(Codel::new(CodelConfig {
+                    target: target / 4,
+                    ..CodelConfig::default()
+                })),
+                "curvy" => Box::new(CurvyRed::new(CurvyRedConfig {
+                    range: target * 3,
+                    ..CurvyRedConfig::default()
+                })),
+                "taildrop" => Box::new(PassAqm),
+                other => unreachable!("validated AQM {other}"),
+            };
+            Sim::new(cfg, aqm)
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let a = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == usage() { 0 } else { 2 });
+        }
+    };
+
+    let mut sim = build_sim(&a);
+    for spec in &a.flows {
+        for _ in 0..spec.count {
+            let cc = spec.cc;
+            let ecn = spec.ecn;
+            sim.add_flow(PathConf::symmetric(a.rtt), &spec.label, Time::ZERO, {
+                move |id| Box::new(TcpSource::new(id, cc, ecn, TcpConfig::default()))
+            });
+        }
+    }
+    if let Some(bps) = a.udp_bps {
+        sim.add_flow(PathConf::symmetric(a.rtt), "udp", Time::ZERO, move |id| {
+            Box::new(UdpCbrSource::new(id, bps, 1500, Ecn::NotEct))
+        });
+    }
+    sim.run_until(Time::from_secs(a.secs));
+
+    let m = &sim.core.monitor;
+    println!(
+        "# pi2sim: aqm={} rate={} rtt={} secs={} seed={}",
+        a.aqm,
+        a.rate_bps,
+        a.rtt,
+        a.secs,
+        a.seed
+    );
+    let delay = Summary::of_f32(&m.sojourn_ms);
+    println!(
+        "queue delay [ms]: mean {:.2}  p50 {:.2}  p99 {:.2}  max {:.2}",
+        delay.mean, delay.p50, delay.p99, delay.max
+    );
+    let util: f64 = if m.util_samples.is_empty() {
+        0.0
+    } else {
+        m.util_samples.iter().map(|&x| x as f64).sum::<f64>() / m.util_samples.len() as f64
+    };
+    println!("utilization: {:.1} %", 100.0 * util);
+    // Per-label rows.
+    let mut labels: Vec<String> = m.flows.iter().map(|f| f.label.clone()).collect();
+    labels.sort();
+    labels.dedup();
+    for label in &labels {
+        let idxs = m.flows_labelled(label);
+        let tput = m.pooled_mean_tput_mbps(label);
+        let sig: f64 = idxs
+            .iter()
+            .map(|&i| m.flows[i].signal_fraction())
+            .sum::<f64>()
+            / idxs.len().max(1) as f64;
+        let sj = Summary::of_f32(&m.pooled_sojourns(label));
+        println!(
+            "{label:>10}: {} flows, {tput:.2} Mb/s total, signal {:.3} %, delay p99 {:.1} ms",
+            idxs.len(),
+            100.0 * sig,
+            sj.p99
+        );
+    }
+    if a.csv {
+        println!("t_s,qdelay_ms");
+        for (t, d) in &m.qdelay_series {
+            println!("{t},{d}");
+        }
+    }
+    if a.trace > 0 {
+        println!("# first {} bottleneck events:", a.trace);
+        if let Some(tr) = &sim.core.trace {
+            print!("{}", tr.render());
+        }
+    }
+}

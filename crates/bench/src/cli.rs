@@ -1,0 +1,308 @@
+//! Argument parsing for the `pi2sim` command-line runner.
+//!
+//! Hand-rolled (the workspace has no runtime dependencies) but complete:
+//! units for rates (`10M`, `2.5G`, `400k`) and times (`20ms`, `1s`,
+//! `500us`), flow-list syntax (`5xreno,1xdctcp,2xecn-cubic`), and helpful
+//! errors.
+
+use pi2_simcore::Duration;
+use pi2_transport::{CcKind, EcnSetting};
+
+/// A parsed flow group request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowSpec {
+    /// Number of flows.
+    pub count: usize,
+    /// Congestion control.
+    pub cc: CcKind,
+    /// ECN mode.
+    pub ecn: EcnSetting,
+    /// Label for reporting.
+    pub label: String,
+}
+
+/// The parsed command line.
+#[derive(Clone, Debug)]
+pub struct CliArgs {
+    /// AQM name (validated against the known set).
+    pub aqm: String,
+    /// Bottleneck rate in bits/s.
+    pub rate_bps: u64,
+    /// Base RTT.
+    pub rtt: Duration,
+    /// Flow groups.
+    pub flows: Vec<FlowSpec>,
+    /// Optional UDP load in bits/s.
+    pub udp_bps: Option<u64>,
+    /// Run length in seconds.
+    pub secs: u64,
+    /// Warm-up excluded from aggregates, seconds.
+    pub warmup_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// AQM delay target.
+    pub target: Duration,
+    /// Emit the queue-delay time series as CSV on stdout.
+    pub csv: bool,
+    /// Print the first N per-packet trace events.
+    pub trace: usize,
+}
+
+/// The AQMs `pi2sim` accepts.
+pub const AQMS: &[&str] = &[
+    "pi2", "pie", "bare-pie", "pi", "coupled", "red", "codel", "curvy", "taildrop", "dualq", "fq",
+];
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            aqm: "pi2".to_string(),
+            rate_bps: 10_000_000,
+            rtt: Duration::from_millis(100),
+            flows: vec![FlowSpec {
+                count: 5,
+                cc: CcKind::Reno,
+                ecn: EcnSetting::NotEcn,
+                label: "reno".to_string(),
+            }],
+            udp_bps: None,
+            secs: 60,
+            warmup_secs: 10,
+            seed: 1,
+            target: Duration::from_millis(20),
+            csv: false,
+            trace: 0,
+        }
+    }
+}
+
+/// Parse a rate like `10M`, `2.5G`, `400k`, `9000`.
+pub fn parse_rate(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1e3),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1e6),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 1e9),
+        _ => (s, 1.0),
+    };
+    let v: f64 = num
+        .parse()
+        .map_err(|_| format!("bad rate '{s}' (try 10M, 400k, 2.5G)"))?;
+    if v <= 0.0 {
+        return Err(format!("rate must be positive, got '{s}'"));
+    }
+    Ok((v * mult) as u64)
+}
+
+/// Parse a time like `20ms`, `1s`, `500us`.
+pub fn parse_time(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (num, scale) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e-6)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        (s, 1e-3) // bare number: milliseconds
+    };
+    let v: f64 = num
+        .parse()
+        .map_err(|_| format!("bad time '{s}' (try 20ms, 1s, 500us)"))?;
+    if v < 0.0 {
+        return Err(format!("time must be non-negative, got '{s}'"));
+    }
+    Ok(Duration::from_secs_f64(v * scale))
+}
+
+/// Parse a flow list like `5xreno,1xdctcp,2xecn-cubic`.
+pub fn parse_flows(s: &str) -> Result<Vec<FlowSpec>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        let (count, name) = match part.split_once('x') {
+            Some((c, n)) => (
+                c.parse::<usize>()
+                    .map_err(|_| format!("bad flow count in '{part}'"))?,
+                n,
+            ),
+            None => (1, part),
+        };
+        let (cc, ecn) = match name {
+            "reno" => (CcKind::Reno, EcnSetting::NotEcn),
+            "cubic" => (CcKind::Cubic, EcnSetting::NotEcn),
+            "ecn-reno" => (CcKind::Reno, EcnSetting::Classic),
+            "ecn-cubic" => (CcKind::Cubic, EcnSetting::Classic),
+            "dctcp" => (CcKind::Dctcp, EcnSetting::Scalable),
+            "scalable" => (CcKind::ScalableHalfPkt, EcnSetting::Scalable),
+            "relentless" => (CcKind::Relentless, EcnSetting::Scalable),
+            "stcp" => (CcKind::ScalableTcp, EcnSetting::Scalable),
+            other => {
+                return Err(format!(
+                    "unknown congestion control '{other}' (reno, cubic, \
+                     ecn-reno, ecn-cubic, dctcp, scalable, relentless, stcp)"
+                ))
+            }
+        };
+        out.push(FlowSpec {
+            count,
+            cc,
+            ecn,
+            label: name.to_string(),
+        });
+    }
+    if out.is_empty() {
+        return Err("no flows specified".to_string());
+    }
+    Ok(out)
+}
+
+/// Parse the full argument vector (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut out = CliArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--aqm" => {
+                let v = value("--aqm")?;
+                if !AQMS.contains(&v.as_str()) {
+                    return Err(format!("unknown AQM '{v}' (one of {})", AQMS.join(", ")));
+                }
+                out.aqm = v.clone();
+            }
+            "--rate" => out.rate_bps = parse_rate(value("--rate")?)?,
+            "--rtt" => out.rtt = parse_time(value("--rtt")?)?,
+            "--flows" => out.flows = parse_flows(value("--flows")?)?,
+            "--udp" => out.udp_bps = Some(parse_rate(value("--udp")?)?),
+            "--secs" => {
+                out.secs = value("--secs")?
+                    .parse()
+                    .map_err(|_| "bad --secs".to_string())?
+            }
+            "--warmup" => {
+                out.warmup_secs = value("--warmup")?
+                    .parse()
+                    .map_err(|_| "bad --warmup".to_string())?
+            }
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--target" => out.target = parse_time(value("--target")?)?,
+            "--csv" => out.csv = true,
+            "--trace" => {
+                out.trace = value("--trace")?
+                    .parse()
+                    .map_err(|_| "bad --trace".to_string())?
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    if out.warmup_secs >= out.secs {
+        return Err("--warmup must be smaller than --secs".to_string());
+    }
+    Ok(out)
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    format!(
+        "pi2sim — run a dumbbell scenario against an AQM\n\
+         \n\
+         options:\n\
+         \x20 --aqm <name>      one of {} (default pi2)\n\
+         \x20 --rate <bps>      bottleneck rate, e.g. 10M, 400k, 1G (default 10M)\n\
+         \x20 --rtt <time>      base RTT, e.g. 100ms (default 100ms)\n\
+         \x20 --flows <list>    e.g. 5xreno or 1xcubic,1xdctcp (default 5xreno)\n\
+         \x20 --udp <bps>       add one CBR source at this rate\n\
+         \x20 --secs <n>        run length (default 60)\n\
+         \x20 --warmup <n>      warm-up excluded from stats (default 10)\n\
+         \x20 --seed <n>        RNG seed (default 1)\n\
+         \x20 --target <time>   AQM delay target (default 20ms)\n\
+         \x20 --csv             also print the (t, queue delay ms) series as CSV\n\
+         \x20 --trace <n>       print the first n per-packet bottleneck events",
+        AQMS.join("|")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn rates_parse_with_units() {
+        assert_eq!(parse_rate("10M").unwrap(), 10_000_000);
+        assert_eq!(parse_rate("400k").unwrap(), 400_000);
+        assert_eq!(parse_rate("2.5G").unwrap(), 2_500_000_000);
+        assert_eq!(parse_rate("9000").unwrap(), 9000);
+        assert!(parse_rate("fast").is_err());
+        assert!(parse_rate("-3M").is_err());
+    }
+
+    #[test]
+    fn times_parse_with_units() {
+        assert_eq!(parse_time("20ms").unwrap(), Duration::from_millis(20));
+        assert_eq!(parse_time("1s").unwrap(), Duration::from_secs(1));
+        assert_eq!(parse_time("500us").unwrap(), Duration::from_micros(500));
+        assert_eq!(parse_time("15").unwrap(), Duration::from_millis(15));
+        assert!(parse_time("soon").is_err());
+    }
+
+    #[test]
+    fn flow_lists_parse() {
+        let f = parse_flows("5xreno,1xdctcp").unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].count, 5);
+        assert_eq!(f[0].cc, CcKind::Reno);
+        assert_eq!(f[1].count, 1);
+        assert_eq!(f[1].ecn, EcnSetting::Scalable);
+        // Bare name means one flow.
+        let f = parse_flows("cubic").unwrap();
+        assert_eq!(f[0].count, 1);
+        assert!(parse_flows("3xwarpspeed").is_err());
+        assert!(parse_flows("").is_err());
+    }
+
+    #[test]
+    fn full_command_line_parses() {
+        let a = parse_args(&args(
+            "--aqm coupled --rate 40M --rtt 10ms --flows 1xcubic,1xdctcp --secs 30 --seed 7 --trace 50",
+        ))
+        .unwrap();
+        assert_eq!(a.trace, 50);
+        assert_eq!(a.aqm, "coupled");
+        assert_eq!(a.rate_bps, 40_000_000);
+        assert_eq!(a.rtt, Duration::from_millis(10));
+        assert_eq!(a.flows.len(), 2);
+        assert_eq!(a.secs, 30);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn bad_aqm_is_rejected_with_the_list() {
+        let e = parse_args(&args("--aqm wred")).unwrap_err();
+        assert!(e.contains("unknown AQM"));
+        assert!(e.contains("pi2"));
+    }
+
+    #[test]
+    fn warmup_must_be_shorter_than_run() {
+        assert!(parse_args(&args("--secs 10 --warmup 20")).is_err());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.aqm, "pi2");
+        assert_eq!(a.rate_bps, 10_000_000);
+        assert!(!a.csv);
+    }
+}

@@ -1,0 +1,103 @@
+//! # pi2-bench — figure regeneration and microbenchmarks
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` for the
+//! index), e.g.
+//!
+//! ```text
+//! cargo run -p pi2-bench --release --bin fig06_varying_intensity_100m
+//! cargo run -p pi2-bench --release --bin fig15_rate_balance_grid
+//! cargo run -p pi2-bench --release --bin grid_all     # figs 15–18 in one run
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `PI2_SECS=<n>` — per-run duration for the grid/combination sweeps
+//!   (default 60; lower it for a quick pass);
+//! * `PI2_SEED=<n>` — override the experiment seed.
+//!
+//! Criterion microbenches (`cargo bench -p pi2-bench`) measure the
+//! per-packet drop-decision cost of PIE vs PI2 (the paper's "less
+//! computationally expensive" claim) and raw simulator throughput.
+
+use pi2_stats::{format_table, Align};
+
+/// Read the per-run duration knob.
+pub fn run_secs(default: u64) -> u64 {
+    std::env::var("PI2_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read the seed knob.
+pub fn seed(default: u64) -> u64 {
+    std::env::var("PI2_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Print a standard experiment header with the Table 1 defaults in force.
+pub fn header(figure: &str, what: &str) {
+    println!("== {figure}: {what}");
+    println!(
+        "   defaults (paper Table 1): target 20 ms, T = 32 ms, buffer 40000 pkt, \
+         PIE α=2/16 β=20/16, PI2 α=5/16 β=50/16, coupled-PI α=10/16 β=100/16, k=2"
+    );
+    println!();
+}
+
+/// Print rows as an aligned table with the first column left-aligned.
+pub fn table(rows: &[Vec<String>]) {
+    print!("{}", format_table(rows, &[Align::Left]));
+    println!();
+}
+
+/// Format a float with sensible width.
+pub fn f(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Render a `(t, v)` series as a compact sparkline-style row of values at
+/// the given stride, for eyeballing time series in a terminal.
+pub fn series_row(series: &[(f64, f64)], stride: usize) -> String {
+    series
+        .iter()
+        .step_by(stride.max(1))
+        .map(|&(_, v)| format!("{v:.0}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_fall_back_to_defaults() {
+        std::env::remove_var("PI2_SECS");
+        assert_eq!(run_secs(60), 60);
+    }
+
+    #[test]
+    fn float_formatting_scales() {
+        assert_eq!(f(512.3), "512");
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(0.0123), "0.0123");
+    }
+
+    #[test]
+    fn series_row_strides() {
+        let s = vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)];
+        assert_eq!(series_row(&s, 2), "1 3");
+    }
+}
+
+pub mod cli;
+pub mod gridview;

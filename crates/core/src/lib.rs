@@ -1,0 +1,59 @@
+//! # pi2-aqm — the PI2 AQM and its baselines
+//!
+//! This crate is the paper's primary contribution plus everything it is
+//! compared against:
+//!
+//! * [`PiCore`] — the textbook Proportional-Integral controller of eq. (4),
+//!   shared by every controller here;
+//! * [`Pi`] — a fixed-gain PI applying its probability directly (the
+//!   oscillating `pi` curve of Figure 6, and the `scal pi` controller for
+//!   Scalable-only traffic);
+//! * [`Pie`] — the Linux/RFC 8033 PIE baseline with the stepwise "tune"
+//!   auto-scaling of Figure 5 and every heuristic individually switchable
+//!   (all off = the paper's "bare-PIE");
+//! * [`Pi2`] — the contribution: the same PI core driving a linear
+//!   pseudo-probability `p'`, squared at the drop/mark decision
+//!   (Figure 8), with constant gains 2.5× PIE's;
+//! * [`CoupledPi2`] — the single-queue coexistence AQM of Figure 9:
+//!   ECN-classifies packets, marks Scalable traffic with `p'` and
+//!   drops/marks Classic traffic with `(p'/k)²`, k = 2;
+//! * [`DualPi2`] — the two-queue DualQ Coupled extension (the paper's
+//!   Section 7 destination, the RFC 9332 direction): near-priority
+//!   L queue with native ramp marking, C queue under PI2;
+//! * baselines and comparators: [`Red`], [`Codel`], [`CurvyRed`] (the
+//!   DualQ draft's example AQM), [`FqDrr`] per-flow queuing,
+//!   [`StepMark`] (the original DCTCP step threshold, for the
+//!   eq. (11)/(12) exponent demonstration), and [`FixedProb`] for
+//!   steady-state law validation.
+//!
+//! Single-queue policies implement [`pi2_netsim::Aqm`] and attach to the
+//! FIFO bottleneck; structured schemes ([`DualPi2`], [`FqDrr`])
+//! implement [`pi2_netsim::Qdisc`] and replace the queue outright.
+//! A conformance suite (`tests/conformance.rs`) holds every policy to
+//! the same behavioural contracts.
+
+pub mod codel;
+pub mod coupled;
+pub mod curvy;
+pub mod dualq;
+pub mod fixed;
+pub mod fq;
+pub mod estimator;
+pub mod pi;
+pub mod pi2;
+pub mod pie;
+pub mod red;
+pub mod step;
+
+pub use codel::{Codel, CodelConfig};
+pub use coupled::{CoupledPi2, CoupledPi2Config};
+pub use curvy::{CurvyRed, CurvyRedConfig};
+pub use dualq::{DualPi2, DualPi2Config};
+pub use estimator::{DelayEstimator, RateEstimator};
+pub use fixed::FixedProb;
+pub use fq::{FqConfig, FqDrr};
+pub use pi::{Pi, PiConfig, PiCore};
+pub use pi2::{Pi2, Pi2Config, SquareMode};
+pub use pie::{Pie, PieConfig, TUNE_TABLE};
+pub use red::{Red, RedConfig};
+pub use step::{StepMark, StepMarkConfig};

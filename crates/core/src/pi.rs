@@ -1,0 +1,341 @@
+//! The Proportional-Integral core (paper eq. (4)) and the plain PI AQM.
+//!
+//! Every controller in this crate is built around the same two-term
+//! update, run every interval `T`:
+//!
+//! ```text
+//! p(t) = p(t−T) + α·(τ(t) − τ₀) + β·(τ(t) − τ(t−T))
+//! ```
+//!
+//! where `τ` is the queuing delay, `τ₀` the target, and α, β gains in Hz.
+//! The proportional term (β) pushes against queue *growth*; the integral
+//! term (α) removes the standing error. What differs between PIE, PI and
+//! PI2 is only (a) how the gains are scaled and (b) how the controlled
+//! variable is encoded into a drop/mark probability.
+
+use crate::estimator::DelayEstimator;
+use pi2_netsim::{Aqm, Decision, Packet, QueueSnapshot};
+use pi2_simcore::{Duration, Rng, Time};
+
+/// The shared PI state machine.
+///
+/// ```
+/// use pi2_aqm::PiCore;
+/// use pi2_simcore::Duration;
+/// let mut pi = PiCore::new(0.3125, 3.125, Duration::from_millis(20), Duration::from_millis(32));
+/// // Queue delay above target: the probability must rise.
+/// let p1 = pi.update(Duration::from_millis(30));
+/// let p2 = pi.update(Duration::from_millis(30));
+/// assert!(p2 > p1 && p1 > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PiCore {
+    /// Integral gain α in Hz.
+    pub alpha_hz: f64,
+    /// Proportional gain β in Hz.
+    pub beta_hz: f64,
+    /// Queuing-delay target τ₀.
+    pub target: Duration,
+    /// Update interval T.
+    pub t_update: Duration,
+    prev_qdelay: Duration,
+    p: f64,
+}
+
+impl PiCore {
+    /// Create a PI core with probability 0 and no delay history.
+    pub fn new(alpha_hz: f64, beta_hz: f64, target: Duration, t_update: Duration) -> Self {
+        assert!(alpha_hz > 0.0 && beta_hz > 0.0, "gains must be positive");
+        assert!(t_update > Duration::ZERO, "update interval must be positive");
+        PiCore {
+            alpha_hz,
+            beta_hz,
+            target,
+            t_update,
+            prev_qdelay: Duration::ZERO,
+            p: 0.0,
+        }
+    }
+
+    /// The current controlled variable, in `[0, 1]`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Force the controlled variable (used by PIE's heuristics).
+    pub fn set_p(&mut self, p: f64) {
+        self.p = p.clamp(0.0, 1.0);
+    }
+
+    /// The raw Δp eq. (4) would apply for the given delay, *without*
+    /// integrating it — callers scale it first (PIE's tune) or just add it.
+    pub fn delta(&self, qdelay: Duration) -> f64 {
+        let err = (qdelay - self.target).as_secs_f64();
+        let growth = (qdelay - self.prev_qdelay).as_secs_f64();
+        self.alpha_hz * err + self.beta_hz * growth
+    }
+
+    /// Integrate a (possibly scaled) Δp and record the delay history.
+    /// Returns the new controlled variable.
+    pub fn integrate(&mut self, delta: f64, qdelay: Duration) -> f64 {
+        self.p = (self.p + delta).clamp(0.0, 1.0);
+        self.prev_qdelay = qdelay;
+        self.p
+    }
+
+    /// Plain eq.-(4) update: integrate the unscaled delta.
+    pub fn update(&mut self, qdelay: Duration) -> f64 {
+        let d = self.delta(qdelay);
+        self.integrate(d, qdelay)
+    }
+
+    /// Previous update's queue delay (PIE's `qdelay_old`).
+    pub fn prev_qdelay(&self) -> Duration {
+        self.prev_qdelay
+    }
+}
+
+/// Configuration for the plain [`Pi`] AQM.
+#[derive(Clone, Copy, Debug)]
+pub struct PiConfig {
+    /// Integral gain α in Hz. Default: the paper's Scalable-PI gains
+    /// (Table 1, `PI/PI2+DCTCP`: α = 10/16).
+    pub alpha_hz: f64,
+    /// Proportional gain β in Hz (Table 1: β = 100/16).
+    pub beta_hz: f64,
+    /// Delay target τ₀ (Table 1: 20 ms).
+    pub target: Duration,
+    /// Update interval T (paper: 32 ms).
+    pub t_update: Duration,
+    /// Cap on the applied probability.
+    pub max_prob: f64,
+    /// Queue-delay estimation strategy.
+    pub estimator: DelayEstimator,
+}
+
+impl Default for PiConfig {
+    fn default() -> Self {
+        PiConfig {
+            alpha_hz: 10.0 / 16.0,
+            beta_hz: 100.0 / 16.0,
+            target: Duration::from_millis(20),
+            t_update: Duration::from_millis(32),
+            max_prob: 1.0,
+            estimator: DelayEstimator::QlenOverRate,
+        }
+    }
+}
+
+impl PiConfig {
+    /// The fixed-gain configuration of Figure 6's `pi` curve: PIE's gains
+    /// (α = 0.125, β = 1.25) with auto-tuning removed — the straw man that
+    /// oscillates at low load.
+    pub fn untuned_pie_gains() -> Self {
+        PiConfig {
+            alpha_hz: 0.125,
+            beta_hz: 1.25,
+            ..PiConfig::default()
+        }
+    }
+}
+
+/// A plain PI controller applying its probability directly to every
+/// packet: marks ECN-capable packets, drops the rest.
+///
+/// With Scalable traffic this is the `scal pi` controller of Figure 7 —
+/// linear and stable. With Classic traffic and fixed gains it is the
+/// oscillating `pi` curve of Figure 6.
+#[derive(Clone, Copy, Debug)]
+pub struct Pi {
+    core: PiCore,
+    max_prob: f64,
+    estimator: DelayEstimator,
+}
+
+impl Pi {
+    /// Build from configuration.
+    pub fn new(cfg: PiConfig) -> Self {
+        Pi {
+            core: PiCore::new(cfg.alpha_hz, cfg.beta_hz, cfg.target, cfg.t_update),
+            max_prob: cfg.max_prob,
+            estimator: cfg.estimator,
+        }
+    }
+
+    /// Access the PI core (tests and experiments).
+    pub fn core(&self) -> &PiCore {
+        &self.core
+    }
+}
+
+impl Aqm for Pi {
+    fn on_enqueue(
+        &mut self,
+        pkt: &Packet,
+        _snap: &QueueSnapshot,
+        _now: Time,
+        rng: &mut Rng,
+    ) -> Decision {
+        let p = self.core.p().min(self.max_prob);
+        if rng.chance(p) {
+            if pkt.ecn.is_ect() {
+                Decision::mark(p)
+            } else {
+                Decision::drop(p)
+            }
+        } else {
+            Decision::pass(p)
+        }
+    }
+
+    fn on_dequeue(&mut self, pkt: &Packet, _sojourn: Duration, snap: &QueueSnapshot, now: Time) {
+        self.estimator.on_dequeue(pkt.size, snap.qlen_bytes, now);
+    }
+
+    fn update(&mut self, snap: &QueueSnapshot, _now: Time) {
+        let qdelay = self.estimator.estimate(snap);
+        self.core.update(qdelay);
+    }
+
+    fn update_interval(&self) -> Option<Duration> {
+        Some(self.core.t_update)
+    }
+
+    fn control_variable(&self) -> f64 {
+        self.core.p()
+    }
+
+    fn name(&self) -> &'static str {
+        "pi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_netsim::{Ecn, FlowId};
+
+    fn snap(qlen_bytes: usize) -> QueueSnapshot {
+        QueueSnapshot {
+            qlen_bytes,
+            qlen_pkts: qlen_bytes / 1500,
+            link_rate_bps: 10_000_000,
+            last_sojourn: None,
+        }
+    }
+
+    fn core() -> PiCore {
+        PiCore::new(
+            0.3125,
+            3.125,
+            Duration::from_millis(20),
+            Duration::from_millis(32),
+        )
+    }
+
+    #[test]
+    fn p_starts_at_zero_and_stays_bounded() {
+        let mut c = core();
+        assert_eq!(c.p(), 0.0);
+        for _ in 0..10_000 {
+            c.update(Duration::from_secs(10)); // absurd delay
+        }
+        assert_eq!(c.p(), 1.0);
+        for _ in 0..10_000 {
+            c.update(Duration::ZERO);
+        }
+        assert_eq!(c.p(), 0.0);
+    }
+
+    #[test]
+    fn integral_term_raises_p_on_standing_error() {
+        let mut c = core();
+        // Constant delay above target: first update has a growth term,
+        // later ones only the integral part.
+        let d1 = c.update(Duration::from_millis(30));
+        let d2 = c.update(Duration::from_millis(30));
+        let d3 = c.update(Duration::from_millis(30));
+        assert!(d1 > 0.0);
+        // Steady error of 10 ms: Δp = α·0.01 each tick.
+        assert!(((d3 - d2) - 0.3125 * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_term_reacts_to_growth() {
+        let mut c = core();
+        // Delay at target (no integral error) but growing by 5 ms per tick.
+        c.update(Duration::from_millis(20));
+        let before = c.p();
+        let after = c.update(Duration::from_millis(25));
+        // err = 5ms·α, growth = 5ms·β.
+        let expect = 0.3125 * 0.005 + 3.125 * 0.005;
+        assert!(((after - before) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_error_pulls_p_down() {
+        let mut c = core();
+        c.set_p(0.5);
+        c.update(Duration::from_millis(20)); // prime history at target
+        let p1 = c.p();
+        let p2 = c.update(Duration::from_millis(5)); // below target, shrinking
+        assert!(p2 < p1);
+    }
+
+    #[test]
+    fn pi_aqm_marks_ect_and_drops_not_ect() {
+        let mut pi = Pi::new(PiConfig::default());
+        pi.core.set_p(1.0);
+        let mut rng = Rng::new(3);
+        let s = snap(30_000);
+        let ect = Packet::data(FlowId(0), 0, 1500, Ecn::Ect1, Time::ZERO);
+        let not = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+        let d1 = pi.on_enqueue(&ect, &s, Time::ZERO, &mut rng);
+        let d2 = pi.on_enqueue(&not, &s, Time::ZERO, &mut rng);
+        assert_eq!(d1.action, pi2_netsim::Action::Mark);
+        assert_eq!(d2.action, pi2_netsim::Action::Drop);
+    }
+
+    #[test]
+    fn pi_aqm_signal_frequency_tracks_p() {
+        let mut pi = Pi::new(PiConfig::default());
+        pi.core.set_p(0.3);
+        let mut rng = Rng::new(5);
+        let s = snap(30_000);
+        let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::Ect1, Time::ZERO);
+        let n = 100_000;
+        let marks = (0..n)
+            .filter(|_| {
+                pi.on_enqueue(&pkt, &s, Time::ZERO, &mut rng).action == pi2_netsim::Action::Mark
+            })
+            .count();
+        let f = marks as f64 / n as f64;
+        assert!((f - 0.3).abs() < 0.01, "mark frequency {f}");
+    }
+
+    #[test]
+    fn max_prob_caps_decisions() {
+        let mut pi = Pi::new(PiConfig {
+            max_prob: 0.25,
+            ..PiConfig::default()
+        });
+        pi.core.set_p(1.0);
+        let mut rng = Rng::new(7);
+        let s = snap(30_000);
+        let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+        let n = 100_000;
+        let drops = (0..n)
+            .filter(|_| {
+                pi.on_enqueue(&pkt, &s, Time::ZERO, &mut rng).action == pi2_netsim::Action::Drop
+            })
+            .count();
+        let f = drops as f64 / n as f64;
+        assert!((f - 0.25).abs() < 0.01, "drop frequency {f}");
+    }
+
+    #[test]
+    fn update_interval_matches_config() {
+        let pi = Pi::new(PiConfig::default());
+        assert_eq!(pi.update_interval(), Some(Duration::from_millis(32)));
+    }
+}

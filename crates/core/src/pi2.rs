@@ -1,0 +1,314 @@
+//! The PI2 AQM (paper Section 4–5, Figure 8).
+//!
+//! PI2's insight: run the PI controller of eq. (4) on a pseudo-probability
+//! `p'` that is *linear* in load (for Classic TCP, load ∝ √p, so
+//! `p' = √p`), then square it at the drop/mark decision, `p = p'²`. The
+//! squaring counterbalances the square root in the Classic window law, so
+//! the loop gain no longer varies diagonally with load (Figure 7) and:
+//!
+//! * the heuristic tune table disappears — constant α and β suffice;
+//! * the flat gain margin leaves room to raise the gains ×2.5 over PIE
+//!   (total loop gain ≈ ×3.5, since `K_PI2/K_PIE ≈ 2.5·√2`), making PI2
+//!   more responsive without instability.
+//!
+//! The squaring itself can be computed two ways (Section 5): multiply `p'`
+//! by itself, or compare `p'` against the **maximum of two** pseudo-random
+//! variables — "think once to mark, think twice to drop". Both are
+//! provided; a test asserts they agree in distribution.
+
+use crate::estimator::DelayEstimator;
+use crate::pi::PiCore;
+use pi2_netsim::{Aqm, Decision, Packet, QueueSnapshot};
+use pi2_simcore::{Duration, Rng, Time};
+
+/// How the squared decision is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SquareMode {
+    /// Compute `p'²` and compare one random variable (natural in software).
+    Multiply,
+    /// Compare `p'` against `max(Y₁, Y₂)` of two random variables (natural
+    /// in hardware; needs only half the random bits per variable).
+    TwoCompare,
+}
+
+/// PI2 configuration (defaults: Figure 6/7's α = 0.3125, β = 3.125 —
+/// 2.5× the PIE gains — target 20 ms, T = 32 ms).
+#[derive(Clone, Copy, Debug)]
+pub struct Pi2Config {
+    /// Delay target τ₀.
+    pub target: Duration,
+    /// Update interval T.
+    pub t_update: Duration,
+    /// Integral gain α in Hz (on the *linear* variable `p'`).
+    pub alpha_hz: f64,
+    /// Proportional gain β in Hz.
+    pub beta_hz: f64,
+    /// Cap on the applied Classic probability (the paper replaces PIE's
+    /// overload heuristics with a flat 25 % maximum; tail-drop handles
+    /// anything beyond it).
+    pub max_classic_prob: f64,
+    /// Squaring implementation.
+    pub square_mode: SquareMode,
+    /// Queue-delay estimation strategy.
+    pub estimator: DelayEstimator,
+}
+
+impl Default for Pi2Config {
+    fn default() -> Self {
+        Pi2Config {
+            target: Duration::from_millis(20),
+            t_update: Duration::from_millis(32),
+            alpha_hz: 0.3125,
+            beta_hz: 3.125,
+            max_classic_prob: 0.25,
+            square_mode: SquareMode::Multiply,
+            estimator: DelayEstimator::QlenOverRate,
+        }
+    }
+}
+
+/// The standalone PI2 AQM for Classic traffic (Figure 8).
+///
+/// Every packet receives the squared probability `(p')²`; ECN-capable
+/// packets are marked, others dropped. For mixed Classic/Scalable traffic
+/// use [`crate::CoupledPi2`], which adds the ECN classifier and coupling.
+///
+/// ```
+/// use pi2_aqm::{Pi2, Pi2Config};
+/// use pi2_netsim::{Aqm, QueueSnapshot};
+/// use pi2_simcore::{Duration, Time};
+///
+/// let mut aqm = Pi2::new(Pi2Config::default());
+/// let congested = QueueSnapshot {
+///     qlen_bytes: 75_000, // 60 ms at 10 Mb/s, target is 20 ms
+///     qlen_pkts: 50,
+///     link_rate_bps: 10_000_000,
+///     last_sojourn: None,
+/// };
+/// for _ in 0..100 {
+///     aqm.update(&congested, Time::ZERO); // one tick per T = 32 ms
+/// }
+/// // p' rose linearly; the applied probability is its square.
+/// assert!(aqm.p_prime() > 0.0);
+/// assert!((aqm.classic_prob() - (aqm.p_prime() * aqm.p_prime()).min(0.25)).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Pi2 {
+    cfg: Pi2Config,
+    core: PiCore,
+    estimator: DelayEstimator,
+    /// √(max_classic_prob), precomputed: the cap on p' (the per-packet
+    /// hot path must not take a square root).
+    pp_cap: f64,
+}
+
+impl Pi2 {
+    /// Build a PI2 instance.
+    pub fn new(cfg: Pi2Config) -> Self {
+        Pi2 {
+            cfg,
+            core: PiCore::new(cfg.alpha_hz, cfg.beta_hz, cfg.target, cfg.t_update),
+            estimator: cfg.estimator,
+            pp_cap: cfg.max_classic_prob.sqrt(),
+        }
+    }
+
+    /// The linear pseudo-probability `p'`.
+    pub fn p_prime(&self) -> f64 {
+        self.core.p()
+    }
+
+    /// The applied Classic probability `min((p')², cap)`.
+    pub fn classic_prob(&self) -> f64 {
+        (self.core.p() * self.core.p()).min(self.cfg.max_classic_prob)
+    }
+
+    /// Evaluate the squared Bernoulli decision for pseudo-probability `pp`
+    /// under the configured mode. Exposed for the distribution-equivalence
+    /// property test and the Criterion microbenches.
+    pub fn squared_signal(mode: SquareMode, pp: f64, rng: &mut Rng) -> bool {
+        match mode {
+            SquareMode::Multiply => rng.chance(pp * pp),
+            // P[max(Y1,Y2) < pp] = pp² for independent uniforms.
+            SquareMode::TwoCompare => {
+                let y1 = rng.next_f64();
+                let y2 = rng.next_f64();
+                y1.max(y2) < pp
+            }
+        }
+    }
+}
+
+impl Aqm for Pi2 {
+    fn on_enqueue(
+        &mut self,
+        pkt: &Packet,
+        snap: &QueueSnapshot,
+        _now: Time,
+        rng: &mut Rng,
+    ) -> Decision {
+        let p = self.classic_prob();
+        // Same tiny-queue guard as PIE (present in the Linux qdiscs).
+        if snap.qlen_pkts <= 2 {
+            return Decision::pass(p);
+        }
+        // Respect the cap exactly: clamp p' before squaring.
+        let pp_eff = self.core.p().min(self.pp_cap);
+        let signal = Self::squared_signal(self.cfg.square_mode, pp_eff, rng);
+        if signal {
+            if pkt.ecn.is_ect() {
+                Decision::mark(p)
+            } else {
+                Decision::drop(p)
+            }
+        } else {
+            Decision::pass(p)
+        }
+    }
+
+    fn on_dequeue(&mut self, pkt: &Packet, _sojourn: Duration, snap: &QueueSnapshot, now: Time) {
+        self.estimator.on_dequeue(pkt.size, snap.qlen_bytes, now);
+    }
+
+    fn update(&mut self, snap: &QueueSnapshot, _now: Time) {
+        // The whole point: one unscaled eq.-(4) update on p', nothing else.
+        let qdelay = self.estimator.estimate(snap);
+        self.core.update(qdelay);
+    }
+
+    fn update_interval(&self) -> Option<Duration> {
+        Some(self.cfg.t_update)
+    }
+
+    fn control_variable(&self) -> f64 {
+        self.core.p()
+    }
+
+    fn name(&self) -> &'static str {
+        "pi2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_netsim::{Action, Ecn, FlowId};
+
+    fn snap(qlen_bytes: usize) -> QueueSnapshot {
+        QueueSnapshot {
+            qlen_bytes,
+            qlen_pkts: qlen_bytes / 1500,
+            link_rate_bps: 10_000_000,
+            last_sojourn: None,
+        }
+    }
+
+    fn pi2_with_pp(pp: f64) -> Pi2 {
+        let mut a = Pi2::new(Pi2Config::default());
+        a.core.set_p(pp);
+        a
+    }
+
+    #[test]
+    fn default_gains_are_2_5x_pie() {
+        let cfg = Pi2Config::default();
+        assert!((cfg.alpha_hz / (2.0 / 16.0) - 2.5).abs() < 1e-12);
+        assert!((cfg.beta_hz / (20.0 / 16.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn applied_probability_is_square_of_p_prime() {
+        let a = pi2_with_pp(0.3);
+        assert!((a.classic_prob() - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_cap_limits_applied_probability() {
+        let a = pi2_with_pp(1.0);
+        assert_eq!(a.classic_prob(), 0.25);
+    }
+
+    #[test]
+    fn drop_frequency_matches_square() {
+        let mut a = pi2_with_pp(0.3);
+        let mut rng = Rng::new(11);
+        let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+        let s = snap(30_000);
+        let n = 200_000;
+        let drops = (0..n)
+            .filter(|_| a.on_enqueue(&pkt, &s, Time::ZERO, &mut rng).action == Action::Drop)
+            .count();
+        let f = drops as f64 / n as f64;
+        assert!((f - 0.09).abs() < 0.005, "drop frequency {f} vs 0.09");
+    }
+
+    #[test]
+    fn two_compare_mode_matches_multiply_in_distribution() {
+        let mut rng = Rng::new(13);
+        let n = 400_000;
+        for pp in [0.05, 0.3, 0.7] {
+            let mut hits = [0usize; 2];
+            for _ in 0..n {
+                if Pi2::squared_signal(SquareMode::Multiply, pp, &mut rng) {
+                    hits[0] += 1;
+                }
+                if Pi2::squared_signal(SquareMode::TwoCompare, pp, &mut rng) {
+                    hits[1] += 1;
+                }
+            }
+            let f0 = hits[0] as f64 / n as f64;
+            let f1 = hits[1] as f64 / n as f64;
+            assert!(
+                (f0 - f1).abs() < 0.01,
+                "modes diverge at pp={pp}: {f0} vs {f1}"
+            );
+            assert!((f0 - pp * pp).abs() < 0.01, "multiply off at pp={pp}: {f0}");
+        }
+    }
+
+    #[test]
+    fn ect_marked_not_dropped() {
+        let mut a = pi2_with_pp(1.0);
+        let mut rng = Rng::new(5);
+        let ect = Packet::data(FlowId(0), 0, 1500, Ecn::Ect0, Time::ZERO);
+        let s = snap(30_000);
+        for _ in 0..1000 {
+            let d = a.on_enqueue(&ect, &s, Time::ZERO, &mut rng);
+            assert_ne!(d.action, Action::Drop, "PI2 marks ECT packets");
+        }
+    }
+
+    #[test]
+    fn tiny_queue_guard() {
+        let mut a = pi2_with_pp(1.0);
+        let mut rng = Rng::new(5);
+        let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+        let d = a.on_enqueue(&pkt, &snap(3000), Time::ZERO, &mut rng);
+        assert_eq!(d.action, Action::Pass);
+    }
+
+    #[test]
+    fn update_is_the_plain_pi_equation() {
+        // PI2's update must have no tune scaling: two updates with a
+        // constant 30 ms delay raise p' by exactly α·err each (after the
+        // first which also sees the growth term).
+        let mut a = Pi2::new(Pi2Config::default());
+        let s = snap(37_500); // 30 ms at 10 Mb/s
+        a.update(&s, Time::ZERO);
+        let p1 = a.p_prime();
+        a.update(&s, Time::ZERO);
+        let p2 = a.p_prime();
+        let expect = 0.3125 * 0.010; // α · (30ms − 20ms)
+        assert!(((p2 - p1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_p_prime_drives_same_p_as_pie_would() {
+        // For the same Classic load the controller drives p' to √p, so the
+        // applied probability equals PIE's p. Emulate: target drop prob
+        // 0.04 -> p' must settle at 0.2.
+        let mut a = pi2_with_pp(0.2);
+        assert!((a.classic_prob() - 0.04).abs() < 1e-12);
+        let _ = &mut a;
+    }
+}

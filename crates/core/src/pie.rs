@@ -1,0 +1,513 @@
+//! The PIE AQM (Pan et al. 2013; RFC 8033; Linux `sch_pie`).
+//!
+//! PIE runs the PI core of eq. (4) directly on the drop probability `p`
+//! and compensates for the non-linear sensitivity of `p` at low load by
+//! scaling Δp with a stepwise "tune" lookup table ([`TUNE_TABLE`]) — the
+//! table Figure 5 shows tracking `√(2p)`. On top of that the Linux
+//! implementation carries the heuristics listed in Section 5 of the paper;
+//! each is individually switchable here so that the paper's three PIE
+//! variants can all be expressed:
+//!
+//! * [`PieConfig::linux_default`] — full Linux PIE;
+//! * [`PieConfig::paper_default`] — full PIE with the ECN-drop-above-10 %
+//!   rule reworked as in the paper's evaluation;
+//! * [`PieConfig::bare`] — "bare-PIE": tune only, all heuristics off.
+
+use crate::estimator::DelayEstimator;
+use crate::pi::PiCore;
+use pi2_netsim::{Aqm, Decision, Packet, QueueSnapshot};
+use pi2_simcore::{Duration, Rng, Time};
+
+/// The stepwise Δp scaling of RFC 8033 §4.2 (extended during IETF review
+/// down to 0.0001 % — the paper's Figure 5). Rows are
+/// `(upper bound on p, divisor)`: while `p` is below the bound, Δp is
+/// divided by the divisor.
+pub const TUNE_TABLE: &[(f64, f64)] = &[
+    (0.000001, 2048.0),
+    (0.00001, 512.0),
+    (0.0001, 128.0),
+    (0.001, 32.0),
+    (0.01, 8.0),
+    (0.1, 2.0),
+];
+
+/// The auto-tune factor for a given probability: `1/divisor`, or 1 above
+/// 10 %. This is the stepped curve of Figure 5.
+pub fn tune_factor(p: f64) -> f64 {
+    for &(bound, div) in TUNE_TABLE {
+        if p < bound {
+            return 1.0 / div;
+        }
+    }
+    1.0
+}
+
+/// How Δp is scaled before integration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TuneMode {
+    /// The RFC 8033 lookup table (Figure 5's `tune=auto`).
+    Auto,
+    /// A fixed factor (Figure 4's `tune=1`, `½`, `⅛` curves).
+    Fixed(f64),
+}
+
+/// PIE configuration. Field defaults follow the paper's Table 1 where the
+/// paper specifies a value, and RFC 8033 / Linux otherwise.
+#[derive(Clone, Copy, Debug)]
+pub struct PieConfig {
+    /// Delay target τ₀ (Table 1: 20 ms).
+    pub target: Duration,
+    /// Update interval T (paper: 32 ms).
+    pub t_update: Duration,
+    /// Integral gain α (Table 1: 2/16 Hz).
+    pub alpha_hz: f64,
+    /// Proportional gain β (Table 1: 20/16 Hz).
+    pub beta_hz: f64,
+    /// Δp scaling mode.
+    pub tune: TuneMode,
+    /// Burst allowance (Table 1: 100 ms); `None` disables the heuristic.
+    pub max_burst: Option<Duration>,
+    /// Heuristic: no drop/mark while `p < 20 %` and the delay estimate is
+    /// below half the target.
+    pub suppress_when_light: bool,
+    /// Heuristic: drop (rather than mark) ECN packets once `p` exceeds
+    /// this threshold. Linux: `Some(0.1)`. The paper's evaluation reworked
+    /// this rule away (`None` = always mark ECT packets).
+    pub ecn_drop_above: Option<f64>,
+    /// Heuristic: clamp Δp to 2 % while `p > 10 %`.
+    pub clamp_delta: bool,
+    /// Heuristic: force Δp = 2 % when the delay estimate exceeds 250 ms.
+    pub qdelay_high_rule: bool,
+    /// Exponential decay of `p` while the queue is idle (RFC 8033 §4.2).
+    pub idle_decay: bool,
+    /// Queue-delay estimation strategy (Linux PIE: departure-rate).
+    pub estimator: DelayEstimator,
+}
+
+impl PieConfig {
+    /// Full Linux PIE with the paper's Table 1 parameters.
+    pub fn linux_default() -> Self {
+        PieConfig {
+            target: Duration::from_millis(20),
+            t_update: Duration::from_millis(32),
+            alpha_hz: 2.0 / 16.0,
+            beta_hz: 20.0 / 16.0,
+            tune: TuneMode::Auto,
+            max_burst: Some(Duration::from_millis(100)),
+            suppress_when_light: true,
+            ecn_drop_above: Some(0.1),
+            clamp_delta: true,
+            qdelay_high_rule: true,
+            idle_decay: true,
+            estimator: DelayEstimator::linux_default(),
+        }
+    }
+
+    /// The PIE variant the paper evaluates: full Linux heuristics, but the
+    /// "drop ECN above 10 %" rule removed so ECT packets are always marked
+    /// (avoiding the discontinuity in the Classic/Scalable rate ratio).
+    pub fn paper_default() -> Self {
+        PieConfig {
+            ecn_drop_above: None,
+            ..PieConfig::linux_default()
+        }
+    }
+
+    /// "bare-PIE": the tune table (which is PIE's essence) with every
+    /// extra heuristic disabled. The paper reports bare-PIE and full PIE
+    /// were indistinguishable in all its experiments.
+    pub fn bare() -> Self {
+        PieConfig {
+            max_burst: None,
+            suppress_when_light: false,
+            ecn_drop_above: None,
+            clamp_delta: false,
+            qdelay_high_rule: false,
+            ..PieConfig::linux_default()
+        }
+    }
+}
+
+impl Default for PieConfig {
+    fn default() -> Self {
+        PieConfig::paper_default()
+    }
+}
+
+/// The PIE AQM.
+#[derive(Clone, Copy, Debug)]
+pub struct Pie {
+    cfg: PieConfig,
+    core: PiCore,
+    estimator: DelayEstimator,
+    burst_allowance: Duration,
+    qdelay: Duration,
+}
+
+impl Pie {
+    /// Build a PIE instance.
+    pub fn new(cfg: PieConfig) -> Self {
+        Pie {
+            cfg,
+            core: PiCore::new(cfg.alpha_hz, cfg.beta_hz, cfg.target, cfg.t_update),
+            estimator: cfg.estimator,
+            burst_allowance: cfg.max_burst.unwrap_or(Duration::ZERO),
+            qdelay: Duration::ZERO,
+        }
+    }
+
+    /// Current drop probability.
+    pub fn prob(&self) -> f64 {
+        self.core.p()
+    }
+
+    /// Current queue-delay estimate (as of the last update).
+    pub fn qdelay(&self) -> Duration {
+        self.qdelay
+    }
+}
+
+impl Aqm for Pie {
+    fn on_enqueue(
+        &mut self,
+        pkt: &Packet,
+        snap: &QueueSnapshot,
+        _now: Time,
+        rng: &mut Rng,
+    ) -> Decision {
+        let p = self.core.p();
+        // RFC 8033 §4.1 safeguards.
+        if self.burst_allowance > Duration::ZERO {
+            return Decision::pass(p);
+        }
+        if self.cfg.suppress_when_light && p < 0.2 && self.core.prev_qdelay() < self.cfg.target / 2
+        {
+            return Decision::pass(p);
+        }
+        // Never drop when the queue holds no more than a couple of packets
+        // (protects tiny windows; present in both Linux PIE and PI2).
+        if snap.qlen_pkts <= 2 {
+            return Decision::pass(p);
+        }
+        if rng.chance(p) {
+            let may_mark = pkt.ecn.is_ect()
+                && match self.cfg.ecn_drop_above {
+                    Some(th) => p <= th,
+                    None => true,
+                };
+            if may_mark {
+                Decision::mark(p)
+            } else {
+                Decision::drop(p)
+            }
+        } else {
+            Decision::pass(p)
+        }
+    }
+
+    fn on_dequeue(&mut self, pkt: &Packet, _sojourn: Duration, snap: &QueueSnapshot, now: Time) {
+        self.estimator.on_dequeue(pkt.size, snap.qlen_bytes, now);
+    }
+
+    fn update(&mut self, snap: &QueueSnapshot, _now: Time) {
+        let qdelay = self.estimator.estimate(snap);
+        let qdelay_old = self.core.prev_qdelay();
+        let p = self.core.p();
+
+        let mut delta = self.core.delta(qdelay);
+        match self.cfg.tune {
+            TuneMode::Auto => delta *= tune_factor(p),
+            TuneMode::Fixed(f) => delta *= f,
+        }
+        if self.cfg.qdelay_high_rule && qdelay > Duration::from_millis(250) {
+            delta = 0.02;
+        }
+        if self.cfg.clamp_delta && p >= 0.1 && delta > 0.02 {
+            delta = 0.02;
+        }
+        self.core.integrate(delta, qdelay);
+
+        if self.cfg.idle_decay && qdelay == Duration::ZERO && qdelay_old == Duration::ZERO {
+            self.core.set_p(self.core.p() * 0.98);
+        }
+
+        // Burst-allowance bookkeeping (RFC 8033 §4.2).
+        if let Some(max_burst) = self.cfg.max_burst {
+            if self.burst_allowance > Duration::ZERO {
+                self.burst_allowance =
+                    (self.burst_allowance - self.cfg.t_update).max(Duration::ZERO);
+            }
+            if self.core.p() == 0.0
+                && qdelay < self.cfg.target / 2
+                && qdelay_old < self.cfg.target / 2
+            {
+                self.burst_allowance = max_burst;
+            }
+        }
+        self.qdelay = qdelay;
+    }
+
+    fn update_interval(&self) -> Option<Duration> {
+        Some(self.cfg.t_update)
+    }
+
+    fn control_variable(&self) -> f64 {
+        self.core.p()
+    }
+
+    fn name(&self) -> &'static str {
+        "pie"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_netsim::{Action, Ecn, FlowId};
+
+    fn snap(qlen_bytes: usize) -> QueueSnapshot {
+        QueueSnapshot {
+            qlen_bytes,
+            qlen_pkts: qlen_bytes / 1500,
+            link_rate_bps: 10_000_000,
+            last_sojourn: None,
+        }
+    }
+
+    fn pie_with_p(p: f64) -> Pie {
+        let mut pie = Pie::new(PieConfig {
+            max_burst: None,
+            suppress_when_light: false,
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        pie.core.set_p(p);
+        pie
+    }
+
+    #[test]
+    fn tune_table_matches_figure_5_steps() {
+        assert_eq!(tune_factor(1e-7), 1.0 / 2048.0);
+        assert_eq!(tune_factor(5e-6), 1.0 / 512.0);
+        assert_eq!(tune_factor(5e-5), 1.0 / 128.0);
+        assert_eq!(tune_factor(5e-4), 1.0 / 32.0);
+        assert_eq!(tune_factor(5e-3), 1.0 / 8.0);
+        assert_eq!(tune_factor(0.05), 1.0 / 2.0);
+        assert_eq!(tune_factor(0.5), 1.0);
+    }
+
+    #[test]
+    fn tune_table_tracks_sqrt_2p() {
+        // Figure 5's claim: the stepped factor broadly fits √(2p). Check
+        // each step's midpoint (geometric) is within a factor ~2.1 of the
+        // continuous curve — the step quantization itself is a factor 2.
+        for w in TUNE_TABLE.windows(2) {
+            let (lo, _) = w[0];
+            let (hi, div) = w[1];
+            let mid = (lo * hi).sqrt();
+            let continuous = (2.0 * mid).sqrt();
+            let stepped = 1.0 / div;
+            let ratio = stepped / continuous;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "step at p={mid:e}: stepped {stepped:e} vs sqrt(2p) {continuous:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_allowance_suppresses_early_drops() {
+        let mut pie = Pie::new(PieConfig {
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        pie.core.set_p(0.9);
+        let mut rng = Rng::new(1);
+        let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+        for _ in 0..100 {
+            let d = pie.on_enqueue(&pkt, &snap(30_000), Time::ZERO, &mut rng);
+            assert_eq!(d.action, Action::Pass, "burst allowance must suppress drops");
+        }
+    }
+
+    #[test]
+    fn burst_allowance_expires_after_updates() {
+        let mut pie = Pie::new(PieConfig {
+            suppress_when_light: false,
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        // 100 ms / 32 ms = 4 updates to drain; keep qdelay high so it is
+        // not refilled and p grows.
+        for _ in 0..5 {
+            pie.update(&snap(300_000), Time::ZERO);
+        }
+        pie.core.set_p(1.0);
+        let mut rng = Rng::new(1);
+        let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+        let d = pie.on_enqueue(&pkt, &snap(300_000), Time::ZERO, &mut rng);
+        assert_eq!(d.action, Action::Drop);
+    }
+
+    #[test]
+    fn light_load_suppression_rule() {
+        let mut pie = Pie::new(PieConfig {
+            max_burst: None,
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        pie.core.set_p(0.19);
+        // prev_qdelay is zero (< target/2), p < 0.2 -> no drops at all.
+        let mut rng = Rng::new(1);
+        let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+        for _ in 0..1000 {
+            let d = pie.on_enqueue(&pkt, &snap(30_000), Time::ZERO, &mut rng);
+            assert_eq!(d.action, Action::Pass);
+        }
+    }
+
+    #[test]
+    fn ecn_marked_below_threshold_dropped_above() {
+        let mut rng = Rng::new(1);
+        let ect = Packet::data(FlowId(0), 0, 1500, Ecn::Ect0, Time::ZERO);
+        // p = 0.05 <= 0.1: ECT gets marks.
+        let mut pie = pie_with_p(1.0);
+        pie.cfg.ecn_drop_above = Some(0.1);
+        pie.core.set_p(0.05);
+        let mut saw_mark = false;
+        for _ in 0..1000 {
+            let d = pie.on_enqueue(&ect, &snap(30_000), Time::ZERO, &mut rng);
+            assert_ne!(d.action, Action::Drop);
+            saw_mark |= d.action == Action::Mark;
+        }
+        assert!(saw_mark);
+        // p = 0.5 > 0.1: ECT gets dropped.
+        pie.core.set_p(0.5);
+        let mut saw_drop = false;
+        for _ in 0..1000 {
+            let d = pie.on_enqueue(&ect, &snap(30_000), Time::ZERO, &mut rng);
+            assert_ne!(d.action, Action::Mark);
+            saw_drop |= d.action == Action::Drop;
+        }
+        assert!(saw_drop);
+    }
+
+    #[test]
+    fn paper_rework_always_marks_ect() {
+        let mut pie = Pie::new(PieConfig {
+            max_burst: None,
+            suppress_when_light: false,
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::paper_default()
+        });
+        pie.core.set_p(0.9);
+        let mut rng = Rng::new(1);
+        let ect = Packet::data(FlowId(0), 0, 1500, Ecn::Ect1, Time::ZERO);
+        for _ in 0..1000 {
+            let d = pie.on_enqueue(&ect, &snap(30_000), Time::ZERO, &mut rng);
+            assert_ne!(d.action, Action::Drop, "reworked PIE never drops ECT");
+        }
+    }
+
+    #[test]
+    fn tiny_queue_never_dropped() {
+        let mut pie = pie_with_p(1.0);
+        let mut rng = Rng::new(1);
+        let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+        let d = pie.on_enqueue(&pkt, &snap(3000), Time::ZERO, &mut rng); // 2 pkts
+        assert_eq!(d.action, Action::Pass);
+    }
+
+    #[test]
+    fn delta_clamp_limits_growth_at_high_p() {
+        let mut pie = Pie::new(PieConfig {
+            max_burst: None,
+            suppress_when_light: false,
+            qdelay_high_rule: false,
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        pie.core.set_p(0.5);
+        // Enormous delay: unclamped delta would exceed 2%.
+        pie.update(&snap(2_000_000), Time::ZERO);
+        assert!(pie.prob() <= 0.52 + 1e-9, "p jumped to {}", pie.prob());
+    }
+
+    #[test]
+    fn qdelay_high_rule_forces_two_percent_steps() {
+        // Heuristic 5: when the delay estimate exceeds 250 ms, Δp is set
+        // to 2% regardless of what eq. (4) would produce.
+        let mut pie = Pie::new(PieConfig {
+            max_burst: None,
+            suppress_when_light: false,
+            clamp_delta: false,
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        // 400 ms of backlog at 10 Mb/s = 500 kB.
+        pie.update(&snap(500_000), Time::ZERO);
+        assert!((pie.prob() - 0.02).abs() < 1e-12, "p = {}", pie.prob());
+        pie.update(&snap(500_000), Time::ZERO);
+        assert!((pie.prob() - 0.04).abs() < 1e-12, "p = {}", pie.prob());
+        // Without the rule, the same state produces a (tuned) eq.-(4)
+        // delta instead.
+        let mut bare = Pie::new(PieConfig {
+            max_burst: None,
+            suppress_when_light: false,
+            clamp_delta: false,
+            qdelay_high_rule: false,
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        bare.update(&snap(500_000), Time::ZERO);
+        assert!(bare.prob() != 0.02);
+    }
+
+    #[test]
+    fn idle_decay_drains_p() {
+        let mut pie = Pie::new(PieConfig {
+            max_burst: None,
+            suppress_when_light: false,
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        pie.core.set_p(0.4);
+        pie.update(&snap(0), Time::ZERO); // sets prev=0
+        let p1 = pie.prob();
+        pie.update(&snap(0), Time::ZERO); // idle decay active
+        let p2 = pie.prob();
+        assert!(p2 < p1, "idle decay should shrink p: {p1} -> {p2}");
+    }
+
+    #[test]
+    fn auto_tune_slows_growth_at_low_p() {
+        // Same queue state, one PIE at p≈0 with tune, one with tune fixed 1.
+        let mk = |tune| {
+            Pie::new(PieConfig {
+                max_burst: None,
+                suppress_when_light: false,
+                tune,
+                estimator: DelayEstimator::QlenOverRate,
+                ..PieConfig::linux_default()
+            })
+        };
+        let mut tuned = mk(TuneMode::Auto);
+        let mut fixed = mk(TuneMode::Fixed(1.0));
+        let s = snap(75_000); // 60 ms at 10 Mb/s: well above target
+        tuned.update(&s, Time::ZERO);
+        fixed.update(&s, Time::ZERO);
+        assert!(tuned.prob() < fixed.prob());
+        assert!(tuned.prob() > 0.0);
+    }
+
+    #[test]
+    fn bare_pie_has_no_heuristics() {
+        let cfg = PieConfig::bare();
+        assert!(cfg.max_burst.is_none());
+        assert!(!cfg.suppress_when_light);
+        assert!(cfg.ecn_drop_above.is_none());
+        assert!(!cfg.clamp_delta);
+        assert!(!cfg.qdelay_high_rule);
+        assert_eq!(cfg.tune, TuneMode::Auto, "tune is PIE's essence, stays on");
+    }
+}

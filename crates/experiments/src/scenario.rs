@@ -1,0 +1,412 @@
+//! Scenario assembly: declarative descriptions of the paper's testbed
+//! set-ups, compiled into `pi2-netsim` simulations.
+
+use pi2_aqm::{
+    Codel, CodelConfig, CoupledPi2, CoupledPi2Config, Pi, Pi2, Pi2Config, PiConfig, Pie,
+    PieConfig, Red, RedConfig,
+};
+use pi2_netsim::{
+    Aqm, Ecn, Monitor, MonitorConfig, PassAqm, PathConf, QueueConfig, Sim, SimConfig,
+    UdpCbrSource,
+};
+use pi2_simcore::{Duration, Time};
+use pi2_stats::Summary;
+use pi2_transport::{CcKind, EcnSetting, TcpConfig, TcpSource};
+
+/// Which AQM guards the bottleneck.
+#[derive(Clone, Debug)]
+pub enum AqmKind {
+    /// Full Linux PIE with the paper's ECN rework.
+    Pie(PieConfig),
+    /// PI2 (standalone Classic form, Figure 8).
+    Pi2(Pi2Config),
+    /// Plain PI with fixed gains (Figure 6's `pi`, or `scal pi`).
+    Pi(PiConfig),
+    /// The coupled Classic/Scalable single-queue AQM (Figure 9).
+    Coupled(CoupledPi2Config),
+    /// RED baseline.
+    Red(RedConfig),
+    /// CoDel baseline.
+    Codel(CodelConfig),
+    /// No AQM: tail-drop only.
+    TailDrop,
+}
+
+impl AqmKind {
+    /// Instantiate the AQM.
+    pub fn build(&self) -> Box<dyn Aqm> {
+        match self {
+            AqmKind::Pie(cfg) => Box::new(Pie::new(*cfg)),
+            AqmKind::Pi2(cfg) => Box::new(Pi2::new(*cfg)),
+            AqmKind::Pi(cfg) => Box::new(Pi::new(*cfg)),
+            AqmKind::Coupled(cfg) => Box::new(CoupledPi2::new(*cfg)),
+            AqmKind::Red(cfg) => Box::new(Red::new(*cfg)),
+            AqmKind::Codel(cfg) => Box::new(Codel::new(*cfg)),
+            AqmKind::TailDrop => Box::new(PassAqm),
+        }
+    }
+
+    /// Display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AqmKind::Pie(_) => "pie",
+            AqmKind::Pi2(_) => "pi2",
+            AqmKind::Pi(_) => "pi",
+            AqmKind::Coupled(_) => "coupled-pi2",
+            AqmKind::Red(_) => "red",
+            AqmKind::Codel(_) => "codel",
+            AqmKind::TailDrop => "taildrop",
+        }
+    }
+
+    /// The paper-default PIE (Table 1 + ECN rework).
+    pub fn pie_default() -> AqmKind {
+        AqmKind::Pie(PieConfig::paper_default())
+    }
+
+    /// The paper-default standalone PI2.
+    pub fn pi2_default() -> AqmKind {
+        AqmKind::Pi2(Pi2Config::default())
+    }
+
+    /// The paper-default coupled AQM (k = 2).
+    pub fn coupled_default() -> AqmKind {
+        AqmKind::Coupled(CoupledPi2Config::default())
+    }
+}
+
+/// A homogeneous group of TCP flows.
+#[derive(Clone, Debug)]
+pub struct FlowGroup {
+    /// Number of flows.
+    pub count: usize,
+    /// Congestion control.
+    pub cc: CcKind,
+    /// ECN mode.
+    pub ecn: EcnSetting,
+    /// Monitor label (flows pool under it).
+    pub label: String,
+    /// Base RTT.
+    pub rtt: Duration,
+    /// Start time.
+    pub start: Time,
+    /// Optional stop time.
+    pub stop: Option<Time>,
+    /// Per-flow TCP configuration.
+    pub tcp: TcpConfig,
+}
+
+impl FlowGroup {
+    /// `count` long-running flows with default TCP settings.
+    pub fn new(count: usize, cc: CcKind, ecn: EcnSetting, label: &str, rtt: Duration) -> Self {
+        FlowGroup {
+            count,
+            cc,
+            ecn,
+            label: label.to_string(),
+            rtt,
+            start: Time::ZERO,
+            stop: None,
+            tcp: TcpConfig::default(),
+        }
+    }
+
+    /// Builder: run between `start` and `stop`.
+    pub fn between(mut self, start: Time, stop: Time) -> Self {
+        self.start = start;
+        self.stop = Some(stop);
+        self
+    }
+}
+
+/// A group of unresponsive CBR sources.
+#[derive(Clone, Debug)]
+pub struct UdpGroup {
+    /// Number of sources.
+    pub count: usize,
+    /// Per-source rate in bits/s.
+    pub rate_bps: u64,
+    /// Packet size in bytes.
+    pub pkt_size: usize,
+    /// Monitor label.
+    pub label: String,
+    /// Base RTT (affects only delivery accounting).
+    pub rtt: Duration,
+    /// Start time.
+    pub start: Time,
+    /// Optional stop time.
+    pub stop: Option<Time>,
+}
+
+impl UdpGroup {
+    /// The paper's UDP probes: 6 Mb/s of 1500 B packets each.
+    pub fn paper_probes(count: usize, rtt: Duration) -> Self {
+        UdpGroup {
+            count,
+            rate_bps: 6_000_000,
+            pkt_size: 1500,
+            label: "udp".to_string(),
+            rtt,
+            start: Time::ZERO,
+            stop: None,
+        }
+    }
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Bottleneck AQM.
+    pub aqm: AqmKind,
+    /// Initial bottleneck rate in bits/s.
+    pub rate_bps: u64,
+    /// Scheduled rate changes (Figure 12).
+    pub rate_changes: Vec<(Time, u64)>,
+    /// Physical buffer (Table 1: 40 000 packets).
+    pub buffer_bytes: usize,
+    /// TCP flow groups.
+    pub tcp: Vec<FlowGroup>,
+    /// UDP groups.
+    pub udp: Vec<UdpGroup>,
+    /// Total simulated time.
+    pub duration: Time,
+    /// Warm-up excluded from aggregates.
+    pub warmup: Duration,
+    /// Time-series sampling interval.
+    pub sample_interval: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario skeleton with the paper's defaults.
+    pub fn new(aqm: AqmKind, rate_bps: u64) -> Self {
+        Scenario {
+            aqm,
+            rate_bps,
+            rate_changes: Vec::new(),
+            buffer_bytes: 40_000 * 1500,
+            tcp: Vec::new(),
+            udp: Vec::new(),
+            duration: Time::from_secs(100),
+            warmup: Duration::from_secs(20),
+            sample_interval: Duration::from_secs(1),
+            seed: 1,
+        }
+    }
+
+    /// Execute the scenario.
+    pub fn run(&self) -> RunResult {
+        let mut sim = Sim::new(
+            SimConfig {
+                queue: QueueConfig {
+                    rate_bps: self.rate_bps,
+                    buffer_bytes: self.buffer_bytes,
+                },
+                seed: self.seed,
+                monitor: MonitorConfig {
+                    sample_interval: self.sample_interval,
+                    warmup: self.warmup,
+                    ..MonitorConfig::default()
+                },
+                trace_capacity: 0,
+            },
+            self.aqm.build(),
+        );
+        for group in &self.tcp {
+            for _ in 0..group.count {
+                let cc = group.cc;
+                let ecn = group.ecn;
+                let tcp = group.tcp;
+                let id = sim.add_flow(
+                    PathConf::symmetric(group.rtt),
+                    &group.label,
+                    group.start,
+                    move |id| Box::new(TcpSource::new(id, cc, ecn, tcp)),
+                );
+                if let Some(stop) = group.stop {
+                    sim.stop_flow_at(id, stop);
+                }
+            }
+        }
+        for group in &self.udp {
+            for _ in 0..group.count {
+                let rate = group.rate_bps;
+                let size = group.pkt_size;
+                let id = sim.add_flow(
+                    PathConf::symmetric(group.rtt),
+                    &group.label,
+                    group.start,
+                    move |id| Box::new(UdpCbrSource::new(id, rate, size, Ecn::NotEct)),
+                );
+                if let Some(stop) = group.stop {
+                    sim.stop_flow_at(id, stop);
+                }
+            }
+        }
+        for &(at, rate) in &self.rate_changes {
+            sim.set_rate_at(at, rate);
+        }
+        sim.run_until(self.duration);
+        RunResult {
+            aqm: self.aqm.name(),
+            monitor: sim.core.monitor.clone(),
+            rate_bps: sim.core.queue.rate_bps(),
+        }
+    }
+}
+
+/// The output of one scenario run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// AQM name.
+    pub aqm: &'static str,
+    /// Full measurement state.
+    pub monitor: Monitor,
+    /// Final link rate (after any changes).
+    pub rate_bps: u64,
+}
+
+impl RunResult {
+    /// Mean post-warm-up throughput (Mb/s) pooled over a label.
+    pub fn tput_mbps(&self, label: &str) -> f64 {
+        self.monitor.pooled_mean_tput_mbps(label)
+    }
+
+    /// *Per-flow* mean throughput for a label (pooled / flow count).
+    pub fn per_flow_tput_mbps(&self, label: &str) -> f64 {
+        let n = self.monitor.flows_labelled(label).len();
+        if n == 0 {
+            0.0
+        } else {
+            self.tput_mbps(label) / n as f64
+        }
+    }
+
+    /// Queue-delay summary over per-packet sojourns (ms).
+    pub fn delay_summary(&self) -> Summary {
+        Summary::of_f32(&self.monitor.sojourn_ms)
+    }
+
+    /// Applied-probability summary for a label (percent).
+    pub fn prob_summary(&self, label: &str) -> Summary {
+        let samples: Vec<f64> = self
+            .monitor
+            .pooled_probs(label)
+            .iter()
+            .map(|&p| p as f64 * 100.0)
+            .collect();
+        Summary::of(&samples)
+    }
+
+    /// Link-utilization summary (percent of capacity).
+    pub fn util_summary(&self) -> Summary {
+        let samples: Vec<f64> = self
+            .monitor
+            .util_samples
+            .iter()
+            .map(|&u| (u as f64 * 100.0).min(100.0))
+            .collect();
+        Summary::of(&samples)
+    }
+
+    /// The `(t, queue delay ms)` series.
+    pub fn qdelay_series(&self) -> &[(f64, f64)] {
+        &self.monitor.qdelay_series
+    }
+
+    /// The `(t, total Mb/s)` series.
+    pub fn tput_series(&self) -> &[(f64, f64)] {
+        &self.monitor.total_tput_series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_runs_and_reports() {
+        let mut sc = Scenario::new(AqmKind::pi2_default(), 10_000_000);
+        sc.tcp.push(FlowGroup::new(
+            2,
+            CcKind::Reno,
+            EcnSetting::NotEcn,
+            "reno",
+            Duration::from_millis(50),
+        ));
+        sc.duration = Time::from_secs(30);
+        sc.warmup = Duration::from_secs(10);
+        let r = sc.run();
+        let tput = r.tput_mbps("reno");
+        assert!(tput > 8.0, "throughput {tput:.1} Mb/s");
+        assert!(r.delay_summary().n > 0);
+        assert_eq!(r.aqm, "pi2");
+    }
+
+    #[test]
+    fn flow_groups_stop_on_schedule() {
+        let mut sc = Scenario::new(AqmKind::pi2_default(), 10_000_000);
+        sc.tcp.push(
+            FlowGroup::new(
+                1,
+                CcKind::Reno,
+                EcnSetting::NotEcn,
+                "early",
+                Duration::from_millis(20),
+            )
+            .between(Time::ZERO, Time::from_secs(5)),
+        );
+        sc.tcp.push(FlowGroup::new(
+            1,
+            CcKind::Reno,
+            EcnSetting::NotEcn,
+            "late",
+            Duration::from_millis(20),
+        ));
+        sc.duration = Time::from_secs(20);
+        sc.warmup = Duration::ZERO;
+        let r = sc.run();
+        // The early flow stopped at 5 s; the late flow should have moved
+        // far more data.
+        let early = r.tput_mbps("early");
+        let late = r.tput_mbps("late");
+        assert!(late > 2.0 * early, "early {early:.1} vs late {late:.1}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut sc = Scenario::new(AqmKind::pie_default(), 10_000_000);
+        sc.tcp.push(FlowGroup::new(
+            3,
+            CcKind::Cubic,
+            EcnSetting::NotEcn,
+            "cubic",
+            Duration::from_millis(30),
+        ));
+        sc.duration = Time::from_secs(15);
+        let a = sc.run();
+        let b = sc.run();
+        assert_eq!(
+            a.monitor.flows[0].dequeued_bytes,
+            b.monitor.flows[0].dequeued_bytes
+        );
+        assert_eq!(a.monitor.sojourn_ms.len(), b.monitor.sojourn_ms.len());
+    }
+
+    #[test]
+    fn rate_changes_apply() {
+        let mut sc = Scenario::new(AqmKind::pi2_default(), 100_000_000);
+        sc.rate_changes = vec![(Time::from_secs(5), 20_000_000)];
+        sc.tcp.push(FlowGroup::new(
+            2,
+            CcKind::Reno,
+            EcnSetting::NotEcn,
+            "reno",
+            Duration::from_millis(20),
+        ));
+        sc.duration = Time::from_secs(10);
+        let r = sc.run();
+        assert_eq!(r.rate_bps, 20_000_000);
+    }
+}

@@ -1,0 +1,117 @@
+//! System-level property tests: random (small) scenarios must uphold
+//! global conservation and sanity invariants under every AQM.
+
+use pi2_experiments::scenario::{AqmKind, FlowGroup, Scenario, UdpGroup};
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting};
+use proptest::prelude::*;
+
+fn arb_aqm() -> impl Strategy<Value = AqmKind> {
+    prop_oneof![
+        Just(AqmKind::pi2_default()),
+        Just(AqmKind::pie_default()),
+        Just(AqmKind::coupled_default()),
+        Just(AqmKind::Pi(pi2_aqm::PiConfig::default())),
+        Just(AqmKind::Red(pi2_aqm::RedConfig::default())),
+        Just(AqmKind::Codel(pi2_aqm::CodelConfig::default())),
+        Just(AqmKind::TailDrop),
+    ]
+}
+
+fn arb_cc() -> impl Strategy<Value = (CcKind, EcnSetting)> {
+    prop_oneof![
+        Just((CcKind::Reno, EcnSetting::NotEcn)),
+        Just((CcKind::Cubic, EcnSetting::NotEcn)),
+        Just((CcKind::Cubic, EcnSetting::Classic)),
+        Just((CcKind::Dctcp, EcnSetting::Scalable)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the AQM, traffic mix and seed: packets are conserved
+    /// (delivered ≤ dequeued ≤ sent per flow), utilization is physical,
+    /// and the run is deterministic.
+    #[test]
+    fn scenario_invariants(
+        aqm in arb_aqm(),
+        cc in arb_cc(),
+        n_flows in 1usize..6,
+        rtt_ms in 5i64..120,
+        mbps in 2u64..60,
+        udp in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut sc = Scenario::new(aqm, mbps * 1_000_000);
+        let rtt = Duration::from_millis(rtt_ms);
+        sc.tcp.push(FlowGroup::new(n_flows, cc.0, cc.1, "tcp", rtt));
+        if udp {
+            sc.udp.push(UdpGroup {
+                count: 1,
+                rate_bps: mbps * 200_000, // 20% of the link
+                pkt_size: 1000,
+                label: "udp".to_string(),
+                rtt,
+                start: Time::ZERO,
+                stop: None,
+            });
+        }
+        sc.duration = Time::from_secs(8);
+        sc.warmup = Duration::from_secs(2);
+        sc.seed = seed;
+        let r = sc.run();
+
+        for f in &r.monitor.flows {
+            prop_assert!(f.delivered_pkts <= f.dequeued_pkts);
+            prop_assert!(f.dequeued_pkts + f.dropped <= f.sent_pkts + 1);
+            prop_assert!(f.marked + f.dropped <= f.sent_pkts);
+        }
+        // No physically impossible utilization samples.
+        for &(_, u) in &r.monitor.util_series {
+            prop_assert!((0.0..=1.05).contains(&u), "utilization {u}");
+        }
+        // Sojourns are non-negative and finite.
+        for &s in &r.monitor.sojourn_ms {
+            prop_assert!(s.is_finite() && s >= 0.0);
+        }
+        // Determinism.
+        let r2 = sc.run();
+        prop_assert_eq!(
+            r.monitor.flows[0].dequeued_bytes,
+            r2.monitor.flows[0].dequeued_bytes
+        );
+    }
+
+    /// The AQM keeps the long-run queue finite: the sampled queue delay
+    /// never approaches the (huge) physical buffer when traffic is
+    /// TCP-only and responsive.
+    #[test]
+    fn responsive_traffic_never_fills_the_buffer(
+        aqm in prop_oneof![
+            Just(AqmKind::pi2_default()),
+            Just(AqmKind::pie_default()),
+            Just(AqmKind::coupled_default()),
+        ],
+        n_flows in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut sc = Scenario::new(aqm, 10_000_000);
+        sc.tcp.push(FlowGroup::new(
+            n_flows,
+            CcKind::Reno,
+            EcnSetting::NotEcn,
+            "tcp",
+            Duration::from_millis(40),
+        ));
+        sc.duration = Time::from_secs(12);
+        sc.warmup = Duration::from_secs(4);
+        sc.seed = seed;
+        let r = sc.run();
+        // The 40000-packet buffer would be 48 seconds of delay; any
+        // sample beyond 2 s means the controller lost the queue.
+        for &(t, d) in r.qdelay_series() {
+            prop_assert!(d < 2_000.0, "queue delay {d:.0} ms at t={t:.0}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # pi2-fluid — fluid model and control-theoretic analysis
+//!
+//! Appendix B of the paper analyses the TCP/AQM loop with the fluid model
+//! of Misra et al. and Hollot et al.: linearized transfer functions for
+//! Reno on `p`, Reno on `p'²` and a scalable control on `p'`, closed with
+//! the PI controller. This crate reproduces that analysis:
+//!
+//! * [`complex`] — minimal complex arithmetic (no external dependency);
+//! * [`tf`] — the loop transfer functions (35)–(37) with their operating
+//!   points, plus PIE's tune-scaled gains;
+//! * [`bode`] — gain/phase margins on a log-frequency sweep (Figures 4
+//!   and 7);
+//! * [`ode`] — a nonlinear delay-ODE integrator for eqs. (15)–(26), the
+//!   fast cross-check of the packet-level simulator.
+
+pub mod bode;
+pub mod complex;
+pub mod nyquist;
+pub mod ode;
+pub mod tf;
+
+pub use bode::{margins, Margins};
+pub use complex::Complex;
+pub use nyquist::{nyquist, winding_number, Stability};
+pub use ode::{FluidConfig, FluidControllerKind, FluidSim, FluidTcpKind};
+pub use tf::{pie_tune_factor, LoopKind, LoopTf, PiGains};

@@ -1,0 +1,111 @@
+//! Property-based tests for the fluid-model toolkit.
+
+use pi2_fluid::{margins, Complex, FluidConfig, FluidSim, LoopKind, LoopTf, PiGains};
+use proptest::prelude::*;
+
+fn finite(re: f64, im: f64) -> Complex {
+    Complex::new(re, im)
+}
+
+proptest! {
+    /// Field axioms (numerically): commutativity, associativity,
+    /// distributivity.
+    #[test]
+    fn complex_field_axioms(
+        a in (-1e3f64..1e3, -1e3f64..1e3),
+        b in (-1e3f64..1e3, -1e3f64..1e3),
+        c in (-1e3f64..1e3, -1e3f64..1e3),
+    ) {
+        let (a, b, c) = (finite(a.0, a.1), finite(b.0, b.1), finite(c.0, c.1));
+        let close = |x: Complex, y: Complex| (x - y).abs() < 1e-6 * (1.0 + x.abs());
+        prop_assert!(close(a + b, b + a));
+        prop_assert!(close(a * b, b * a));
+        prop_assert!(close((a + b) + c, a + (b + c)));
+        prop_assert!(close(a * (b + c), a * b + a * c));
+    }
+
+    /// |z·w| = |z|·|w| and arg is additive (mod 2π).
+    #[test]
+    fn complex_polar_identities(
+        a in (-1e2f64..1e2, -1e2f64..1e2),
+        b in (-1e2f64..1e2, -1e2f64..1e2),
+    ) {
+        let (z, w) = (finite(a.0, a.1), finite(b.0, b.1));
+        prop_assume!(z.abs() > 1e-3 && w.abs() > 1e-3);
+        let prod = z * w;
+        prop_assert!((prod.abs() - z.abs() * w.abs()).abs() < 1e-6 * prod.abs().max(1.0));
+        let mut darg = z.arg() + w.arg() - prod.arg();
+        while darg > std::f64::consts::PI {
+            darg -= std::f64::consts::TAU;
+        }
+        while darg < -std::f64::consts::PI {
+            darg += std::f64::consts::TAU;
+        }
+        prop_assert!(darg.abs() < 1e-6);
+    }
+
+    /// exp(z+w) = exp(z)·exp(w).
+    #[test]
+    fn complex_exp_homomorphism(
+        a in (-3.0f64..3.0, -3.0f64..3.0),
+        b in (-3.0f64..3.0, -3.0f64..3.0),
+    ) {
+        let (z, w) = (finite(a.0, a.1), finite(b.0, b.1));
+        let lhs = (z + w).exp();
+        let rhs = z.exp() * w.exp();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0));
+    }
+
+    /// Loop transfer functions evaluate to finite values on the jω axis
+    /// for any valid operating point.
+    #[test]
+    fn loop_tf_finite_everywhere(
+        p_prime in 1e-4f64..1.0,
+        r0 in 1e-3f64..0.5,
+        w_exp in -3.0f64..3.0,
+    ) {
+        let w = 10f64.powf(w_exp);
+        for kind in [LoopKind::RenoOnP, LoopKind::RenoOnPSquared, LoopKind::ScalableOnP] {
+            let tf = LoopTf {
+                kind,
+                gains: PiGains::pi2(),
+                r0,
+                p0_prime: p_prime,
+            };
+            let z = tf.eval(w);
+            prop_assert!(z.abs().is_finite(), "{kind:?} blew up at w={w}");
+        }
+    }
+
+    /// Margins are well-defined (finite or +inf, never NaN) across the
+    /// operating space.
+    #[test]
+    fn margins_never_nan(p_prime in 1e-3f64..1.0, r0 in 5e-3f64..0.3) {
+        let m = margins(&LoopTf::pi2(p_prime, r0));
+        prop_assert!(!m.gain_margin_db.is_nan());
+        prop_assert!(!m.phase_margin_deg.is_nan());
+    }
+
+    /// The fluid integrator preserves its invariants (bounded p', positive
+    /// window, non-negative queue) for random configurations.
+    #[test]
+    fn fluid_sim_invariants(
+        n in 1.0f64..40.0,
+        rtt_ms in 5.0f64..200.0,
+        mbps in 1.0f64..100.0,
+    ) {
+        let cfg = FluidConfig {
+            capacity_pps: mbps * 1e6 / 8.0 / 1500.0,
+            base_rtt: rtt_ms / 1000.0,
+            n_flows: vec![(0.0, n)],
+            dt: 0.002,
+            ..FluidConfig::default()
+        };
+        let samples = FluidSim::new(cfg).run(10.0, 0.2);
+        for s in samples {
+            prop_assert!((0.0..=1.0).contains(&s.p_prime));
+            prop_assert!(s.w.is_finite() && s.w > 0.0);
+            prop_assert!(s.qdelay >= 0.0 && s.qdelay.is_finite());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # pi2-netsim — packet-level network simulation substrate
+//!
+//! This crate models everything the PI2 paper's Linux testbed provided
+//! around the AQM: packets with ECN codepoints, a bottleneck FIFO queue
+//! whose admission is delegated to an [`Aqm`] implementation, a serializing
+//! link with propagation delays, traffic sources, and measurement hooks.
+//!
+//! The topology is the paper's dumbbell (Figure 10) collapsed to its
+//! essentials: every flow shares one bottleneck queue + link in the forward
+//! direction; the reverse (ACK) path is uncongested and modelled as a pure
+//! delay, which is how the paper's testbed behaved for its workloads.
+//!
+//! Design follows the event-driven, sans-io ethos: the [`sim::Sim`] loop
+//! owns all state, dispatches [`sim::Event`]s in deterministic order, and
+//! never touches wall-clock time or sockets.
+
+pub mod aqm;
+pub mod monitor;
+pub mod packet;
+pub mod queue;
+pub mod sim;
+pub mod source;
+pub mod trace;
+
+pub use aqm::{Action, Aqm, Decision, PassAqm, QueueSnapshot};
+pub use monitor::{FlowAccount, Monitor, MonitorConfig};
+pub use packet::{Ecn, FlowId, Packet};
+pub use queue::{BottleneckQueue, Qdisc, QueueConfig, QueueStats};
+pub use sim::{Ack, Event, PathConf, Sim, SimConfig, SimCore, Source, TimerKind};
+pub use source::{OnOffCbrSource, UdpCbrSource};
+pub use trace::{Trace, TraceEvent};

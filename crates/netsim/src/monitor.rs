@@ -1,0 +1,461 @@
+//! Measurement collection.
+//!
+//! The paper's evaluation reports queue-delay time series (1 s and 100 ms
+//! sampling), per-packet queue-delay CDFs and percentiles, per-flow and
+//! total throughput, applied mark/drop probability percentiles, and link
+//! utilization. The [`Monitor`] collects all of these during a run with a
+//! configurable sampling interval and warm-up exclusion.
+
+use crate::aqm::{Action, Decision};
+use crate::packet::FlowId;
+use crate::queue::Qdisc;
+use pi2_simcore::{Duration, Time};
+
+/// Monitor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Spacing of time-series samples (the paper uses 1 s in most figures
+    /// and 100 ms for the Figure 12 peak-delay comparison).
+    pub sample_interval: Duration,
+    /// Samples and per-packet records before this instant are excluded
+    /// from aggregate statistics (they still appear in time series).
+    pub warmup: Duration,
+    /// Record per-packet sojourn times (needed for delay CDFs/percentiles).
+    pub record_sojourns: bool,
+    /// Record the per-packet applied probability (needed for Figure 17).
+    pub record_probs: bool,
+    /// Additionally record sojourns per flow (needed for per-class delay
+    /// distributions, e.g. the DualQ L-vs-C comparison).
+    pub record_flow_sojourns: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            sample_interval: Duration::from_secs(1),
+            warmup: Duration::ZERO,
+            record_sojourns: true,
+            record_probs: true,
+            record_flow_sojourns: false,
+        }
+    }
+}
+
+/// Per-flow accounting.
+#[derive(Clone, Debug)]
+pub struct FlowAccount {
+    /// Label given at registration; experiments group flows by it
+    /// (e.g. `"cubic"`, `"dctcp"`, `"udp"`).
+    pub label: String,
+    /// Packets handed to the bottleneck by the sender.
+    pub sent_pkts: u64,
+    /// Bytes handed to the bottleneck by the sender.
+    pub sent_bytes: u64,
+    /// Packets dropped by the AQM or buffer.
+    pub dropped: u64,
+    /// Packets CE-marked by the AQM.
+    pub marked: u64,
+    /// Packets that left the bottleneck link.
+    pub dequeued_pkts: u64,
+    /// Bytes that left the bottleneck link.
+    pub dequeued_bytes: u64,
+    /// Bytes that left the bottleneck link after the warm-up period.
+    pub dequeued_bytes_postwarm: u64,
+    /// Packets that reached the receiver.
+    pub delivered_pkts: u64,
+    /// Bytes that reached the receiver.
+    pub delivered_bytes: u64,
+    /// Applied probability per offered packet, after warm-up
+    /// (only if [`MonitorConfig::record_probs`]).
+    pub prob_samples: Vec<f32>,
+    /// Per-interval throughput at the bottleneck egress, in Mb/s.
+    pub tput_series: Vec<(f64, f64)>,
+    /// Per-packet sojourn samples for this flow, post warm-up (only if
+    /// [`MonitorConfig::record_flow_sojourns`]).
+    pub sojourn_ms: Vec<f32>,
+    last_sample_bytes: u64,
+}
+
+impl FlowAccount {
+    fn new(label: &str) -> Self {
+        FlowAccount {
+            label: label.to_string(),
+            sent_pkts: 0,
+            sent_bytes: 0,
+            dropped: 0,
+            marked: 0,
+            dequeued_pkts: 0,
+            dequeued_bytes: 0,
+            dequeued_bytes_postwarm: 0,
+            delivered_pkts: 0,
+            delivered_bytes: 0,
+            prob_samples: Vec::new(),
+            tput_series: Vec::new(),
+            sojourn_ms: Vec::new(),
+            last_sample_bytes: 0,
+        }
+    }
+
+    /// Fraction of offered packets that were marked or dropped — the
+    /// empirical congestion-signal probability of this flow.
+    pub fn signal_fraction(&self) -> f64 {
+        if self.sent_pkts == 0 {
+            0.0
+        } else {
+            (self.dropped + self.marked) as f64 / self.sent_pkts as f64
+        }
+    }
+
+    /// Mean post-warm-up throughput in Mb/s given the measurement span.
+    pub fn mean_tput_mbps(&self, span: Duration) -> f64 {
+        let secs = span.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.dequeued_bytes_postwarm as f64 * 8.0 / secs / 1e6
+        }
+    }
+}
+
+/// Run-wide measurement state.
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    cfg: MonitorConfig,
+    /// Per-flow accounts, indexed by [`FlowId`].
+    pub flows: Vec<FlowAccount>,
+    /// `(t s, instantaneous queue delay ms)` at each sample tick.
+    pub qdelay_series: Vec<(f64, f64)>,
+    /// `(t s, total bottleneck egress rate Mb/s)` per interval.
+    pub total_tput_series: Vec<(f64, f64)>,
+    /// `(t s, fraction of link capacity used)` per interval.
+    pub util_series: Vec<(f64, f64)>,
+    /// `(t s, AQM control variable)` at each AQM update.
+    pub control_series: Vec<(f64, f64)>,
+    /// Per-packet queue delay in ms, post warm-up
+    /// (only if [`MonitorConfig::record_sojourns`]).
+    pub sojourn_ms: Vec<f32>,
+    /// Post-warm-up utilization samples (same values as in `util_series`
+    /// but excluding warm-up), for P1/mean/P99 summaries (Figure 18).
+    pub util_samples: Vec<f32>,
+    /// Completed size-limited flows: `(flow, start, completion)` — the
+    /// raw material for flow-completion-time distributions (the paper's
+    /// short-flow experiments).
+    pub completions: Vec<(FlowId, Time, Time)>,
+    last_sample_at: Time,
+    last_total_bytes: u64,
+    end_of_last_run: Time,
+}
+
+impl Monitor {
+    /// Create an empty monitor.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Monitor {
+            cfg,
+            flows: Vec::new(),
+            qdelay_series: Vec::new(),
+            total_tput_series: Vec::new(),
+            util_series: Vec::new(),
+            control_series: Vec::new(),
+            sojourn_ms: Vec::new(),
+            util_samples: Vec::new(),
+            completions: Vec::new(),
+            last_sample_at: Time::ZERO,
+            last_total_bytes: 0,
+            end_of_last_run: Time::ZERO,
+        }
+    }
+
+    /// The configured sampling interval.
+    pub fn sample_interval(&self) -> Duration {
+        self.cfg.sample_interval
+    }
+
+    /// The configured warm-up span.
+    pub fn warmup(&self) -> Duration {
+        self.cfg.warmup
+    }
+
+    /// Register the next flow (ids are dense and sequential).
+    pub fn register_flow(&mut self, label: &str) {
+        self.flows.push(FlowAccount::new(label));
+    }
+
+    /// Access a flow's account.
+    pub fn flow(&self, id: FlowId) -> &FlowAccount {
+        &self.flows[id.idx()]
+    }
+
+    fn postwarm(&self, now: Time) -> bool {
+        now >= Time::ZERO + self.cfg.warmup
+    }
+
+    /// Record a packet being offered to the bottleneck.
+    pub fn record_sent(&mut self, flow: FlowId, bytes: usize, _now: Time) {
+        let acc = &mut self.flows[flow.idx()];
+        acc.sent_pkts += 1;
+        acc.sent_bytes += bytes as u64;
+    }
+
+    /// Record the AQM decision for an offered packet.
+    pub fn record_decision(&mut self, flow: FlowId, decision: Decision, now: Time) {
+        let postwarm = self.postwarm(now);
+        let acc = &mut self.flows[flow.idx()];
+        match decision.action {
+            Action::Drop => acc.dropped += 1,
+            Action::Mark => acc.marked += 1,
+            Action::Pass => {}
+        }
+        if self.cfg.record_probs && postwarm {
+            acc.prob_samples.push(decision.prob as f32);
+        }
+    }
+
+    /// Record a departure from the bottleneck.
+    pub fn record_dequeue(&mut self, flow: FlowId, bytes: usize, sojourn: Duration, now: Time) {
+        let postwarm = self.postwarm(now);
+        let acc = &mut self.flows[flow.idx()];
+        acc.dequeued_pkts += 1;
+        acc.dequeued_bytes += bytes as u64;
+        if postwarm {
+            acc.dequeued_bytes_postwarm += bytes as u64;
+            if self.cfg.record_flow_sojourns {
+                acc.sojourn_ms.push(sojourn.as_millis_f64() as f32);
+            }
+            if self.cfg.record_sojourns {
+                self.sojourn_ms.push(sojourn.as_millis_f64() as f32);
+            }
+        }
+    }
+
+    /// Record an arrival at the receiver.
+    pub fn record_delivered(&mut self, flow: FlowId, bytes: usize, _now: Time) {
+        let acc = &mut self.flows[flow.idx()];
+        acc.delivered_pkts += 1;
+        acc.delivered_bytes += bytes as u64;
+    }
+
+    /// Record the completion of a size-limited flow.
+    pub fn record_completion(&mut self, flow: FlowId, started: Time, completed: Time) {
+        self.completions.push((flow, started, completed));
+    }
+
+    /// Flow-completion times (seconds) pooled over flows with `label`,
+    /// restricted to flows that started after the warm-up.
+    pub fn completion_times(&self, label: &str) -> Vec<f64> {
+        self.completions
+            .iter()
+            .filter(|(id, started, _)| {
+                self.flows[id.idx()].label == label && self.postwarm(*started)
+            })
+            .map(|(_, started, completed)| (*completed - *started).as_secs_f64())
+            .collect()
+    }
+
+    /// Record the AQM's control variable at an update tick.
+    pub fn record_control_variable(&mut self, p: f64, now: Time) {
+        self.control_series.push((now.as_secs_f64(), p));
+    }
+
+    /// Take a periodic sample of queue delay, throughput and utilization.
+    pub fn sample(&mut self, queue: &dyn Qdisc, now: Time) {
+        let t = now.as_secs_f64();
+        let dt = now.saturating_since(self.last_sample_at).as_secs_f64();
+        let qdelay_ms = queue.monitor_delay().as_millis_f64();
+        self.qdelay_series.push((t, qdelay_ms));
+
+        let total = queue.stats().dequeued_bytes;
+        if dt > 0.0 {
+            let bits = (total - self.last_total_bytes) as f64 * 8.0;
+            let mbps = bits / dt / 1e6;
+            self.total_tput_series.push((t, mbps));
+            let util = bits / dt / queue.rate_bps() as f64;
+            self.util_series.push((t, util));
+            if self.postwarm(now) {
+                self.util_samples.push(util as f32);
+            }
+            for acc in &mut self.flows {
+                let fbits = (acc.dequeued_bytes - acc.last_sample_bytes) as f64 * 8.0;
+                acc.tput_series.push((t, fbits / dt / 1e6));
+                acc.last_sample_bytes = acc.dequeued_bytes;
+            }
+        }
+        self.last_total_bytes = total;
+        self.last_sample_at = now;
+        self.end_of_last_run = now;
+    }
+
+    /// Post-warm-up measurement span (warm-up end to the last sample).
+    pub fn measurement_span(&self) -> Duration {
+        (self.end_of_last_run - (Time::ZERO + self.cfg.warmup)).max_zero()
+    }
+
+    /// Indices of flows whose label equals `label`.
+    pub fn flows_labelled(&self, label: &str) -> Vec<usize> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.label == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pooled per-packet sojourn samples (ms) over flows with `label`
+    /// (requires [`MonitorConfig::record_flow_sojourns`]).
+    pub fn pooled_sojourns(&self, label: &str) -> Vec<f32> {
+        let mut out = Vec::new();
+        for i in self.flows_labelled(label) {
+            out.extend_from_slice(&self.flows[i].sojourn_ms);
+        }
+        out
+    }
+
+    /// Pooled per-packet probability samples over flows with `label`.
+    pub fn pooled_probs(&self, label: &str) -> Vec<f32> {
+        let mut out = Vec::new();
+        for i in self.flows_labelled(label) {
+            out.extend_from_slice(&self.flows[i].prob_samples);
+        }
+        out
+    }
+
+    /// Mean post-warm-up throughput in Mb/s pooled over flows with `label`.
+    pub fn pooled_mean_tput_mbps(&self, label: &str) -> f64 {
+        let span = self.measurement_span();
+        self.flows_labelled(label)
+            .iter()
+            .map(|&i| self.flows[i].mean_tput_mbps(span))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aqm::{Decision, PassAqm};
+    use crate::queue::BottleneckQueue;
+    use crate::packet::{Ecn, Packet};
+    use crate::queue::QueueConfig;
+    use pi2_simcore::Rng;
+
+    fn monitor() -> Monitor {
+        Monitor::new(MonitorConfig::default())
+    }
+
+    #[test]
+    fn registration_and_counters() {
+        let mut m = monitor();
+        m.register_flow("cubic");
+        m.register_flow("dctcp");
+        m.record_sent(FlowId(0), 1500, Time::ZERO);
+        m.record_sent(FlowId(0), 1500, Time::ZERO);
+        m.record_decision(FlowId(0), Decision::drop(0.25), Time::ZERO);
+        m.record_decision(FlowId(0), Decision::pass(0.25), Time::ZERO);
+        let f = m.flow(FlowId(0));
+        assert_eq!(f.sent_pkts, 2);
+        assert_eq!(f.dropped, 1);
+        assert_eq!(f.signal_fraction(), 0.5);
+        assert_eq!(m.flow(FlowId(1)).sent_pkts, 0);
+    }
+
+    #[test]
+    fn warmup_excludes_early_samples() {
+        let mut m = Monitor::new(MonitorConfig {
+            warmup: Duration::from_secs(10),
+            ..MonitorConfig::default()
+        });
+        m.register_flow("f");
+        m.record_dequeue(FlowId(0), 1500, Duration::from_millis(5), Time::from_secs(1));
+        m.record_dequeue(FlowId(0), 1500, Duration::from_millis(7), Time::from_secs(11));
+        assert_eq!(m.sojourn_ms.len(), 1);
+        assert!((m.sojourn_ms[0] - 7.0).abs() < 1e-6);
+        assert_eq!(m.flow(FlowId(0)).dequeued_bytes, 3000);
+        assert_eq!(m.flow(FlowId(0)).dequeued_bytes_postwarm, 1500);
+    }
+
+    #[test]
+    fn sample_computes_throughput_and_utilization() {
+        let mut m = monitor();
+        m.register_flow("f");
+        let mut q = BottleneckQueue::new(
+            QueueConfig {
+                rate_bps: 12_000_000,
+                buffer_bytes: usize::MAX,
+            },
+            Box::new(PassAqm),
+        );
+        let mut rng = Rng::new(1);
+        // Push 1000 packets of 1500 B through the queue accounting.
+        for i in 0..1000u64 {
+            q.offer(
+                Packet::data(FlowId(0), i, 1500, Ecn::NotEct, Time::ZERO),
+                Time::ZERO,
+                &mut rng,
+            );
+        }
+        for _ in 0..1000 {
+            q.pop(Time::from_millis(1));
+        }
+        m.sample(&q, Time::from_secs(1));
+        // 1000*1500*8 bits over 1 s = 12 Mb/s on a 12 Mb/s link -> util 1.0.
+        assert_eq!(m.total_tput_series.len(), 1);
+        assert!((m.total_tput_series[0].1 - 12.0).abs() < 1e-9);
+        assert!((m.util_series[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn label_grouping_pools_flows() {
+        let mut m = monitor();
+        m.register_flow("cubic");
+        m.register_flow("dctcp");
+        m.register_flow("cubic");
+        assert_eq!(m.flows_labelled("cubic"), vec![0, 2]);
+        m.record_decision(FlowId(0), Decision::pass(0.1), Time::from_secs(1));
+        m.record_decision(FlowId(2), Decision::pass(0.3), Time::from_secs(1));
+        let pooled = m.pooled_probs("cubic");
+        assert_eq!(pooled.len(), 2);
+    }
+
+    #[test]
+    fn completions_respect_warmup_and_labels() {
+        let mut m = Monitor::new(MonitorConfig {
+            warmup: Duration::from_secs(10),
+            ..MonitorConfig::default()
+        });
+        m.register_flow("short");
+        m.register_flow("long");
+        m.register_flow("short");
+        // One pre-warm-up completion (excluded), two post.
+        m.record_completion(FlowId(0), Time::from_secs(5), Time::from_secs(6));
+        m.record_completion(FlowId(1), Time::from_secs(12), Time::from_secs(15));
+        m.record_completion(FlowId(2), Time::from_secs(20), Time::from_secs(22));
+        assert_eq!(m.completions.len(), 3);
+        let short = m.completion_times("short");
+        assert_eq!(short, vec![2.0]);
+        let long = m.completion_times("long");
+        assert_eq!(long, vec![3.0]);
+    }
+
+    #[test]
+    fn per_flow_sojourns_pool_by_label() {
+        let mut m = Monitor::new(MonitorConfig {
+            record_flow_sojourns: true,
+            ..MonitorConfig::default()
+        });
+        m.register_flow("a");
+        m.register_flow("b");
+        m.record_dequeue(FlowId(0), 1500, Duration::from_millis(3), Time::from_secs(1));
+        m.record_dequeue(FlowId(1), 1500, Duration::from_millis(9), Time::from_secs(1));
+        m.record_dequeue(FlowId(0), 1500, Duration::from_millis(5), Time::from_secs(2));
+        assert_eq!(m.pooled_sojourns("a"), vec![3.0, 5.0]);
+        assert_eq!(m.pooled_sojourns("b"), vec![9.0]);
+        assert!(m.pooled_sojourns("c").is_empty());
+    }
+
+    #[test]
+    fn mean_tput_uses_postwarm_bytes() {
+        let mut acc = FlowAccount::new("f");
+        acc.dequeued_bytes_postwarm = 1_250_000; // 10 Mbit
+        assert!((acc.mean_tput_mbps(Duration::from_secs(10)) - 1.0).abs() < 1e-12);
+        assert_eq!(acc.mean_tput_mbps(Duration::ZERO), 0.0);
+    }
+}

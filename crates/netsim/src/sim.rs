@@ -1,0 +1,665 @@
+//! The event-driven dumbbell simulator.
+//!
+//! [`SimCore`] owns the clock, the bottleneck queue+link, per-flow path
+//! delays, the RNG and the measurement [`Monitor`]. [`Sim`] adds the
+//! traffic sources (trait objects implementing [`Source`]) and runs the
+//! dispatch loop. The split into two structs is what lets a source receive
+//! `&mut SimCore` while the source collection itself is mutably borrowed.
+//!
+//! ## Packet life cycle
+//!
+//! ```text
+//! sender --send_packet()--> [AQM verdict] --FIFO--> link serialization
+//!        --Deliver event (fwd one-way delay)--> receiver logic in Source
+//!        --send_ack()--> AckArrive event (rev one-way delay) --> sender logic
+//! ```
+//!
+//! Drops at the AQM are silent: the sender only learns about them through
+//! duplicate ACKs or an RTO, exactly as on a real network.
+
+use crate::aqm::Action;
+use crate::monitor::{Monitor, MonitorConfig};
+use crate::packet::{FlowId, Packet};
+use crate::queue::{BottleneckQueue, Qdisc, QueueConfig};
+use crate::trace::{Trace, TraceEvent};
+use pi2_simcore::{Duration, EventQueue, Rng, Time};
+
+/// One-way delays of a flow's path, excluding the bottleneck queue.
+#[derive(Clone, Copy, Debug)]
+pub struct PathConf {
+    /// Sender → receiver propagation (applied after the bottleneck).
+    pub fwd: Duration,
+    /// Receiver → sender propagation for ACKs.
+    pub rev: Duration,
+}
+
+impl PathConf {
+    /// Split a base RTT evenly across the two directions.
+    pub fn symmetric(base_rtt: Duration) -> Self {
+        PathConf {
+            fwd: base_rtt / 2,
+            rev: base_rtt - base_rtt / 2,
+        }
+    }
+
+    /// The base (unloaded) round-trip time.
+    pub fn base_rtt(&self) -> Duration {
+        self.fwd + self.rev
+    }
+}
+
+/// An acknowledgement travelling the uncongested reverse path.
+#[derive(Clone, Copy, Debug)]
+pub struct Ack {
+    /// The flow this ACK belongs to.
+    pub flow: FlowId,
+    /// Cumulative ACK: the next sequence number the receiver expects.
+    pub cum_seq: u64,
+    /// RFC 3168-style congestion echo: a CE-marked data packet has been
+    /// received since the previous ACK was generated.
+    pub ece: bool,
+    /// Cumulative count of CE-marked data packets the receiver has seen;
+    /// Scalable (DCTCP) senders diff this to recover the exact per-RTT
+    /// marked fraction that drives their α EWMA.
+    pub ce_total: u64,
+    /// Cumulative count of data packets the receiver has seen (marked or
+    /// not), the denominator for the marked fraction.
+    pub pkts_total: u64,
+    /// Echo of the triggering data packet's send timestamp, for sender-side
+    /// RTT sampling (the simulator's stand-in for the TCP timestamp option).
+    pub echo_ts: Time,
+    /// True if the triggering data packet was a retransmission; the sender
+    /// skips RTT sampling on such echoes (Karn's algorithm).
+    pub echo_rtx: bool,
+    /// SACK blocks: up to three `[start, end)` ranges of out-of-order data
+    /// the receiver holds above `cum_seq`, most relevant first (RFC 2018).
+    /// All-`None` when the receiver has no out-of-order data.
+    pub sack: [Option<(u64, u64)>; 3],
+}
+
+impl Ack {
+    /// An ACK with no SACK information.
+    pub const NO_SACK: [Option<(u64, u64)>; 3] = [None, None, None];
+}
+
+/// Timer classes a source can arm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerKind {
+    /// TCP retransmission timeout.
+    Rto,
+    /// Paced/CBR transmission tick.
+    Send,
+    /// Source-defined auxiliary timer.
+    User(u32),
+}
+
+/// Everything that can happen in the simulated world.
+#[derive(Debug)]
+pub enum Event {
+    /// The bottleneck link finished serializing the head packet.
+    Dequeue,
+    /// A data packet reaches its receiver.
+    Deliver(Packet),
+    /// An ACK reaches its sender.
+    AckArrive(Ack),
+    /// A timer armed by a source fires.
+    Timer {
+        /// Owning flow.
+        flow: FlowId,
+        /// Which of the flow's timers.
+        kind: TimerKind,
+        /// Arming sequence number, for lazy cancellation.
+        id: u64,
+    },
+    /// Periodic AQM controller update (the paper's T = 32 ms).
+    AqmUpdate,
+    /// Periodic measurement sample.
+    Sample,
+    /// Change the bottleneck link rate (Figure 12's varying capacity).
+    SetLinkRate(u64),
+    /// Activate a source (traffic-intensity steps in Figures 6/13).
+    SourceOn(FlowId),
+    /// Deactivate a source.
+    SourceOff(FlowId),
+}
+
+/// The shared simulation state handed to sources.
+pub struct SimCore {
+    /// The pending-event queue; also the simulation clock.
+    pub events: EventQueue<Event>,
+    /// Root deterministic RNG (fork per-flow streams from it).
+    pub rng: Rng,
+    /// The bottleneck queueing discipline and link.
+    pub queue: Box<dyn Qdisc>,
+    /// Measurement collection.
+    pub monitor: Monitor,
+    /// Optional per-packet event trace (None unless enabled in
+    /// [`SimConfig::trace_capacity`]).
+    pub trace: Option<Trace>,
+    paths: Vec<PathConf>,
+    transmitting: bool,
+    timer_seq: u64,
+}
+
+impl SimCore {
+    fn new(queue: Box<dyn Qdisc>, seed: u64, monitor_cfg: MonitorConfig) -> Self {
+        SimCore {
+            events: EventQueue::new(),
+            rng: Rng::new(seed),
+            queue,
+            monitor: Monitor::new(monitor_cfg),
+            trace: None,
+            paths: Vec::new(),
+            transmitting: false,
+            timer_seq: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.events.now()
+    }
+
+    /// Register a flow with the given path; returns its dense id.
+    pub fn register_flow(&mut self, path: PathConf, label: &str) -> FlowId {
+        let id = FlowId(self.paths.len() as u32);
+        self.paths.push(path);
+        self.monitor.register_flow(label);
+        id
+    }
+
+    /// Path configuration of a registered flow.
+    pub fn path(&self, flow: FlowId) -> PathConf {
+        self.paths[flow.idx()]
+    }
+
+    /// Number of registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Hand a data packet to the bottleneck. The AQM verdict is applied
+    /// here; a dropped packet simply disappears (the sender must infer the
+    /// loss from the ACK stream).
+    pub fn send_packet(&mut self, pkt: Packet) {
+        let now = self.now();
+        let flow = pkt.flow;
+        let size = pkt.size;
+        self.monitor.record_sent(flow, size, now);
+        let seq = pkt.seq;
+        let ecn = pkt.ecn;
+        let decision = self.queue.offer(pkt, now, &mut self.rng);
+        self.monitor.record_decision(flow, decision, now);
+        if let Some(tr) = &mut self.trace {
+            match decision.action {
+                Action::Drop => tr.push(TraceEvent::Drop {
+                    t: now,
+                    flow,
+                    seq,
+                    prob: decision.prob,
+                }),
+                Action::Mark => {
+                    tr.push(TraceEvent::Mark {
+                        t: now,
+                        flow,
+                        seq,
+                        prob: decision.prob,
+                    });
+                    tr.push(TraceEvent::Enqueue {
+                        t: now,
+                        flow,
+                        seq,
+                        ecn: crate::packet::Ecn::Ce,
+                    });
+                }
+                Action::Pass => tr.push(TraceEvent::Enqueue {
+                    t: now,
+                    flow,
+                    seq,
+                    ecn,
+                }),
+            }
+        }
+        if decision.action != Action::Drop && !self.transmitting {
+            debug_assert_eq!(
+                self.queue.len_pkts(),
+                1,
+                "link idle implies the queue held only the new packet"
+            );
+            self.start_transmission();
+        }
+    }
+
+    /// Send an ACK back to the flow's sender over the reverse path.
+    pub fn send_ack(&mut self, ack: Ack) {
+        let rev = self.paths[ack.flow.idx()].rev;
+        let at = self.now() + rev;
+        self.events.push(at, Event::AckArrive(ack));
+    }
+
+    /// Arm a timer for `flow`; returns the arming id. A source should keep
+    /// the id and ignore timer events whose id it no longer expects (lazy
+    /// cancellation).
+    pub fn schedule_timer(&mut self, flow: FlowId, kind: TimerKind, delay: Duration) -> u64 {
+        let id = self.timer_seq;
+        self.timer_seq += 1;
+        let at = self.now() + delay.max_zero();
+        self.events.push(at, Event::Timer { flow, kind, id });
+        id
+    }
+
+    /// Schedule an arbitrary event (used by scenario scripts for rate
+    /// changes and source on/off steps).
+    pub fn schedule(&mut self, at: Time, event: Event) {
+        self.events.push(at, event);
+    }
+
+    fn start_transmission(&mut self) {
+        if let Some(size) = self.queue.head_size() {
+            self.transmitting = true;
+            let tx = Duration::serialization(size, self.queue.rate_bps());
+            let at = self.now() + tx;
+            self.events.push(at, Event::Dequeue);
+        } else {
+            self.transmitting = false;
+        }
+    }
+
+    /// Handle completion of the head packet's transmission. Returns the
+    /// packet so the dispatch loop can forward it to its receiver.
+    fn handle_dequeue(&mut self) -> Option<Packet> {
+        let now = self.now();
+        let (pkt, sojourn) = self
+            .queue
+            .pop(now)
+            .expect("Dequeue event fired on an empty queue");
+        self.monitor.record_dequeue(pkt.flow, pkt.size, sojourn, now);
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Dequeue {
+                t: now,
+                flow: pkt.flow,
+                seq: pkt.seq,
+                sojourn,
+            });
+        }
+        self.start_transmission();
+        let fwd = self.paths[pkt.flow.idx()].fwd;
+        self.events.push(now + fwd, Event::Deliver(pkt.clone()));
+        Some(pkt)
+    }
+}
+
+/// A traffic source/sink pair for one flow. The same object holds both the
+/// sender and the receiver side; the simulated network between them is the
+/// event queue.
+pub trait Source {
+    /// Called when the source is switched on (start of its traffic).
+    fn on_start(&mut self, core: &mut SimCore);
+
+    /// Called when the source is switched off; it must stop generating new
+    /// data (in-flight packets may still drain).
+    fn on_stop(&mut self, core: &mut SimCore) {
+        let _ = core;
+    }
+
+    /// A data packet of this flow arrived at the receiver.
+    fn on_deliver(&mut self, pkt: Packet, core: &mut SimCore);
+
+    /// An ACK of this flow arrived back at the sender.
+    fn on_ack(&mut self, ack: Ack, core: &mut SimCore) {
+        let _ = (ack, core);
+    }
+
+    /// A timer armed via [`SimCore::schedule_timer`] fired.
+    fn on_timer(&mut self, kind: TimerKind, id: u64, core: &mut SimCore) {
+        let _ = (kind, id, core);
+    }
+}
+
+/// Top-level simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Bottleneck queue and link parameters.
+    pub queue: QueueConfig,
+    /// Root RNG seed; identical seeds give bit-identical runs.
+    pub seed: u64,
+    /// Measurement configuration.
+    pub monitor: MonitorConfig,
+    /// If nonzero, record up to this many bottleneck events in
+    /// [`SimCore::trace`].
+    pub trace_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            queue: QueueConfig::default(),
+            seed: 1,
+            monitor: MonitorConfig::default(),
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// The complete simulator: shared core + traffic sources.
+pub struct Sim {
+    /// Shared state (clock, queue, paths, monitor).
+    pub core: SimCore,
+    sources: Vec<Box<dyn Source>>,
+}
+
+impl Sim {
+    /// Build a simulator with the given AQM attached to a FIFO bottleneck.
+    pub fn new(cfg: SimConfig, aqm: Box<dyn crate::aqm::Aqm>) -> Self {
+        let queue = BottleneckQueue::new(cfg.queue, aqm);
+        Sim::with_qdisc(cfg, Box::new(queue))
+    }
+
+    /// Build a simulator around an arbitrary queueing discipline (e.g. the
+    /// DualQ Coupled AQM, which owns two internal queues). The rate and
+    /// buffer in `cfg.queue` are ignored — the qdisc carries its own.
+    pub fn with_qdisc(cfg: SimConfig, qdisc: Box<dyn Qdisc>) -> Self {
+        let mut core = SimCore::new(qdisc, cfg.seed, cfg.monitor);
+        if cfg.trace_capacity > 0 {
+            core.trace = Some(Trace::new(cfg.trace_capacity));
+        }
+        if let Some(iv) = core.queue.update_interval() {
+            core.events.push(Time::ZERO + iv, Event::AqmUpdate);
+        }
+        let sample_iv = core.monitor.sample_interval();
+        core.events.push(Time::ZERO + sample_iv, Event::Sample);
+        Sim {
+            core,
+            sources: Vec::new(),
+        }
+    }
+
+    /// Add a flow: registers the path, constructs the source via `make`
+    /// (which receives the assigned [`FlowId`]), and schedules its start.
+    pub fn add_flow<F>(&mut self, path: PathConf, label: &str, start: Time, make: F) -> FlowId
+    where
+        F: FnOnce(FlowId) -> Box<dyn Source>,
+    {
+        let id = self.core.register_flow(path, label);
+        self.sources.push(make(id));
+        self.core.events.push(start, Event::SourceOn(id));
+        id
+    }
+
+    /// Schedule a flow to stop at `at`.
+    pub fn stop_flow_at(&mut self, flow: FlowId, at: Time) {
+        self.core.events.push(at, Event::SourceOff(flow));
+    }
+
+    /// Schedule a bottleneck rate change at `at`.
+    pub fn set_rate_at(&mut self, at: Time, rate_bps: u64) {
+        self.core.events.push(at, Event::SetLinkRate(rate_bps));
+    }
+
+    /// Run until the clock reaches `end` (events at exactly `end`
+    /// included) or no events remain.
+    pub fn run_until(&mut self, end: Time) {
+        while let Some(t) = self.core.events.peek_time() {
+            if t > end {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Process a single event. Returns false when the event queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((_, event)) = self.core.events.pop() else {
+            return false;
+        };
+        match event {
+            Event::Dequeue => {
+                self.core.handle_dequeue();
+            }
+            Event::Deliver(pkt) => {
+                let now = self.core.now();
+                self.core.monitor.record_delivered(pkt.flow, pkt.size, now);
+                let idx = pkt.flow.idx();
+                self.sources[idx].on_deliver(pkt, &mut self.core);
+            }
+            Event::AckArrive(ack) => {
+                self.sources[ack.flow.idx()].on_ack(ack, &mut self.core);
+            }
+            Event::Timer { flow, kind, id } => {
+                self.sources[flow.idx()].on_timer(kind, id, &mut self.core);
+            }
+            Event::AqmUpdate => {
+                let now = self.core.now();
+                self.core.queue.update(now);
+                let p = self.core.queue.control_variable();
+                self.core.monitor.record_control_variable(p, now);
+                if let Some(iv) = self.core.queue.update_interval() {
+                    self.core.events.push(now + iv, Event::AqmUpdate);
+                }
+            }
+            Event::Sample => {
+                let now = self.core.now();
+                self.core.monitor.sample(self.core.queue.as_ref(), now);
+                let iv = self.core.monitor.sample_interval();
+                self.core.events.push(now + iv, Event::Sample);
+            }
+            Event::SetLinkRate(rate) => {
+                self.core.queue.set_rate_bps(rate);
+            }
+            Event::SourceOn(flow) => {
+                self.sources[flow.idx()].on_start(&mut self.core);
+            }
+            Event::SourceOff(flow) => {
+                self.sources[flow.idx()].on_stop(&mut self.core);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aqm::PassAqm;
+    use crate::packet::Ecn;
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared observation log for scripted test sources.
+    #[derive(Default)]
+    struct ProbeLog {
+        delivered: Vec<u64>,
+        acked: Vec<u64>,
+    }
+
+    /// A scripted source: sends `n` packets back-to-back on start, ACKs
+    /// every delivery, and records what it sees into a shared log.
+    struct Probe {
+        id: FlowId,
+        n: u64,
+        rcv_pkts: u64,
+        log: Rc<RefCell<ProbeLog>>,
+    }
+
+    impl Source for Probe {
+        fn on_start(&mut self, core: &mut SimCore) {
+            for seq in 0..self.n {
+                let pkt = Packet::data(self.id, seq, 1000, Ecn::NotEct, core.now());
+                core.send_packet(pkt);
+            }
+        }
+        fn on_deliver(&mut self, pkt: Packet, core: &mut SimCore) {
+            self.log.borrow_mut().delivered.push(pkt.seq);
+            self.rcv_pkts += 1;
+            core.send_ack(Ack {
+                flow: self.id,
+                cum_seq: pkt.seq + 1,
+                ece: false,
+                ce_total: 0,
+                pkts_total: self.rcv_pkts,
+                echo_ts: pkt.sent_at,
+                echo_rtx: pkt.retransmit,
+                sack: Ack::NO_SACK,
+            });
+        }
+        fn on_ack(&mut self, ack: Ack, _core: &mut SimCore) {
+            self.log.borrow_mut().acked.push(ack.cum_seq);
+        }
+    }
+
+    fn build(n: u64, rate: u64, rtt_ms: i64) -> (Sim, FlowId, Rc<RefCell<ProbeLog>>) {
+        let cfg = SimConfig {
+            queue: QueueConfig {
+                rate_bps: rate,
+                buffer_bytes: usize::MAX,
+            },
+            seed: 7,
+            monitor: MonitorConfig::default(),
+            trace_capacity: 0,
+        };
+        let mut sim = Sim::new(cfg, Box::new(PassAqm));
+        let log = Rc::new(RefCell::new(ProbeLog::default()));
+        let log2 = Rc::clone(&log);
+        let id = sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(rtt_ms)),
+            "probe",
+            Time::ZERO,
+            move |id| {
+                Box::new(Probe {
+                    id,
+                    n,
+                    rcv_pkts: 0,
+                    log: log2,
+                })
+            },
+        );
+        (sim, id, log)
+    }
+
+    #[test]
+    fn packets_deliver_in_order_with_correct_latency() {
+        // 1000-byte packets at 1 Mb/s: 8 ms serialization each; RTT 10 ms.
+        let (mut sim, _, log) = build(3, 1_000_000, 10);
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(log.borrow().delivered, vec![0, 1, 2]);
+        assert_eq!(log.borrow().acked, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn serialization_spacing_matches_rate() {
+        // Deliveries must be spaced by the serialization time (8 ms),
+        // first arriving at ser + fwd prop = 8 + 5 = 13 ms.
+        let (mut sim, _, _log) = build(2, 1_000_000, 10);
+        let mut deliveries = Vec::new();
+        while sim.core.events.peek_time().is_some() && sim.core.now() < Time::from_secs(5) {
+            // Inspect the event stream by watching monitor deltas instead:
+            sim.step();
+            let d = sim.core.monitor.flow(FlowId(0)).delivered_pkts;
+            if deliveries.last().copied().unwrap_or(0) != d {
+                deliveries.push(d);
+            }
+            if d == 2 {
+                break;
+            }
+        }
+        let now = sim.core.now();
+        // Second delivery at 2*8 + 5 = 21 ms.
+        assert_eq!(now, Time::from_millis(21));
+    }
+
+    #[test]
+    fn monitor_counts_sent_and_delivered() {
+        let (mut sim, id, _log) = build(5, 10_000_000, 10);
+        sim.run_until(Time::from_secs(5));
+        let acc = sim.core.monitor.flow(id);
+        assert_eq!(acc.sent_pkts, 5);
+        assert_eq!(acc.delivered_pkts, 5);
+        assert_eq!(acc.delivered_bytes, 5000);
+        assert_eq!(acc.dropped, 0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed: u64| {
+            let cfg = SimConfig {
+                queue: QueueConfig::default(),
+                seed,
+                monitor: MonitorConfig::default(),
+                trace_capacity: 0,
+            };
+            let mut sim = Sim::new(cfg, Box::new(PassAqm));
+            sim.add_flow(
+                PathConf::symmetric(Duration::from_millis(20)),
+                "probe",
+                Time::ZERO,
+                |id| {
+                    Box::new(Probe {
+                        id,
+                        n: 50,
+                        rcv_pkts: 0,
+                        log: Rc::new(RefCell::new(ProbeLog::default())),
+                    })
+                },
+            );
+            sim.run_until(Time::from_secs(2));
+            (
+                sim.core.events.popped(),
+                sim.core.queue.stats().dequeued_bytes,
+            )
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn timers_fire_for_the_right_flow() {
+        struct TimerProbe {
+            id: FlowId,
+            fired: Rc<RefCell<Vec<(TimerKind, u64)>>>,
+            armed: u64,
+        }
+        impl Source for TimerProbe {
+            fn on_start(&mut self, core: &mut SimCore) {
+                self.armed = core.schedule_timer(self.id, TimerKind::Send, Duration::from_millis(5));
+            }
+            fn on_deliver(&mut self, _pkt: Packet, _core: &mut SimCore) {}
+            fn on_timer(&mut self, kind: TimerKind, id: u64, _core: &mut SimCore) {
+                assert_eq!(id, self.armed, "stale timer id delivered");
+                self.fired.borrow_mut().push((kind, id));
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired2 = Rc::clone(&fired);
+        let mut sim = Sim::new(SimConfig::default(), Box::new(PassAqm));
+        sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(10)),
+            "t",
+            Time::ZERO,
+            move |id| {
+                Box::new(TimerProbe {
+                    id,
+                    fired: fired2,
+                    armed: 0,
+                })
+            },
+        );
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(fired.borrow().len(), 1);
+        assert_eq!(fired.borrow()[0].0, TimerKind::Send);
+    }
+
+    #[test]
+    fn rate_change_event_applies() {
+        let (mut sim, _, _log) = build(1, 1_000_000, 10);
+        sim.set_rate_at(Time::from_millis(100), 5_000_000);
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(sim.core.queue.rate_bps(), 5_000_000);
+    }
+
+    #[test]
+    fn path_symmetric_splits_rtt() {
+        let p = PathConf::symmetric(Duration::from_millis(25));
+        assert_eq!(p.base_rtt(), Duration::from_millis(25));
+        assert!(p.fwd <= p.rev);
+    }
+}

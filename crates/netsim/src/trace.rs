@@ -1,0 +1,178 @@
+//! Optional per-packet event tracing.
+//!
+//! When enabled (off by default — it costs memory proportional to the
+//! packet count), the simulator records every admission verdict and
+//! departure at the bottleneck. Useful for debugging AQM behaviour
+//! packet-by-packet and for exporting runs to external analysis.
+
+use crate::packet::{Ecn, FlowId};
+use pi2_simcore::{Duration, Time};
+
+/// One traced bottleneck event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Packet admitted to the queue.
+    Enqueue {
+        /// When.
+        t: Time,
+        /// Owning flow.
+        flow: FlowId,
+        /// Sequence number.
+        seq: u64,
+        /// ECN field at admission (post-marking).
+        ecn: Ecn,
+    },
+    /// Packet CE-marked on admission (also reported as an Enqueue).
+    Mark {
+        /// When.
+        t: Time,
+        /// Owning flow.
+        flow: FlowId,
+        /// Sequence number.
+        seq: u64,
+        /// The probability that produced the mark.
+        prob: f64,
+    },
+    /// Packet dropped (AQM decision or buffer overflow).
+    Drop {
+        /// When.
+        t: Time,
+        /// Owning flow.
+        flow: FlowId,
+        /// Sequence number.
+        seq: u64,
+        /// The probability that produced the drop (1.0 for overflow).
+        prob: f64,
+    },
+    /// Packet finished transmission.
+    Dequeue {
+        /// When.
+        t: Time,
+        /// Owning flow.
+        flow: FlowId,
+        /// Sequence number.
+        seq: u64,
+        /// Queueing + serialization time.
+        sojourn: Duration,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> Time {
+        match *self {
+            TraceEvent::Enqueue { t, .. }
+            | TraceEvent::Mark { t, .. }
+            | TraceEvent::Drop { t, .. }
+            | TraceEvent::Dequeue { t, .. } => t,
+        }
+    }
+
+    /// One-line text rendering (`t  KIND  flow#seq  details`).
+    pub fn render(&self) -> String {
+        match *self {
+            TraceEvent::Enqueue { t, flow, seq, ecn } => {
+                format!("{t} ENQ  f{}#{seq} {ecn:?}", flow.0)
+            }
+            TraceEvent::Mark { t, flow, seq, prob } => {
+                format!("{t} MARK f{}#{seq} p={prob:.4}", flow.0)
+            }
+            TraceEvent::Drop { t, flow, seq, prob } => {
+                format!("{t} DROP f{}#{seq} p={prob:.4}", flow.0)
+            }
+            TraceEvent::Dequeue {
+                t,
+                flow,
+                seq,
+                sojourn,
+            } => format!("{t} DEQ  f{}#{seq} sojourn={sojourn}", flow.0),
+        }
+    }
+}
+
+/// A bounded trace buffer (recording stops at capacity, it never evicts —
+/// the head of a run is usually what debugging needs).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// A trace buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Record an event (silently ignored once full).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True once the buffer has hit capacity.
+    pub fn is_full(&self) -> bool {
+        self.events.len() >= self.capacity
+    }
+
+    /// Render the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_bounded() {
+        let mut tr = Trace::new(2);
+        for i in 0..5 {
+            tr.push(TraceEvent::Enqueue {
+                t: Time::from_millis(i),
+                flow: FlowId(0),
+                seq: i,
+                ecn: Ecn::NotEct,
+            });
+        }
+        assert_eq!(tr.events().len(), 2);
+        assert!(tr.is_full());
+        assert_eq!(tr.events()[1].time(), Time::from_millis(1));
+    }
+
+    #[test]
+    fn rendering_is_line_per_event() {
+        let mut tr = Trace::new(10);
+        tr.push(TraceEvent::Drop {
+            t: Time::from_millis(3),
+            flow: FlowId(2),
+            seq: 7,
+            prob: 0.25,
+        });
+        tr.push(TraceEvent::Dequeue {
+            t: Time::from_millis(4),
+            flow: FlowId(2),
+            seq: 6,
+            sojourn: Duration::from_millis(12),
+        });
+        let text = tr.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("DROP f2#7 p=0.2500"));
+        assert!(text.contains("DEQ  f2#6"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the packet-level substrate.
+
+use pi2_netsim::{
+    Action, Aqm, BottleneckQueue, Decision, Ecn, FlowId, Packet, PassAqm, QueueConfig,
+    QueueSnapshot,
+};
+use pi2_simcore::{Duration, Rng, Time};
+use proptest::prelude::*;
+
+fn arb_ecn() -> impl Strategy<Value = Ecn> {
+    prop_oneof![
+        Just(Ecn::NotEct),
+        Just(Ecn::Ect0),
+        Just(Ecn::Ect1),
+        Just(Ecn::Ce),
+    ]
+}
+
+proptest! {
+    /// Byte and packet accounting is exact under arbitrary offer/pop
+    /// interleavings, and FIFO order is preserved.
+    #[test]
+    fn queue_accounting_invariant(
+        ops in prop::collection::vec((any::<bool>(), 40usize..2000, arb_ecn()), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut q = BottleneckQueue::new(
+            QueueConfig { rate_bps: 10_000_000, buffer_bytes: 100_000 },
+            Box::new(PassAqm),
+        );
+        let mut rng = Rng::new(seed);
+        let mut model: std::collections::VecDeque<(u64, usize)> = Default::default();
+        let mut bytes = 0usize;
+        let mut seq = 0u64;
+        let mut t = Time::ZERO;
+        for (push, size, ecn) in ops {
+            t += Duration::from_micros(100);
+            if push {
+                let d = q.offer(Packet::data(FlowId(0), seq, size, ecn, t), t, &mut rng);
+                match d.action {
+                    Action::Pass | Action::Mark => {
+                        model.push_back((seq, size));
+                        bytes += size;
+                    }
+                    Action::Drop => {
+                        // Only overflow can drop under PassAqm.
+                        prop_assert!(bytes + size > 100_000);
+                    }
+                }
+                seq += 1;
+            } else if let Some((pkt, sojourn)) = q.pop(t) {
+                let (mseq, msize) = model.pop_front().unwrap();
+                prop_assert_eq!(pkt.seq, mseq);
+                prop_assert_eq!(pkt.size, msize);
+                prop_assert!(sojourn >= Duration::ZERO);
+                bytes -= msize;
+            }
+            prop_assert_eq!(q.len_bytes(), bytes);
+            prop_assert_eq!(q.len_pkts(), model.len());
+        }
+    }
+
+    /// The queue never exceeds its byte limit, whatever is thrown at it.
+    #[test]
+    fn buffer_limit_never_exceeded(
+        sizes in prop::collection::vec(40usize..3000, 1..200),
+        limit in 5_000usize..50_000,
+        seed in any::<u64>(),
+    ) {
+        let mut q = BottleneckQueue::new(
+            QueueConfig { rate_bps: 1_000_000, buffer_bytes: limit },
+            Box::new(PassAqm),
+        );
+        let mut rng = Rng::new(seed);
+        for (i, size) in sizes.iter().enumerate() {
+            q.offer(
+                Packet::data(FlowId(0), i as u64, *size, Ecn::NotEct, Time::ZERO),
+                Time::ZERO,
+                &mut rng,
+            );
+            prop_assert!(q.len_bytes() <= limit);
+        }
+    }
+
+    /// Snapshot fields are consistent with the queue's own accessors.
+    #[test]
+    fn snapshot_consistency(sizes in prop::collection::vec(100usize..1500, 0..50)) {
+        let mut q = BottleneckQueue::new(QueueConfig::default(), Box::new(PassAqm));
+        let mut rng = Rng::new(1);
+        for (i, size) in sizes.iter().enumerate() {
+            q.offer(
+                Packet::data(FlowId(0), i as u64, *size, Ecn::NotEct, Time::ZERO),
+                Time::ZERO,
+                &mut rng,
+            );
+        }
+        let s = q.snapshot();
+        prop_assert_eq!(s.qlen_bytes, q.len_bytes());
+        prop_assert_eq!(s.qlen_pkts, q.len_pkts());
+        prop_assert_eq!(s.link_rate_bps, q.rate_bps());
+    }
+}
+
+/// A probabilistic AQM for decision-frequency checks.
+struct FixedP(f64);
+impl Aqm for FixedP {
+    fn on_enqueue(
+        &mut self,
+        pkt: &Packet,
+        _snap: &QueueSnapshot,
+        _now: Time,
+        rng: &mut Rng,
+    ) -> Decision {
+        if rng.chance(self.0) {
+            if pkt.ecn.is_ect() {
+                Decision::mark(self.0)
+            } else {
+                Decision::drop(self.0)
+            }
+        } else {
+            Decision::pass(self.0)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "fixedp"
+    }
+}
+
+proptest! {
+    /// Marks only ever touch ECT packets; drops only Not-ECT (for an AQM
+    /// following the mark-if-possible convention), and CE-marking
+    /// rewrites the field to CE.
+    #[test]
+    fn mark_rewrites_to_ce(p in 0.1f64..0.9, seed in any::<u64>(), ecn in arb_ecn()) {
+        let mut q = BottleneckQueue::new(QueueConfig::default(), Box::new(FixedP(p)));
+        let mut rng = Rng::new(seed);
+        for i in 0..100u64 {
+            let d = q.offer(
+                Packet::data(FlowId(0), i, 1500, ecn, Time::ZERO),
+                Time::ZERO,
+                &mut rng,
+            );
+            match d.action {
+                Action::Mark => prop_assert!(ecn.is_ect()),
+                Action::Drop => prop_assert!(!ecn.is_ect()),
+                Action::Pass => {}
+            }
+        }
+        // Everything admitted after a Mark decision must carry CE.
+        let mut t = Time::ZERO;
+        while let Some((pkt, _)) = q.pop(t) {
+            t += Duration::from_micros(1);
+            if ecn.is_ect() {
+                prop_assert!(pkt.ecn == Ecn::Ce || pkt.ecn == ecn);
+            } else {
+                prop_assert_eq!(pkt.ecn, Ecn::NotEct);
+            }
+        }
+    }
+}

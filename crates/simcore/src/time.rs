@@ -1,0 +1,398 @@
+//! Virtual time as integer nanoseconds.
+//!
+//! The simulator never touches wall-clock time. [`Time`] is an absolute
+//! instant on the virtual timeline (ns since simulation start) and
+//! [`Duration`] is a signed span between instants. Both are thin newtypes
+//! over integers so that the event queue's ordering is exact — no float
+//! comparisons, no accumulation error in `t += dt` loops.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Nanoseconds in one second, as used by all conversions in this module.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// An absolute instant of virtual time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A signed span of virtual time in nanoseconds.
+///
+/// Signed so that `a - b` is well-defined for any pair of [`Time`]s; queue
+/// delay errors fed to the PI controller are naturally signed quantities.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(i64);
+
+impl Time {
+    /// The origin of the simulation timeline.
+    pub const ZERO: Time = Time(0);
+    /// The far future; useful as an "unscheduled" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Construct from integer microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Construct from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// Construct from integer seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest ns.
+    ///
+    /// # Panics
+    /// Panics if `s` is negative, NaN, or too large for the timeline.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0 && s < (u64::MAX as f64 / NANOS_PER_SEC as f64),
+            "invalid time in seconds: {s}"
+        );
+        Time((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Fractional milliseconds since simulation start.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time elapsed since `earlier`; zero if `earlier` is in the future.
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        if self.0 >= earlier.0 {
+            Duration(self.0.saturating_sub(earlier.0) as i64)
+        } else {
+            Duration(0)
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from raw (signed) nanoseconds.
+    pub const fn from_nanos(ns: i64) -> Self {
+        Duration(ns)
+    }
+
+    /// Construct from integer microseconds.
+    pub const fn from_micros(us: i64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from integer milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from integer seconds.
+    pub const fn from_secs(s: i64) -> Self {
+        Duration(s * NANOS_PER_SEC as i64)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest ns.
+    ///
+    /// # Panics
+    /// Panics if `s` is NaN or out of the representable range.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s.abs() < (i64::MAX as f64 / NANOS_PER_SEC as f64),
+            "invalid duration in seconds: {s}"
+        );
+        Duration((s * NANOS_PER_SEC as f64).round() as i64)
+    }
+
+    /// Raw signed nanoseconds.
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// True if the span is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Clamp a negative span to zero.
+    pub fn max_zero(self) -> Duration {
+        if self.0 < 0 {
+            Duration(0)
+        } else {
+            self
+        }
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The time it takes to serialize `bytes` onto a link of `rate_bps`
+    /// bits per second, rounded up to a whole nanosecond so that back-to-back
+    /// transmissions never overlap.
+    ///
+    /// # Panics
+    /// Panics if `rate_bps` is zero.
+    pub fn serialization(bytes: usize, rate_bps: u64) -> Duration {
+        assert!(rate_bps > 0, "link rate must be positive");
+        let bits = bytes as u128 * 8;
+        let ns = (bits * NANOS_PER_SEC as u128).div_ceil(rate_bps as u128);
+        Duration(ns.min(i64::MAX as u128) as i64)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        if rhs.0 >= 0 {
+            Time(self.0 + rhs.0 as u64)
+        } else {
+            Time(self.0.saturating_sub(rhs.0.unsigned_abs()))
+        }
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        self + Duration(-rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 as i64 - rhs.0 as i64)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: i64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: i64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips_units() {
+        assert_eq!(Time::from_secs(3).as_nanos(), 3 * NANOS_PER_SEC);
+        assert_eq!(Time::from_millis(20).as_nanos(), 20_000_000);
+        assert_eq!(Time::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Time::from_secs_f64(1.5).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn duration_roundtrips_units() {
+        assert_eq!(Duration::from_millis(-3).as_nanos(), -3_000_000);
+        assert_eq!(Duration::from_secs_f64(-0.25).as_secs_f64(), -0.25);
+        assert_eq!(Duration::from_secs(2).as_millis_f64(), 2000.0);
+    }
+
+    #[test]
+    fn time_minus_time_is_signed() {
+        let a = Time::from_millis(10);
+        let b = Time::from_millis(25);
+        assert_eq!(b - a, Duration::from_millis(15));
+        assert_eq!(a - b, Duration::from_millis(-15));
+        assert!((a - b).is_negative());
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let a = Time::from_millis(10);
+        let b = Time::from_millis(25);
+        assert_eq!(b.saturating_since(a), Duration::from_millis(15));
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn adding_negative_duration_saturates_at_origin() {
+        let t = Time::from_nanos(5);
+        assert_eq!(t + Duration::from_nanos(-10), Time::ZERO);
+    }
+
+    #[test]
+    fn serialization_time_matches_rate() {
+        // 1500 bytes at 10 Mb/s = 12000 bits / 10^7 bps = 1.2 ms.
+        let d = Duration::serialization(1500, 10_000_000);
+        assert_eq!(d, Duration::from_micros(1200));
+        // 1 byte at 1 Gb/s = 8 ns.
+        assert_eq!(Duration::serialization(1, NANOS_PER_SEC), Duration::from_nanos(8));
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        // 1 byte at 3 bps: 8/3 s = 2.666..s rounds up to whole ns.
+        let d = Duration::serialization(1, 3);
+        assert_eq!(d.as_nanos(), (8 * NANOS_PER_SEC as i64 + 2) / 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn serialization_zero_rate_panics() {
+        let _ = Duration::serialization(100, 0);
+    }
+
+    #[test]
+    fn max_zero_clamps() {
+        assert_eq!(Duration::from_millis(-5).max_zero(), Duration::ZERO);
+        assert_eq!(Duration::from_millis(5).max_zero(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = Time::from_millis(1);
+        let b = Time::from_millis(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let x = Duration::from_millis(1);
+        let y = Duration::from_millis(2);
+        assert_eq!(x.min(y), x);
+        assert_eq!(x.max(y), y);
+        assert!(x < y);
+    }
+
+    #[test]
+    fn duration_scalar_arithmetic() {
+        let d = Duration::from_millis(10);
+        assert_eq!(d * 3, Duration::from_millis(30));
+        assert_eq!(d / 2, Duration::from_millis(5));
+        let mut acc = Duration::ZERO;
+        acc += d;
+        acc -= Duration::from_millis(4);
+        assert_eq!(acc, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", Time::from_millis(1500)), "1.500000");
+        assert_eq!(format!("{}", Duration::from_millis(-20)), "-0.020000");
+    }
+}

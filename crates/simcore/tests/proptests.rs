@@ -1,0 +1,88 @@
+//! Property-based tests for the discrete-event core.
+
+use pi2_simcore::{Duration, EventQueue, Rng, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popped timestamps are a non-decreasing sequence, whatever the push order.
+    #[test]
+    fn event_queue_pops_monotonically(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_nanos(t), i);
+        }
+        let mut last = Time::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Events pushed at the same instant pop in push order (stable FIFO).
+    #[test]
+    fn event_queue_is_fifo_on_ties(n in 1usize..300, t in 0u64..1_000_000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(Time::from_nanos(t), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    /// Time arithmetic: (a + d) - a == d for any non-negative d that fits.
+    #[test]
+    fn time_plus_duration_roundtrips(a in 0u64..u64::MAX / 4, d in 0i64..i64::MAX / 4) {
+        let t = Time::from_nanos(a);
+        let dur = Duration::from_nanos(d);
+        prop_assert_eq!((t + dur) - t, dur);
+    }
+
+    /// Subtraction antisymmetry: a - b == -(b - a).
+    #[test]
+    fn time_sub_antisymmetric(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = Time::from_nanos(a);
+        let tb = Time::from_nanos(b);
+        prop_assert_eq!((ta - tb).as_nanos(), -(tb - ta).as_nanos());
+    }
+
+    /// Serialization time is monotone in size and antitone in rate.
+    #[test]
+    fn serialization_monotonicity(bytes in 1usize..100_000, rate in 1_000u64..10_000_000_000) {
+        let d = Duration::serialization(bytes, rate);
+        prop_assert!(d > Duration::ZERO);
+        prop_assert!(Duration::serialization(bytes + 1, rate) >= d);
+        prop_assert!(Duration::serialization(bytes, rate * 2) <= d);
+    }
+
+    /// The PRNG's unit-interval output never leaves [0, 1).
+    #[test]
+    fn rng_unit_interval(seed in any::<u64>()) {
+        let mut r = Rng::new(seed);
+        for _ in 0..100 {
+            let x = r.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// range_u64 respects its bounds for arbitrary non-empty ranges.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..50 {
+            let x = r.range_u64(lo, lo + span);
+            prop_assert!(x >= lo && x < lo + span);
+        }
+    }
+
+    /// Identical seeds give identical streams — the determinism contract
+    /// every experiment in this repository depends on.
+    #[test]
+    fn rng_determinism(seed in any::<u64>()) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

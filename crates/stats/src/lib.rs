@@ -1,0 +1,16 @@
+//! # pi2-stats — measurement post-processing
+//!
+//! The paper's evaluation reports means, P1/P25/P99 percentiles, CDFs,
+//! utilization summaries and rate-balance ratios. This crate provides the
+//! small, well-tested toolkit the experiment runners use to turn the raw
+//! samples collected by `pi2-netsim`'s monitor into those figures.
+
+pub mod cdf;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use cdf::Cdf;
+pub use series::{excursions_above, peak_in, settling_time, time_above};
+pub use summary::{jain_fairness, mean, percentile, stddev, Summary};
+pub use table::{format_csv, format_table, Align};

@@ -1,0 +1,152 @@
+//! Time-series analysis for step-response figures.
+//!
+//! Figures 6, 11, 12 and 13 are all read the same way: how high does the
+//! queue spike after a disturbance, how fast does it settle back into a
+//! band around the target, and how long does it spend above a badness
+//! threshold. These helpers compute those quantities from `(t, v)`
+//! series.
+
+/// The peak value in `[from, to)`, and when it occurred.
+pub fn peak_in(series: &[(f64, f64)], from: f64, to: f64) -> Option<(f64, f64)> {
+    series
+        .iter()
+        .filter(|(t, _)| (from..to).contains(t))
+        .fold(None, |best, &(t, v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((t, v)),
+        })
+}
+
+/// First time at or after `from` from which the series stays within
+/// `target ± band` for at least `hold` seconds (or to the end of data,
+/// if the data ends while still inside the band and at least one sample
+/// was seen). `None` if it never settles.
+pub fn settling_time(
+    series: &[(f64, f64)],
+    from: f64,
+    target: f64,
+    band: f64,
+    hold: f64,
+) -> Option<f64> {
+    let mut candidate: Option<f64> = None;
+    let mut last_t = from;
+    for &(t, v) in series.iter().filter(|(t, _)| *t >= from) {
+        last_t = t;
+        if (v - target).abs() <= band {
+            let start = *candidate.get_or_insert(t);
+            if t - start >= hold {
+                return Some(start - from);
+            }
+        } else {
+            candidate = None;
+        }
+    }
+    // Ran out of data while inside the band: accept if we held to the end.
+    candidate.filter(|&start| last_t > start).map(|s| s - from)
+}
+
+/// Total time the series spends above `threshold` in `[from, to)`,
+/// approximated by sample spacing (each sample accounts for the interval
+/// to its successor).
+pub fn time_above(series: &[(f64, f64)], from: f64, to: f64, threshold: f64) -> f64 {
+    let pts: Vec<&(f64, f64)> = series
+        .iter()
+        .filter(|(t, _)| (from..to).contains(t))
+        .collect();
+    let mut total = 0.0;
+    for w in pts.windows(2) {
+        if w[0].1 > threshold {
+            total += w[1].0 - w[0].0;
+        }
+    }
+    total
+}
+
+/// Count distinct excursions above `threshold` in `[from, to)` (an
+/// excursion is a maximal run of consecutive samples above it).
+pub fn excursions_above(series: &[(f64, f64)], from: f64, to: f64, threshold: f64) -> usize {
+    let mut count = 0;
+    let mut above = false;
+    for &(t, v) in series {
+        if !(from..to).contains(&t) {
+            continue;
+        }
+        if v > threshold && !above {
+            count += 1;
+            above = true;
+        } else if v <= threshold {
+            above = false;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<(f64, f64)> {
+        // Step at t=10: spike to 100, decay back to ~20 by t=15.
+        let mut s = Vec::new();
+        for i in 0..100 {
+            let t = i as f64 * 0.5;
+            let v = if t < 10.0 {
+                20.0
+            } else if t < 11.0 {
+                100.0
+            } else if t < 15.0 {
+                20.0 + 80.0 * (15.0 - t) / 4.0
+            } else {
+                20.0
+            };
+            s.push((t, v));
+        }
+        s
+    }
+
+    #[test]
+    fn peak_is_found_in_window() {
+        let s = series();
+        let (t, v) = peak_in(&s, 9.0, 20.0).unwrap();
+        assert_eq!(v, 100.0);
+        assert!((10.0..11.0).contains(&t));
+        assert!(peak_in(&s, 40.0, 50.0).unwrap().1 <= 20.0);
+        assert!(peak_in(&s, 60.0, 70.0).is_none());
+    }
+
+    #[test]
+    fn settling_time_measures_return_to_band() {
+        let s = series();
+        // After the step at t=10, settle into 20±5 holding 5 s.
+        let st = settling_time(&s, 10.0, 20.0, 5.0, 5.0).unwrap();
+        // The decay reaches 25 at t = 14.75; settle ≈ 4.5-5 s after t=10.
+        assert!((4.0..5.5).contains(&st), "settling {st}");
+        // A tight band it never satisfies long enough -> but the tail is
+        // flat at exactly 20, so even 0.1 bands settle.
+        assert!(settling_time(&s, 10.0, 20.0, 0.1, 5.0).is_some());
+        // An impossible target never settles.
+        assert!(settling_time(&s, 10.0, 500.0, 1.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn time_above_integrates_excursions() {
+        let s = series();
+        let above50 = time_above(&s, 0.0, 50.0, 50.0);
+        // v>50 from t=10 to ~12.5 (spike + first half of decay).
+        assert!((1.5..=3.5).contains(&above50), "time above {above50}");
+        assert_eq!(time_above(&s, 0.0, 9.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn excursions_count_distinct_events() {
+        let mut s = series();
+        // Add a second spike at t=30.
+        for (t, v) in s.iter_mut() {
+            if (30.0..31.0).contains(t) {
+                *v = 90.0;
+            }
+        }
+        assert_eq!(excursions_above(&s, 0.0, 50.0, 50.0), 2);
+        assert_eq!(excursions_above(&s, 0.0, 50.0, 150.0), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Means, percentiles and fairness indices.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// The `q`-quantile (`q` in `[0, 1]`) by linear interpolation between
+/// order statistics (the same convention as numpy's default).
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn stddev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    (samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64).sqrt()
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`; 1 for equal allocations,
+/// `1/n` for a single flow taking everything.
+pub fn jain_fairness(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (rates.len() as f64 * sq)
+    }
+}
+
+/// The five-number summary style used throughout the paper's figures.
+///
+/// ```
+/// use pi2_stats::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+/// assert_eq!(s.n, 5);
+/// assert_eq!(s.max, 100.0);
+/// assert!(s.p99 > s.p50);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 1st percentile (Figure 18's lower whisker).
+    pub p1: f64,
+    /// 25th percentile (Figure 17's lower whisker).
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile (the paper's headline tail statistic).
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample set (empty input gives all zeros).
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                p1: 0.0,
+                p25: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        Summary {
+            n: samples.len(),
+            mean: mean(samples),
+            p1: percentile(samples, 0.01),
+            p25: percentile(samples, 0.25),
+            p50: percentile(samples, 0.50),
+            p99: percentile(samples, 0.99),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Convenience for `f32` sample buffers (the monitor stores `f32`).
+    pub fn of_f32(samples: &[f32]) -> Summary {
+        let v: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_sequence() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        assert_eq!(percentile(&s, 1.0), 40.0);
+        assert_eq!(percentile(&s, 0.5), 25.0);
+        // Order independence.
+        let shuffled = [40.0, 10.0, 30.0, 20.0];
+        assert_eq!(percentile(&shuffled, 0.5), 25.0);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_rejects_bad_quantile() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert_eq!(stddev(&[2.0, 2.0, 2.0]), 0.0);
+        // Var of {1,3} around mean 2 is 1.
+        assert!((stddev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+        let skewed = jain_fairness(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn summary_matches_components() {
+        let s: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let sum = Summary::of(&s);
+        assert_eq!(sum.n, 100);
+        assert!((sum.mean - 50.5).abs() < 1e-12);
+        assert!((sum.p50 - 50.5).abs() < 1e-9);
+        assert_eq!(sum.max, 100.0);
+        assert!(sum.p1 < sum.p25 && sum.p25 < sum.p99);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn summary_of_f32_matches_f64() {
+        let f32s: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0];
+        let a = Summary::of_f32(&f32s);
+        let b = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,344 @@
+//! The idealized Scalable control of Appendix B.
+//!
+//! The paper's stability analysis models "a congestion control that
+//! reduces its window by half a packet per mark" (eq. (22)) — a good
+//! approximation of DCTCP under probabilistic marking, minus DCTCP's
+//! extra EWMA smoothing. Balance per RTT: `+1` additive increase against
+//! `p·W·½` decrease gives the same `W = 2/p` law as eq. (11).
+//!
+//! This control is useful in its own right (it is essentially Relentless
+//! TCP's response) and as the cleanest experimental subject for the
+//! `scal pi` Bode plots of Figure 7.
+
+use super::CongestionControl;
+use pi2_simcore::{Duration, Time};
+
+/// Minimum congestion window, in packets.
+const MIN_CWND: f64 = 2.0;
+
+/// A scalable control: −½ packet per mark, +1 packet per RTT.
+#[derive(Clone, Debug)]
+pub struct ScalableHalfPkt {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl ScalableHalfPkt {
+    /// A fresh instance starting in slow start.
+    pub fn new(initial_cwnd: f64) -> Self {
+        assert!(initial_cwnd >= 1.0, "initial cwnd must be at least 1");
+        ScalableHalfPkt {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+        }
+    }
+}
+
+impl CongestionControl for ScalableHalfPkt {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, acked: u64, marked: u64, _received: u64, _rtt: Duration, _now: Time) {
+        for _ in 0..acked {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0;
+            } else {
+                self.cwnd += 1.0 / self.cwnd;
+            }
+        }
+        if marked > 0 {
+            self.cwnd = (self.cwnd - 0.5 * marked as f64).max(MIN_CWND);
+            // End slow start at the *reduced* window: leaving ssthresh
+            // above cwnd would let slow-start growth (+1/ACK) outrun the
+            // −½/mark decrease — a runaway.
+            self.ssthresh = self.ssthresh.min(self.cwnd);
+        }
+    }
+
+    fn on_loss(&mut self, _now: Time) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_ecn(&mut self, _now: Time) {
+        // Marks are consumed in on_ack; nothing to do here.
+    }
+
+    fn on_rto(&mut self, _now: Time) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = 1.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "scal"
+    }
+
+    fn steady_state_window(&self, p: f64, _rtt: Duration) -> Option<f64> {
+        Some(2.0 / p)
+    }
+}
+
+/// Relentless TCP (Mathis): decrease the window by exactly one segment
+/// per lost/marked packet, keep the standard +1/RTT increase. Balance
+/// `1 = p·W·1` per RTT gives `W = 1/p` — scalable with B = 1. One of the
+/// family members the paper's Section 5 names alongside DCTCP.
+#[derive(Clone, Debug)]
+pub struct Relentless {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Relentless {
+    /// A fresh instance starting in slow start.
+    pub fn new(initial_cwnd: f64) -> Self {
+        assert!(initial_cwnd >= 1.0);
+        Relentless {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+        }
+    }
+}
+
+impl CongestionControl for Relentless {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, acked: u64, marked: u64, _received: u64, _rtt: Duration, _now: Time) {
+        for _ in 0..acked {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0;
+            } else {
+                self.cwnd += 1.0 / self.cwnd;
+            }
+        }
+        if marked > 0 {
+            self.cwnd = (self.cwnd - marked as f64).max(MIN_CWND);
+            // See ScalableHalfPkt: exit slow start at the reduced window.
+            self.ssthresh = self.ssthresh.min(self.cwnd);
+        }
+    }
+
+    fn on_loss(&mut self, _now: Time) {
+        // Relentless's defining property: losses cost exactly their own
+        // count, not a multiplicative collapse.
+        self.cwnd = (self.cwnd - 1.0).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_ecn(&mut self, _now: Time) {}
+
+    fn on_rto(&mut self, _now: Time) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = 1.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "relentless"
+    }
+
+    fn steady_state_window(&self, p: f64, _rtt: Duration) -> Option<f64> {
+        Some(1.0 / p)
+    }
+}
+
+/// Scalable TCP (Kelly): MIMD with per-ACK increase `a = 0.01` and
+/// multiplicative decrease `b = 1/8` per congestion event. Events arrive
+/// at rate `p·W` per RTT, so `0.01·W = p·W·(W/8)` gives `W = 0.08/p` —
+/// scalable with B = 1, the other Section 5 family member.
+#[derive(Clone, Debug)]
+pub struct ScalableTcp {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl ScalableTcp {
+    /// Per-ACK additive increase.
+    pub const A: f64 = 0.01;
+    /// Multiplicative decrease per congestion event.
+    pub const B: f64 = 0.125;
+
+    /// A fresh instance starting in slow start.
+    pub fn new(initial_cwnd: f64) -> Self {
+        assert!(initial_cwnd >= 1.0);
+        ScalableTcp {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+        }
+    }
+}
+
+impl CongestionControl for ScalableTcp {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, acked: u64, marked: u64, _received: u64, _rtt: Duration, _now: Time) {
+        for _ in 0..acked {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0;
+            } else {
+                self.cwnd += Self::A;
+            }
+        }
+        for _ in 0..marked {
+            self.cwnd = (self.cwnd * (1.0 - Self::B)).max(MIN_CWND);
+            // See ScalableHalfPkt: exit slow start at the reduced window.
+            self.ssthresh = self.ssthresh.min(self.cwnd);
+        }
+    }
+
+    fn on_loss(&mut self, _now: Time) {
+        self.cwnd = (self.cwnd * (1.0 - Self::B)).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_ecn(&mut self, _now: Time) {}
+
+    fn on_rto(&mut self, _now: Time) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = 1.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "stcp"
+    }
+
+    fn steady_state_window(&self, p: f64, _rtt: Duration) -> Option<f64> {
+        // Balance a·W = p·W·b·W per RTT ⇒ W = a/(b·p).
+        Some(Self::A / (Self::B * p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Duration {
+        Duration::from_millis(10)
+    }
+
+    #[test]
+    fn half_packet_per_mark() {
+        let mut cc = ScalableHalfPkt::new(20.0);
+        cc.ssthresh = 20.0;
+        cc.on_ack(0, 4, 4, r(), Time::ZERO);
+        assert_eq!(cc.cwnd(), 18.0);
+    }
+
+    #[test]
+    fn growth_is_one_per_rtt_in_ca() {
+        let mut cc = ScalableHalfPkt::new(10.0);
+        cc.ssthresh = 10.0;
+        cc.on_ack(10, 0, 10, r(), Time::ZERO);
+        assert!((cc.cwnd() - 11.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn floor_at_min_cwnd() {
+        let mut cc = ScalableHalfPkt::new(2.0);
+        cc.ssthresh = 2.0;
+        cc.on_ack(0, 100, 100, r(), Time::ZERO);
+        assert_eq!(cc.cwnd(), MIN_CWND);
+    }
+
+    #[test]
+    fn relentless_loses_exactly_its_losses() {
+        let mut cc = Relentless::new(50.0);
+        cc.ssthresh = 50.0;
+        cc.on_ack(0, 3, 3, r(), Time::ZERO);
+        assert_eq!(cc.cwnd(), 47.0);
+        cc.on_loss(Time::ZERO);
+        assert_eq!(cc.cwnd(), 46.0);
+    }
+
+    #[test]
+    fn relentless_steady_state_is_1_over_p() {
+        let p = 0.05;
+        let mut cc = Relentless::new(10.0);
+        cc.ssthresh = 10.0;
+        let mut rng = pi2_simcore::Rng::new(11);
+        let mut sum = 0.0;
+        let mut n = 0;
+        for i in 0..200_000 {
+            let marked = u64::from(rng.chance(p));
+            cc.on_ack(1, marked, 1, r(), Time::ZERO);
+            if i > 50_000 {
+                sum += cc.cwnd();
+                n += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 20.0).abs() / 20.0 < 0.15, "mean {mean:.1} vs 1/p = 20");
+    }
+
+    #[test]
+    fn stcp_mimd_parameters() {
+        let mut cc = ScalableTcp::new(100.0);
+        cc.ssthresh = 100.0;
+        cc.on_ack(1, 0, 1, r(), Time::ZERO);
+        assert!((cc.cwnd() - 100.01).abs() < 1e-12);
+        cc.on_ack(0, 1, 1, r(), Time::ZERO);
+        assert!((cc.cwnd() - 100.01 * 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stcp_steady_state_is_a_over_bp() {
+        let p = 0.01;
+        let mut cc = ScalableTcp::new(8.0);
+        cc.ssthresh = 8.0;
+        let mut rng = pi2_simcore::Rng::new(13);
+        let mut sum = 0.0;
+        let mut n = 0;
+        for i in 0..400_000 {
+            let marked = u64::from(rng.chance(p));
+            cc.on_ack(1, marked, 1, r(), Time::ZERO);
+            if i > 100_000 {
+                sum += cc.cwnd();
+                n += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        let law = 0.08 / p;
+        // MIMD under random marking is skewed: the drift balance holds at
+        // the geometric mean, so the arithmetic mean sits above a/(b·p).
+        assert!((mean - law).abs() / law < 0.40, "mean {mean:.1} vs {law:.1}");
+        assert!(mean > law * 0.9, "must not undershoot the law");
+    }
+
+    /// Fixed point: per-packet marking with probability p must settle the
+    /// window near 2/p.
+    #[test]
+    fn steady_state_is_2_over_p() {
+        let p = 0.1;
+        let mut cc = ScalableHalfPkt::new(10.0);
+        cc.ssthresh = 10.0;
+        let mut rng = pi2_simcore::Rng::new(7);
+        let mut sum = 0.0;
+        let mut n = 0;
+        for i in 0..200_000 {
+            let marked = u64::from(rng.chance(p));
+            cc.on_ack(1, marked, 1, r(), Time::ZERO);
+            if i > 50_000 {
+                sum += cc.cwnd();
+                n += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        let law = 2.0 / p;
+        assert!((mean - law).abs() / law < 0.15, "mean {mean:.1} vs {law:.1}");
+    }
+}

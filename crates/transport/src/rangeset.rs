@@ -1,0 +1,299 @@
+//! A set of `u64` sequence numbers stored as disjoint half-open ranges.
+//!
+//! Used by the TCP receiver for its out-of-order store (from which SACK
+//! blocks are generated) — O(log n) insertion with neighbour merging,
+//! compact even when thousands of sequence numbers are buffered during a
+//! burst-loss episode.
+
+/// Disjoint, sorted `[start, end)` ranges of sequence numbers.
+///
+/// ```
+/// use pi2_transport::RangeSet;
+/// let mut r = RangeSet::new();
+/// r.insert(5);
+/// r.insert(7);
+/// r.insert(6); // bridges the two ranges
+/// assert_eq!(r.ranges(), &[(5, 8)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RangeSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        RangeSet { ranges: Vec::new() }
+    }
+
+    /// Number of disjoint ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total sequence numbers contained.
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// True if no sequence numbers are contained.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The ranges, sorted ascending.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// True if `seq` is contained.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.find(seq).is_some()
+    }
+
+    /// The range containing `seq`, if any.
+    pub fn find(&self, seq: u64) -> Option<(u64, u64)> {
+        match self.ranges.binary_search_by(|&(s, _)| s.cmp(&seq)) {
+            Ok(i) => Some(self.ranges[i]),
+            Err(0) => None,
+            Err(i) => {
+                let (s, e) = self.ranges[i - 1];
+                (seq >= s && seq < e).then_some((s, e))
+            }
+        }
+    }
+
+    /// Insert a single sequence number, merging with neighbours.
+    /// Returns false if it was already present.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        let i = match self.ranges.binary_search_by(|&(s, _)| s.cmp(&seq)) {
+            Ok(_) => return false, // starts a range => present
+            Err(i) => i,
+        };
+        // Inside the previous range?
+        if i > 0 {
+            let (ps, pe) = self.ranges[i - 1];
+            if seq < pe {
+                return false;
+            }
+            if seq == pe {
+                // Extend the previous range; maybe merge with the next.
+                self.ranges[i - 1].1 = pe + 1;
+                if i < self.ranges.len() && self.ranges[i].0 == pe + 1 {
+                    self.ranges[i - 1].1 = self.ranges[i].1;
+                    self.ranges.remove(i);
+                }
+                let _ = ps;
+                return true;
+            }
+        }
+        // Prepend to the next range?
+        if i < self.ranges.len() && self.ranges[i].0 == seq + 1 {
+            self.ranges[i].0 = seq;
+            return true;
+        }
+        self.ranges.insert(i, (seq, seq + 1));
+        true
+    }
+
+    /// Insert the half-open range `[start, end)`, merging as needed.
+    pub fn insert_range(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find the insertion window: all ranges overlapping or adjacent to
+        // [start, end).
+        let mut lo = match self.ranges.binary_search_by(|&(s, _)| s.cmp(&start)) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        // The previous range may touch us.
+        if lo > 0 && self.ranges[lo - 1].1 >= start {
+            lo -= 1;
+        }
+        let mut hi = lo;
+        let mut new_start = start;
+        let mut new_end = end;
+        while hi < self.ranges.len() && self.ranges[hi].0 <= end {
+            new_start = new_start.min(self.ranges[hi].0);
+            new_end = new_end.max(self.ranges[hi].1);
+            hi += 1;
+        }
+        self.ranges.splice(lo..hi, [(new_start, new_end)]);
+    }
+
+    /// Remove everything strictly below `cutoff`; returns how many
+    /// sequence numbers were removed.
+    pub fn remove_below(&mut self, cutoff: u64) -> u64 {
+        let mut removed = 0;
+        self.ranges.retain_mut(|r| {
+            if r.1 <= cutoff {
+                removed += r.1 - r.0;
+                false
+            } else {
+                if r.0 < cutoff {
+                    removed += cutoff - r.0;
+                    r.0 = cutoff;
+                }
+                true
+            }
+        });
+        removed
+    }
+
+    /// If the lowest range starts exactly at `start`, remove and return
+    /// it (used by the receiver to consume newly contiguous data).
+    pub fn take_leading(&mut self, start: u64) -> Option<(u64, u64)> {
+        if let Some(&(s, e)) = self.ranges.first() {
+            if s == start {
+                self.ranges.remove(0);
+                return Some((s, e));
+            }
+        }
+        None
+    }
+
+    /// The lowest contained sequence ≥ `from`, if any.
+    pub fn first_at_or_after(&self, from: u64) -> Option<u64> {
+        for &(s, e) in &self.ranges {
+            if e > from {
+                return Some(s.max(from));
+            }
+        }
+        None
+    }
+
+    /// The highest contained sequence number, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.ranges.last().map(|&(_, e)| e - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_merge() {
+        let mut r = RangeSet::new();
+        assert!(r.insert(5));
+        assert!(r.insert(7));
+        assert_eq!(r.range_count(), 2);
+        assert!(r.insert(6)); // bridges 5..6 and 7..8
+        assert_eq!(r.range_count(), 1);
+        assert_eq!(r.ranges(), &[(5, 8)]);
+        assert!(!r.insert(6)); // duplicate
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn extend_left_and_right() {
+        let mut r = RangeSet::new();
+        r.insert(10);
+        r.insert(11); // extend right
+        r.insert(9); // extend left
+        assert_eq!(r.ranges(), &[(9, 12)]);
+    }
+
+    #[test]
+    fn contains_and_find() {
+        let mut r = RangeSet::new();
+        for s in [3, 4, 8, 9, 10] {
+            r.insert(s);
+        }
+        assert!(r.contains(3) && r.contains(4) && !r.contains(5));
+        assert_eq!(r.find(9), Some((8, 11)));
+        assert_eq!(r.find(7), None);
+    }
+
+    #[test]
+    fn remove_below_trims_and_splits() {
+        let mut r = RangeSet::new();
+        for s in 0..10 {
+            r.insert(s);
+        }
+        r.insert(20);
+        assert_eq!(r.remove_below(5), 5);
+        assert_eq!(r.ranges(), &[(5, 10), (20, 21)]);
+        assert_eq!(r.remove_below(100), 6);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn take_leading_consumes_contiguous() {
+        let mut r = RangeSet::new();
+        for s in [2, 3, 4, 9] {
+            r.insert(s);
+        }
+        assert_eq!(r.take_leading(1), None);
+        assert_eq!(r.take_leading(2), Some((2, 5)));
+        assert_eq!(r.ranges(), &[(9, 10)]);
+    }
+
+    #[test]
+    fn first_at_or_after_scans() {
+        let mut r = RangeSet::new();
+        for s in [5, 6, 10] {
+            r.insert(s);
+        }
+        assert_eq!(r.first_at_or_after(0), Some(5));
+        assert_eq!(r.first_at_or_after(6), Some(6));
+        assert_eq!(r.first_at_or_after(7), Some(10));
+        assert_eq!(r.first_at_or_after(11), None);
+        assert_eq!(r.max(), Some(10));
+    }
+
+    #[test]
+    fn insert_range_merges_overlaps() {
+        let mut r = RangeSet::new();
+        r.insert_range(10, 15);
+        r.insert_range(20, 25);
+        r.insert_range(14, 21); // bridges both
+        assert_eq!(r.ranges(), &[(10, 25)]);
+        r.insert_range(0, 5);
+        r.insert_range(5, 10); // adjacent: merges with both neighbours
+        assert_eq!(r.ranges(), &[(0, 25)]);
+        r.insert_range(30, 30); // empty: no-op
+        assert_eq!(r.range_count(), 1);
+    }
+
+    #[test]
+    fn random_range_inserts_match_btreeset() {
+        use pi2_simcore::Rng;
+        let mut rng = Rng::new(21);
+        let mut rs = RangeSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let s = rng.range_u64(0, 200);
+            let e = s + rng.range_u64(0, 20);
+            rs.insert_range(s, e);
+            for x in s..e {
+                model.insert(x);
+            }
+            assert_eq!(rs.len(), model.len() as u64);
+        }
+        for x in 0..250 {
+            assert_eq!(rs.contains(x), model.contains(&x), "at {x}");
+        }
+    }
+
+    #[test]
+    fn random_inserts_match_btreeset() {
+        use pi2_simcore::Rng;
+        let mut rng = Rng::new(9);
+        let mut rs = RangeSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..2000 {
+            let x = rng.range_u64(0, 300);
+            assert_eq!(rs.insert(x), model.insert(x));
+        }
+        assert_eq!(rs.len(), model.len() as u64);
+        for x in 0..300 {
+            assert_eq!(rs.contains(x), model.contains(&x), "at {x}");
+        }
+        // Ranges are disjoint and sorted.
+        for w in rs.ranges().windows(2) {
+            assert!(w[0].1 < w[1].0);
+        }
+    }
+}

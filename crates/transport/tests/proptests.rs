@@ -1,0 +1,158 @@
+//! Property-based tests for the congestion controls and TCP machinery.
+
+use pi2_netsim::{MonitorConfig, PassAqm, PathConf, QueueConfig, Sim, SimConfig};
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting, TcpConfig, TcpSource};
+use proptest::prelude::*;
+
+fn arb_cc() -> impl Strategy<Value = CcKind> {
+    prop_oneof![
+        Just(CcKind::Reno),
+        Just(CcKind::Cubic),
+        Just(CcKind::Dctcp),
+        Just(CcKind::ScalableHalfPkt),
+    ]
+}
+
+proptest! {
+    /// Every congestion control keeps a positive, finite window under
+    /// arbitrary event sequences.
+    #[test]
+    fn cwnd_always_positive_and_finite(
+        kind in arb_cc(),
+        events in prop::collection::vec(0u8..4, 1..400),
+    ) {
+        let mut cc = kind.build(10.0);
+        let rtt = Duration::from_millis(50);
+        let mut now = Time::ZERO;
+        for e in events {
+            now += Duration::from_millis(10);
+            match e {
+                0 => cc.on_ack(1, 0, 1, rtt, now),
+                1 => cc.on_ack(1, 1, 1, rtt, now),
+                2 => cc.on_loss(now),
+                _ => cc.on_rto(now),
+            }
+            let w = cc.cwnd();
+            prop_assert!(w.is_finite() && w > 0.0, "{}: cwnd {w}", cc.name());
+            prop_assert!(cc.ssthresh() > 0.0);
+        }
+    }
+
+    /// Growth monotonicity: ACKs without marks never shrink the window.
+    #[test]
+    fn acks_without_marks_never_shrink(kind in arb_cc(), n in 1u64..500) {
+        let mut cc = kind.build(10.0);
+        let rtt = Duration::from_millis(20);
+        let mut now = Time::ZERO;
+        let mut prev = cc.cwnd();
+        for _ in 0..n {
+            now += Duration::from_millis(1);
+            cc.on_ack(1, 0, 1, rtt, now);
+            // DCTCP's window-boundary bookkeeping runs on ACKs but must
+            // not reduce the window when no marks ever arrived.
+            prop_assert!(cc.cwnd() >= prev - 1e-9, "{} shrank", cc.name());
+            prev = cc.cwnd();
+        }
+    }
+
+    /// Congestion events reduce the window (down to the floor).
+    #[test]
+    fn losses_reduce_window(kind in arb_cc(), w0 in 10.0f64..1000.0) {
+        let mut cc = kind.build(w0);
+        cc.on_loss(Time::ZERO);
+        prop_assert!(cc.cwnd() < w0 || w0 <= 2.0);
+    }
+
+    /// End-to-end delivery: every data-limited flow completes over a clean
+    /// link, delivering each packet exactly once, for any (size, RTT).
+    #[test]
+    fn short_flow_always_completes(
+        pkts in 1u64..400,
+        rtt_ms in 1i64..200,
+        kind in arb_cc(),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(
+            SimConfig {
+                queue: QueueConfig {
+                    rate_bps: 50_000_000,
+                    buffer_bytes: usize::MAX,
+                },
+                seed,
+                monitor: MonitorConfig::default(),
+                trace_capacity: 0,
+            },
+            Box::new(PassAqm),
+        );
+        let ecn = if kind.is_scalable() {
+            EcnSetting::Scalable
+        } else {
+            EcnSetting::NotEcn
+        };
+        let id = sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(rtt_ms)),
+            "f",
+            Time::ZERO,
+            move |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    kind,
+                    ecn,
+                    TcpConfig {
+                        data_limit: Some(pkts),
+                        ..TcpConfig::default()
+                    },
+                ))
+            },
+        );
+        sim.run_until(Time::from_secs(120));
+        let acc = sim.core.monitor.flow(id);
+        prop_assert_eq!(acc.sent_pkts, pkts, "exactly the data limit sent");
+        prop_assert_eq!(acc.delivered_pkts, pkts);
+        prop_assert_eq!(sim.core.monitor.completions.len(), 1);
+    }
+
+    /// Lossy-path delivery: even with a tiny buffer, a flow eventually
+    /// delivers all in-order data (retransmissions fill every hole).
+    #[test]
+    fn flow_survives_small_buffers(
+        rtt_ms in 5i64..100,
+        buffer_pkts in 5usize..40,
+        seed in any::<u64>(),
+    ) {
+        let pkts = 300u64;
+        let mut sim = Sim::new(
+            SimConfig {
+                queue: QueueConfig {
+                    rate_bps: 10_000_000,
+                    buffer_bytes: buffer_pkts * 1500,
+                },
+                seed,
+                monitor: MonitorConfig::default(),
+                trace_capacity: 0,
+            },
+            Box::new(PassAqm),
+        );
+        let id = sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(rtt_ms)),
+            "f",
+            Time::ZERO,
+            move |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    CcKind::Reno,
+                    EcnSetting::NotEcn,
+                    TcpConfig {
+                        data_limit: Some(pkts),
+                        ..TcpConfig::default()
+                    },
+                ))
+            },
+        );
+        sim.run_until(Time::from_secs(300));
+        let m = &sim.core.monitor;
+        prop_assert_eq!(m.completions.len(), 1, "flow did not complete");
+        prop_assert!(m.flow(id).delivered_pkts >= pkts);
+    }
+}

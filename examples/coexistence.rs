@@ -1,0 +1,103 @@
+//! Coexistence demo — the paper's headline result.
+//!
+//! One Cubic flow and one DCTCP flow share a 40 Mb/s bottleneck. Under
+//! PIE, DCTCP's aggressive response starves Cubic (~10×). Under the
+//! coupled PI2 AQM, marking DCTCP with `p'` and dropping Cubic with
+//! `(p'/2)²` rebalances them to ≈ equal rates.
+//!
+//! ```text
+//! cargo run --release --example coexistence
+//! ```
+
+use pi2::prelude::*;
+
+struct Outcome {
+    aqm: &'static str,
+    cubic_mbps: f64,
+    dctcp_mbps: f64,
+    qdelay_ms: f64,
+    cubic_signal_pct: f64,
+    dctcp_signal_pct: f64,
+}
+
+fn run(aqm: Box<dyn Aqm>, name: &'static str) -> Outcome {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 40_000_000,
+                buffer_bytes: 40_000 * 1500,
+            },
+            seed: 5,
+            monitor: MonitorConfig {
+                warmup: Duration::from_secs(15),
+                ..MonitorConfig::default()
+            },
+            trace_capacity: 0,
+        },
+        aqm,
+    );
+    let rtt = Duration::from_millis(10);
+    sim.add_flow(PathConf::symmetric(rtt), "cubic", Time::ZERO, |id| {
+        Box::new(TcpSource::new(
+            id,
+            CcKind::Cubic,
+            EcnSetting::NotEcn,
+            TcpConfig::default(),
+        ))
+    });
+    sim.add_flow(PathConf::symmetric(rtt), "dctcp", Time::ZERO, |id| {
+        Box::new(TcpSource::new(
+            id,
+            CcKind::Dctcp,
+            EcnSetting::Scalable,
+            TcpConfig::default(),
+        ))
+    });
+    sim.run_until(Time::from_secs(60));
+    let m = &sim.core.monitor;
+    let sojourns: Vec<f64> = m.sojourn_ms.iter().map(|&x| x as f64).collect();
+    Outcome {
+        aqm: name,
+        cubic_mbps: m.pooled_mean_tput_mbps("cubic"),
+        dctcp_mbps: m.pooled_mean_tput_mbps("dctcp"),
+        qdelay_ms: pi2::stats::mean(&sojourns),
+        cubic_signal_pct: 100.0 * m.flows[0].signal_fraction(),
+        dctcp_signal_pct: 100.0 * m.flows[1].signal_fraction(),
+    }
+}
+
+fn main() {
+    println!("one Cubic vs one DCTCP flow, 40 Mb/s, RTT 10 ms, 60 s\n");
+    let outcomes = [
+        run(
+            Box::new(Pie::new(pi2::aqm::PieConfig::paper_default())),
+            "PIE",
+        ),
+        run(
+            Box::new(CoupledPi2::new(CoupledPi2Config::default())),
+            "coupled PI2 (k=2)",
+        ),
+    ];
+    println!(
+        "{:<18} {:>11} {:>11} {:>12} {:>12} {:>12} {:>12}",
+        "AQM", "cubic Mb/s", "dctcp Mb/s", "ratio c/d", "qdelay ms", "cubic sig %", "dctcp sig %"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<18} {:>11.2} {:>11.2} {:>12.3} {:>12.1} {:>12.3} {:>12.2}",
+            o.aqm,
+            o.cubic_mbps,
+            o.dctcp_mbps,
+            o.cubic_mbps / o.dctcp_mbps,
+            o.qdelay_ms,
+            o.cubic_signal_pct,
+            o.dctcp_signal_pct
+        );
+    }
+    println!(
+        "\nPIE applies the same probability to both flows, so DCTCP (window 2/p)\n\
+         crushes Cubic (window 1.68/sqrt(p)). The coupled AQM counterbalances the\n\
+         aggression: DCTCP sees the much stronger signal ps while Cubic sees only\n\
+         (ps/2)^2, and the rates meet in the middle."
+    );
+}

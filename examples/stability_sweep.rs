@@ -1,0 +1,82 @@
+//! Stability analysis demo: Appendix B's Bode margins and a fluid-model
+//! step response, side by side.
+//!
+//! Sweeps the operating point and prints the gain/phase margins of the
+//! three loops of Figure 7, then integrates the nonlinear fluid model
+//! through a load step to show what the margins mean in the time domain.
+//!
+//! ```text
+//! cargo run --release --example stability_sweep
+//! ```
+
+use pi2::fluid::{
+    margins, FluidConfig, FluidControllerKind, FluidSim, FluidTcpKind, LoopTf, PiGains,
+};
+
+fn main() {
+    println!("== Bode margins at R0 = 100 ms (Appendix B / Figure 7) ==\n");
+    println!(
+        "{:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "p' [%]", "pie GM", "pie PM", "pi2 GM", "pi2 PM", "scal GM", "scal PM"
+    );
+    for i in 0..13 {
+        let pp = 10f64.powf(-3.0 + 3.0 * i as f64 / 12.0);
+        let pie = margins(&LoopTf::pie_auto(pp * pp, 0.1));
+        let pi2 = margins(&LoopTf::pi2(pp, 0.1));
+        let scal = margins(&LoopTf::scal_pi(pp, 0.1));
+        println!(
+            "{:>8.3} | {:>8.1} {:>8.0} | {:>8.1} {:>8.0} | {:>8.1} {:>8.0}",
+            pp * 100.0,
+            pie.gain_margin_db,
+            pie.phase_margin_deg,
+            pi2.gain_margin_db,
+            pi2.phase_margin_deg,
+            scal.gain_margin_db,
+            scal.phase_margin_deg,
+        );
+    }
+
+    println!("\n== fluid-model step response: 5 -> 30 Reno flows at t = 30 s ==\n");
+    let base = FluidConfig {
+        n_flows: vec![(0.0, 5.0), (30.0, 30.0)],
+        ..FluidConfig::default()
+    };
+    for (name, encoder, gains) in [
+        ("pi (fixed gains)", FluidControllerKind::Direct, PiGains::pie()),
+        ("pie (tuned)", FluidControllerKind::TunedDirect, PiGains::pie()),
+        ("pi2 (squared)", FluidControllerKind::Squared, PiGains::pi2()),
+    ] {
+        let cfg = FluidConfig {
+            tcp: FluidTcpKind::Reno,
+            encoder,
+            gains,
+            ..base.clone()
+        };
+        let samples = FluidSim::new(cfg).run(60.0, 0.25);
+        let peak = samples
+            .iter()
+            .filter(|s| s.t > 30.0)
+            .map(|s| s.qdelay * 1000.0)
+            .fold(0.0, f64::max);
+        let settle = samples
+            .iter()
+            .filter(|s| s.t > 50.0)
+            .map(|s| s.qdelay * 1000.0)
+            .collect::<Vec<_>>();
+        let mean = settle.iter().sum::<f64>() / settle.len() as f64;
+        let trace: Vec<String> = samples
+            .iter()
+            .filter(|s| s.t > 28.0 && s.t < 40.0)
+            .step_by(4)
+            .map(|s| format!("{:.0}", s.qdelay * 1000.0))
+            .collect();
+        println!(
+            "{name:<18} step peak {peak:>5.1} ms, settles at {mean:>4.1} ms | trace: {}",
+            trace.join(" ")
+        );
+    }
+    println!(
+        "\nThe flatter PI2 margins buy a faster, better-damped return to target\n\
+         after the load step — the time-domain meaning of Figure 7."
+    );
+}

@@ -1,0 +1,142 @@
+//! Smoke tests for every figure runner: scaled-down versions of each
+//! experiment must execute and produce structurally sane data, so the
+//! bench-binary code paths stay green under `cargo test` even though the
+//! binaries themselves run at full scale.
+
+use pi2::experiments::scenario::AqmKind;
+use pi2::simcore::Duration;
+
+#[test]
+fn fig06_13_runner_smoke() {
+    use pi2::experiments::fig06::{run_one, IntensityConfig};
+    let cfg = IntensityConfig {
+        phase: Duration::from_secs(4),
+        ..IntensityConfig::fig13()
+    };
+    let run = run_one(AqmKind::pi2_default(), &cfg);
+    assert_eq!(run.aqm, "pi2");
+    assert!(run.qdelay.len() >= 18, "{} samples", run.qdelay.len());
+    assert!(run.delay.n > 0);
+    assert!(run.steady_phase_std_ms.is_finite());
+}
+
+#[test]
+fn fig11_runner_smoke() {
+    use pi2::experiments::fig11::{run_one, TrafficMix};
+    for mix in TrafficMix::all() {
+        let run = run_one(AqmKind::pie_default(), mix, 99);
+        assert_eq!(run.mix, mix);
+        assert!(run.peak_ms > 0.0);
+        assert!(!run.tput.is_empty());
+        assert!(run.util.mean > 50.0, "{} util {:.0}", mix.label(), run.util.mean);
+    }
+}
+
+#[test]
+fn fig14_runner_smoke() {
+    use pi2::experiments::fig14::run_one;
+    let run = run_one(false, 5, false, 3);
+    assert_eq!(run.aqm, "pi2");
+    assert_eq!(run.target_ms, 5);
+    assert!(run.cdf.len() > 1000);
+    // The CDF must actually be a distribution over positive delays.
+    assert!(run.cdf.quantile(0.5) > 0.0);
+    assert!(run.cdf.quantile(0.99) >= run.cdf.quantile(0.5));
+}
+
+#[test]
+fn grid_runner_smoke() {
+    use pi2::experiments::grid::{run_cell, Pair};
+    let cell = run_cell(AqmKind::coupled_default(), Pair::CubicVsEcnCubic, 12, 20, 12, 4);
+    assert_eq!(cell.link_mbps, 12);
+    assert_eq!(cell.rtt_ms, 20);
+    assert!(cell.rate_ratio.is_finite() && cell.rate_ratio > 0.0);
+    assert!(cell.tputs.0 + cell.tputs.1 > 8.0, "total {:?}", cell.tputs);
+    assert!(cell.util.mean > 70.0);
+}
+
+#[test]
+fn fig19_runner_smoke() {
+    use pi2::experiments::fig19::run_combo;
+    use pi2::experiments::grid::Pair;
+    let r = run_combo(AqmKind::coupled_default(), Pair::CubicVsDctcp, 3, 7, 12, 4);
+    assert_eq!(r.a, 3);
+    assert_eq!(r.b, 7);
+    assert_eq!(r.norm_a.len(), 3);
+    assert_eq!(r.norm_b.len(), 7);
+    assert!(r.ratio.unwrap() > 0.0);
+    // Edge combos: no ratio when one side is empty.
+    let edge = run_combo(AqmKind::coupled_default(), Pair::CubicVsDctcp, 0, 10, 12, 4);
+    assert!(edge.ratio.is_none());
+    assert!(edge.norm_a.is_empty());
+}
+
+#[test]
+fn shortflows_runner_smoke() {
+    use pi2::experiments::shortflows::{run_one, WebWorkload};
+    let w = WebWorkload {
+        duration: pi2::simcore::Time::from_secs(25),
+        ..WebWorkload::light()
+    };
+    let r = run_one(AqmKind::pie_default(), &w);
+    assert!(r.launched > 20);
+    assert!(r.completed > 0);
+    assert!(r.short_fct.p50 > 0.0);
+}
+
+#[test]
+fn overload_runner_smoke() {
+    use pi2::experiments::overload::run_point;
+    let pt = run_point(AqmKind::pie_default(), 1.5, 5);
+    assert!(pt.udp_prob_pct > 1.0, "prob {:.1}%", pt.udp_prob_pct);
+    assert!(pt.aqm_loss + pt.overflow_loss > 0.05);
+}
+
+#[test]
+fn dualq_runner_smoke() {
+    use pi2::experiments::dualq::run;
+    let r = run(12_000_000, Duration::from_millis(20), 1, 1, 15, 8);
+    assert!(r.cubic_mbps > 0.5);
+    assert!(r.dctcp_mbps > 0.5);
+    assert!(r.l_delay.n > 0 && r.c_delay.n > 0);
+}
+
+#[test]
+fn isolation_runner_smoke() {
+    use pi2::experiments::isolation::{run_coupled, run_fq};
+    let a = run_fq(12_000_000, Duration::from_millis(20), 15, 8);
+    let b = run_coupled(12_000_000, Duration::from_millis(20), 15, 8);
+    assert_eq!(a.scheme, "fq-drr");
+    assert_eq!(b.scheme, "coupled-pi2");
+    assert!(a.ratio.is_finite() && b.ratio.is_finite());
+}
+
+#[test]
+fn rttfair_runner_smoke() {
+    use pi2::experiments::rttfair::run_one;
+    let r = run_one(AqmKind::pi2_default(), 20, 15, 8);
+    assert!(r.short_mbps > 0.0 && r.long_mbps > 0.0);
+    assert!(r.ratio > 1.0, "short-RTT flow should lead: {:.2}", r.ratio);
+}
+
+#[test]
+fn appendix_a_runner_smoke() {
+    use pi2::experiments::appendix_a::measure;
+    use pi2::transport::{CcKind, EcnSetting};
+    let pt = measure(CcKind::Reno, EcnSetting::NotEcn, 0.05, 9);
+    assert_eq!(pt.cc, "reno");
+    assert!(pt.measured_w > 1.0);
+    assert!(pt.rel_err < 1.0);
+}
+
+#[test]
+fn ablation_runners_smoke() {
+    use pi2::experiments::ablation::{gain_sweep, k_sweep, square_mode};
+    let ks = k_sweep(&[2.0], 10);
+    assert_eq!(ks.len(), 1);
+    assert!(ks[0].ratio > 0.0);
+    let gs = gain_sweep(&[2.5], 10);
+    assert!(gs[0].peak_ms > 0.0);
+    let (a, b) = square_mode(10);
+    assert!(a.n > 0 && b.n > 0);
+}

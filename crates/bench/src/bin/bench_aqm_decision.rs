@@ -1,0 +1,103 @@
+//! Per-packet decision cost: PIE vs PI2 vs coupled PI2 vs RED.
+//!
+//! The paper's simplicity claim: "squaring the output … is less
+//! computationally expensive" than PIE's heuristic machinery. Each case
+//! measures the hot path of one AQM — an enqueue decision at a realistic
+//! operating point — plus the periodic controller update tick, via the
+//! std-only harness in `pi2_bench::perf`. Results append to
+//! `BENCH_pi2.json` (override with `PI2_BENCH_OUT`).
+
+use pi2_aqm::{
+    CoupledPi2, CoupledPi2Config, Pi2, Pi2Config, Pie, PieConfig, Red, RedConfig, SquareMode,
+};
+use pi2_bench::perf::{bench, measurement_rows, record_and_report, Measurement};
+use pi2_bench::{header, table};
+use pi2_netsim::{Aqm, Ecn, FlowId, Packet, QueueSnapshot};
+use pi2_simcore::{Rng, Time};
+
+/// A realistic operating point: a 30-packet standing queue on 10 Mb/s.
+fn snap() -> QueueSnapshot {
+    QueueSnapshot {
+        qlen_bytes: 45_000,
+        qlen_pkts: 30,
+        link_rate_bps: 10_000_000,
+        last_sojourn: Some(pi2_simcore::Duration::from_millis(21)),
+    }
+}
+
+/// Decisions per timed iteration — large enough that `Instant` overhead
+/// (tens of ns) vanishes against the measured work.
+const DECISIONS: u64 = 100_000;
+
+fn bench_decisions(name: &str, aqm: &mut dyn Aqm, pkt: &Packet) -> Measurement {
+    let s = snap();
+    // Drive the controller to a realistic probability before timing.
+    for _ in 0..50 {
+        aqm.update(&s, Time::ZERO);
+    }
+    let mut rng = Rng::new(1);
+    bench(name, 3, 15, || {
+        let mut passes = 0u64;
+        for _ in 0..DECISIONS {
+            let d = aqm.on_enqueue(std::hint::black_box(pkt), &s, Time::ZERO, &mut rng);
+            passes += (d.action == pi2_netsim::Action::Pass) as u64;
+        }
+        std::hint::black_box(passes);
+        DECISIONS
+    })
+}
+
+fn bench_update(name: &str, aqm: &mut dyn Aqm) -> Measurement {
+    let s = snap();
+    bench(name, 3, 15, || {
+        for _ in 0..DECISIONS {
+            aqm.update(&s, Time::ZERO);
+        }
+        std::hint::black_box(aqm.control_variable());
+        DECISIONS
+    })
+}
+
+fn main() {
+    header(
+        "Microbench: AQM decision cost",
+        "one enqueue decision / one controller tick, per AQM",
+    );
+    let pkt = Packet::data(FlowId(0), 0, 1500, Ecn::NotEct, Time::ZERO);
+    let ect1 = Packet::data(FlowId(0), 0, 1500, Ecn::Ect1, Time::ZERO);
+
+    let mut pie = Pie::new(PieConfig::paper_default());
+    let mut pi2 = Pi2::new(Pi2Config::default());
+    let mut pi2_two = Pi2::new(Pi2Config {
+        square_mode: SquareMode::TwoCompare,
+        ..Pi2Config::default()
+    });
+    let mut coupled = CoupledPi2::new(CoupledPi2Config::default());
+    let mut red = Red::new(RedConfig::default());
+
+    println!("--- enqueue decision ({DECISIONS} per iteration, 15 iterations) ---");
+    let decisions = vec![
+        bench_decisions("pie", &mut pie, &pkt),
+        bench_decisions("pi2_multiply", &mut pi2, &pkt),
+        bench_decisions("pi2_two_compare", &mut pi2_two, &pkt),
+        bench_decisions("coupled_classic", &mut coupled, &pkt),
+        bench_decisions("coupled_scalable", &mut coupled, &ect1),
+        bench_decisions("red", &mut red, &pkt),
+    ];
+    table(&measurement_rows("decision", &decisions));
+
+    println!("--- controller update tick ---");
+    let updates = vec![
+        bench_update("pie_update", &mut pie),
+        bench_update("pi2_update", &mut pi2),
+        bench_update("coupled_update", &mut coupled),
+    ];
+    table(&measurement_rows("tick", &updates));
+
+    let mut metrics = Vec::new();
+    for m in decisions.iter().chain(updates.iter()) {
+        metrics.push((format!("{}_ns", m.name), m.ns_per_unit()));
+        metrics.push((format!("{}_per_sec", m.name), m.units_per_sec()));
+    }
+    record_and_report("aqm_decision", metrics);
+}

@@ -1,0 +1,84 @@
+//! End-to-end simulator throughput: how much wall-clock time one
+//! simulated second costs per AQM, in events/second. Establishes that
+//! figure regeneration is dominated by simulated traffic, not AQM
+//! overhead. `PI2_SECS` sets the simulated seconds per iteration
+//! (default 5); results append to `BENCH_pi2.json`.
+
+use pi2_aqm::{Pi2, Pi2Config, Pie, PieConfig};
+use pi2_bench::perf::{bench, measurement_rows, record_and_report, Measurement};
+use pi2_bench::{header, run_secs, table};
+use pi2_netsim::{Aqm, MonitorConfig, PathConf, QueueConfig, Sim, SimConfig};
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting, TcpConfig, TcpSource};
+
+/// Ten Reno flows over a 50 Mb/s bottleneck, monitoring trimmed to the
+/// counters only so the bench measures the engine, not sample recording.
+fn build(aqm: Box<dyn Aqm>) -> Sim {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 50_000_000,
+                buffer_bytes: 60_000_000,
+            },
+            seed: 7,
+            monitor: MonitorConfig {
+                record_sojourns: false,
+                record_probs: false,
+                ..MonitorConfig::default()
+            },
+            trace_capacity: 0,
+        },
+        aqm,
+    );
+    for _ in 0..10 {
+        sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(20)),
+            "reno",
+            Time::ZERO,
+            |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    CcKind::Reno,
+                    EcnSetting::NotEcn,
+                    TcpConfig::default(),
+                ))
+            },
+        );
+    }
+    sim
+}
+
+fn bench_aqm(name: &str, secs: u64, make: impl Fn() -> Box<dyn Aqm>) -> Measurement {
+    bench(name, 1, 7, || {
+        // Rebuild each iteration: a warm queue would make later
+        // iterations measure a different (congested) regime.
+        let mut sim = build(make());
+        sim.run_until(Time::from_secs(secs));
+        std::hint::black_box(sim.core.events.popped())
+    })
+}
+
+fn main() {
+    header(
+        "Microbench: simulator throughput",
+        "10 Reno flows, 50 Mb/s bottleneck — events/second of wall clock",
+    );
+    let secs = run_secs(5);
+    println!("--- {secs} simulated seconds per iteration, 7 iterations ---");
+    let ms = vec![
+        bench_aqm("pie_10flows_50mbps", secs, || {
+            Box::new(Pie::new(PieConfig::paper_default()))
+        }),
+        bench_aqm("pi2_10flows_50mbps", secs, || {
+            Box::new(Pi2::new(Pi2Config::default()))
+        }),
+    ];
+    table(&measurement_rows("event", &ms));
+
+    let mut metrics = vec![("sim_secs".to_string(), secs as f64)];
+    for m in &ms {
+        metrics.push((format!("{}_events_per_sec", m.name), m.units_per_sec()));
+        metrics.push((format!("{}_ns_per_event", m.name), m.ns_per_unit()));
+    }
+    record_and_report("sim_throughput", metrics);
+}

@@ -5,6 +5,7 @@
 //! the structural arguments for a nonzero delay target.
 
 use pi2_bench::{f, header, run_secs, table};
+use pi2_experiments::par_map;
 use pi2_experiments::rttfair::{run_one, target_sweep};
 use pi2_experiments::scenario::AqmKind;
 
@@ -21,12 +22,12 @@ fn main() {
         "long Mb/s".into(),
         "short/long".into(),
     ]];
-    for aqm in [
+    let aqms = [
         AqmKind::pie_default(),
         AqmKind::pi2_default(),
         AqmKind::TailDrop,
-    ] {
-        let r = run_one(aqm, 20, secs, 0x477);
+    ];
+    for r in par_map(&aqms, |aqm| run_one(aqm.clone(), 20, secs, 0x477)) {
         rows.push(vec![
             r.aqm.to_string(),
             f(r.short_mbps),

@@ -8,6 +8,7 @@
 //! PIE, under which every one of them starves Cubic outright.
 
 use pi2_bench::{f, header, run_secs, table};
+use pi2_experiments::par_map;
 use pi2_experiments::scenario::{AqmKind, FlowGroup, Scenario};
 use pi2_simcore::{Duration, Time};
 use pi2_transport::{CcKind, EcnSetting};
@@ -47,6 +48,7 @@ fn main() {
         "ratio c/s".into(),
         "scal sig".into(),
     ]];
+    let mut work = Vec::new();
     for (cc, law) in [
         (CcKind::Dctcp, "2/p"),
         (CcKind::ScalableHalfPkt, "2/p"),
@@ -54,18 +56,23 @@ fn main() {
         (CcKind::ScalableTcp, "0.08/p"),
     ] {
         for aqm in [AqmKind::coupled_default(), AqmKind::pie_default()] {
-            let name = aqm.name();
-            let (c, s, sig) = run(aqm, cc, secs);
-            rows.push(vec![
-                format!("{cc:?}"),
-                law.to_string(),
-                name.to_string(),
-                f(c),
-                f(s),
-                f(c / s.max(1e-9)),
-                f(sig),
-            ]);
+            work.push((cc, law, aqm));
         }
+    }
+    let results = par_map(&work, |(cc, law, aqm)| {
+        let (c, s, sig) = run(aqm.clone(), *cc, secs);
+        (format!("{cc:?}"), law.to_string(), aqm.name(), c, s, sig)
+    });
+    for (cc, law, name, c, s, sig) in results {
+        rows.push(vec![
+            cc,
+            law,
+            name.to_string(),
+            f(c),
+            f(s),
+            f(c / s.max(1e-9)),
+            f(sig),
+        ]);
     }
     table(&rows);
     println!(

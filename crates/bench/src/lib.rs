@@ -13,11 +13,25 @@
 //!
 //! * `PI2_SECS=<n>` — per-run duration for the grid/combination sweeps
 //!   (default 60; lower it for a quick pass);
-//! * `PI2_SEED=<n>` — override the experiment seed.
+//! * `PI2_SEED=<n>` — override the experiment seed;
+//! * `PI2_THREADS=<n>` — worker count for the parallel sweep executor
+//!   (default: available parallelism; output is bit-identical to serial
+//!   for any value — see `pi2_experiments::runner`);
+//! * `PI2_BENCH_OUT=<path>` — where the microbench history is appended
+//!   (default: `BENCH_pi2.json` at the repo root).
 //!
-//! Criterion microbenches (`cargo bench -p pi2-bench`) measure the
-//! per-packet drop-decision cost of PIE vs PI2 (the paper's "less
-//! computationally expensive" claim) and raw simulator throughput.
+//! Microbenchmarks run through the std-only harness in [`perf`] (no
+//! Criterion — the workspace builds with zero registry dependencies):
+//!
+//! ```text
+//! cargo run -p pi2-bench --release --bin bench_aqm_decision
+//! cargo run -p pi2-bench --release --bin bench_sim_throughput
+//! ```
+//!
+//! They measure the per-packet drop-decision cost of PIE vs PI2 (the
+//! paper's "less computationally expensive" claim) and raw simulator
+//! throughput, print a median/P10/P90 table, and append each run to
+//! `BENCH_pi2.json` so the numbers form a trajectory across commits.
 
 use pi2_stats::{format_table, Align};
 
@@ -101,3 +115,4 @@ mod tests {
 
 pub mod cli;
 pub mod gridview;
+pub mod perf;

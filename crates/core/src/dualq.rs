@@ -124,8 +124,11 @@ impl DualPi2 {
         assert!(cfg.l_ramp_min < cfg.l_ramp_max);
         DualPi2 {
             core: PiCore::new(cfg.alpha_hz, cfg.beta_hz, cfg.target, cfg.t_update),
-            l: VecDeque::new(),
-            c: VecDeque::new(),
+            // Pre-sized so steady-state offer/pop never reallocate: the L
+            // queue stays packets-deep by design, the C queue holds a
+            // ~target's worth of packets.
+            l: VecDeque::with_capacity(256),
+            c: VecDeque::with_capacity(1024),
             l_bytes: 0,
             c_bytes: 0,
             rate_bps: cfg.rate_bps,

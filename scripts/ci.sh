@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The offline tier-1 gate plus a microbench smoke run.
+#
+# Everything here must pass with NO network access: the workspace has
+# zero registry dependencies (the randomized proptest suites are gated
+# behind the off-by-default `proptests` feature precisely so this holds;
+# see README "Tests").
+#
+# Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build"
+cargo build --release
+
+echo "== tier-1: tests"
+cargo test -q
+
+echo "== workspace tests (release: some tests simulate minutes of traffic)"
+cargo test --workspace --release -q
+
+echo "== bench smoke run (short sims; history to a scratch file)"
+# PI2_BENCH_OUT keeps CI noise out of the repo's BENCH_pi2.json trajectory.
+smoke_out="$(mktemp -t pi2_bench_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+PI2_SECS=2 PI2_BENCH_OUT="$smoke_out" \
+    cargo run -q -p pi2-bench --release --bin bench_sim_throughput
+PI2_BENCH_OUT="$smoke_out" \
+    cargo run -q -p pi2-bench --release --bin bench_aqm_decision
+
+echo "== grid determinism smoke: serial vs parallel must match bit-for-bit"
+PI2_SECS=2 PI2_THREADS=1 cargo run -q -p pi2-bench --release --bin grid_all > /tmp/pi2_grid_serial.txt
+PI2_SECS=2 PI2_THREADS=4 cargo run -q -p pi2-bench --release --bin grid_all > /tmp/pi2_grid_par.txt
+diff /tmp/pi2_grid_serial.txt /tmp/pi2_grid_par.txt
+rm -f /tmp/pi2_grid_serial.txt /tmp/pi2_grid_par.txt
+
+echo "== ci.sh: all green"

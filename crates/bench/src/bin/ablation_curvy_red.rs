@@ -29,7 +29,6 @@ fn run(curvy: bool, flows: usize) -> (f64, f64) {
                     warmup: Duration::from_secs(20),
                     ..MonitorConfig::default()
                 },
-                trace_capacity: 0,
             },
             Box::new(CurvyRed::new(CurvyRedConfig::default())) as Box<dyn Aqm>,
         );

@@ -26,7 +26,6 @@ fn build(aqm: Box<dyn Aqm>) -> Sim {
                 record_probs: false,
                 ..MonitorConfig::default()
             },
-            trace_capacity: 0,
         },
         aqm,
     );
@@ -79,6 +78,25 @@ fn main() {
     for m in &ms {
         metrics.push((format!("{}_events_per_sec", m.name), m.units_per_sec()));
         metrics.push((format!("{}_ns_per_event", m.name), m.ns_per_unit()));
+    }
+    // Event totals from the always-on counting sink, recorded alongside
+    // the timing metrics so perf history can spot behavioral drift too.
+    let makes: [(&str, fn() -> Box<dyn Aqm>); 2] = [
+        ("pie_10flows_50mbps", || {
+            Box::new(Pie::new(PieConfig::paper_default()))
+        }),
+        ("pi2_10flows_50mbps", || {
+            Box::new(Pi2::new(Pi2Config::default()))
+        }),
+    ];
+    for (name, make) in makes {
+        let mut sim = build(make());
+        sim.run_until(Time::from_secs(secs));
+        let t = sim.core.counters.totals();
+        metrics.push((format!("{name}_enq_pkts"), t.enqueued as f64));
+        metrics.push((format!("{name}_marked_pkts"), t.marked as f64));
+        metrics.push((format!("{name}_dropped_pkts"), t.dropped as f64));
+        metrics.push((format!("{name}_dequeued_pkts"), t.dequeued as f64));
     }
     record_and_report("sim_throughput", metrics);
 }

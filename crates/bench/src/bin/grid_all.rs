@@ -17,4 +17,5 @@ fn main() {
     gridview::print_fig16(&cells);
     gridview::print_fig17(&cells);
     gridview::print_fig18(&cells);
+    gridview::print_counters(&cells);
 }

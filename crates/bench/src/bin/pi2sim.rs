@@ -10,13 +10,19 @@ use pi2_aqm::{
     Codel, CodelConfig, CoupledPi2, CoupledPi2Config, CurvyRed, CurvyRedConfig, DualPi2,
     DualPi2Config, FqConfig, FqDrr, Pi, PiConfig, Pi2, Pi2Config, Pie, PieConfig, Red, RedConfig,
 };
-use pi2_bench::cli::{parse_args, usage, CliArgs};
+use pi2_bench::cli::{parse_args, usage, CliArgs, TraceFormat};
+use pi2_bench::perf::Json;
 use pi2_netsim::{
-    Aqm, Ecn, MonitorConfig, PassAqm, PathConf, Qdisc, QueueConfig, Sim, SimConfig, UdpCbrSource,
+    Aqm, CsvSink, Ecn, JsonlSink, MemorySink, MonitorConfig, PassAqm, PathConf, Qdisc,
+    QueueConfig, Sim, SimConfig, UdpCbrSource,
 };
 use pi2_simcore::{Duration, Time};
 use pi2_stats::Summary;
 use pi2_transport::{TcpConfig, TcpSource};
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::rc::Rc;
 
 fn build_sim(a: &CliArgs) -> Sim {
     let cfg = SimConfig {
@@ -30,7 +36,6 @@ fn build_sim(a: &CliArgs) -> Sim {
             record_flow_sojourns: true,
             ..MonitorConfig::default()
         },
-        trace_capacity: a.trace,
     };
     let target = a.target;
     match a.aqm.as_str() {
@@ -97,6 +102,27 @@ fn main() {
     };
 
     let mut sim = build_sim(&a);
+    // `--trace N`: a bounded in-memory sink we keep a handle to for the
+    // post-run rendering.
+    let mem_trace = if a.trace > 0 {
+        let h = Rc::new(RefCell::new(MemorySink::new(a.trace)));
+        sim.core.add_trace_sink(Box::new(Rc::clone(&h)));
+        Some(h)
+    } else {
+        None
+    };
+    // `--trace-out PATH`: stream every event and AQM probe to disk.
+    if let Some(path) = &a.trace_out {
+        let f = File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {path}: {e}");
+            std::process::exit(2);
+        });
+        let w = BufWriter::new(f);
+        match a.trace_format {
+            TraceFormat::Jsonl => sim.core.add_trace_sink(Box::new(JsonlSink::new(w))),
+            TraceFormat::Csv => sim.core.add_trace_sink(Box::new(CsvSink::new(w))),
+        }
+    }
     for spec in &a.flows {
         for _ in 0..spec.count {
             let cc = spec.cc;
@@ -112,6 +138,10 @@ fn main() {
         });
     }
     sim.run_until(Time::from_secs(a.secs));
+    if let Err(e) = sim.core.flush_trace_sinks() {
+        eprintln!("trace sink error: {e}");
+        std::process::exit(1);
+    }
 
     let m = &sim.core.monitor;
     println!(
@@ -153,16 +183,82 @@ fn main() {
             sj.p99
         );
     }
+    // The always-on counting sink, full-run (warmup included).
+    let tot = sim.core.counters.totals();
+    println!(
+        "counters: enq {} mark {} drop {} deq {}  aqm updates {}",
+        tot.enqueued, tot.marked, tot.dropped, tot.dequeued, sim.core.counters.aqm_updates
+    );
     if a.csv {
         println!("t_s,qdelay_ms");
         for (t, d) in &m.qdelay_series {
             println!("{t},{d}");
         }
     }
-    if a.trace > 0 {
+    if let Some(h) = &mem_trace {
         println!("# first {} bottleneck events:", a.trace);
-        if let Some(tr) = &sim.core.trace {
-            print!("{}", tr.render());
+        print!("{}", h.borrow().render());
+    }
+    if let Some(path) = &a.trace_out {
+        if a.trace_format == TraceFormat::Jsonl {
+            match verify_jsonl_trace(path, &sim) {
+                Ok(n) => println!("trace verified: {n} events, per-flow totals match monitor"),
+                Err(e) => {
+                    eprintln!("trace verification FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
+}
+
+/// Re-parse a JSONL trace and check its per-flow mark/drop/dequeue totals
+/// against the Monitor's independent accounting. Returns the event count.
+fn verify_jsonl_trace(path: &str, sim: &Sim) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if text.is_empty() {
+        return Err("trace file is empty".to_string());
+    }
+    let m = &sim.core.monitor;
+    let nflows = m.flows.len();
+    let mut marks = vec![0u64; nflows];
+    let mut drops = vec![0u64; nflows];
+    let mut deqs = vec![0u64; nflows];
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let bad = |what: &str| format!("line {}: {what}", i + 1);
+        let j = Json::parse(line).map_err(|e| bad(&e))?;
+        let ev = j
+            .get("ev")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| bad("missing \"ev\""))?
+            .to_string();
+        n += 1;
+        if ev == "aqm" {
+            continue;
+        }
+        let flow = j
+            .get("flow")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| bad("missing \"flow\""))? as usize;
+        if flow >= nflows {
+            return Err(bad(&format!("unknown flow {flow}")));
+        }
+        match ev.as_str() {
+            "enq" => {}
+            "mark" => marks[flow] += 1,
+            "drop" => drops[flow] += 1,
+            "deq" => deqs[flow] += 1,
+            other => return Err(bad(&format!("unknown event '{other}'"))),
+        }
+    }
+    for (i, f) in m.flows.iter().enumerate() {
+        if marks[i] != f.marked || drops[i] != f.dropped || deqs[i] != f.dequeued_pkts {
+            return Err(format!(
+                "flow {i}: trace mark/drop/deq {}/{}/{} but monitor has {}/{}/{}",
+                marks[i], drops[i], deqs[i], f.marked, f.dropped, f.dequeued_pkts
+            ));
+        }
+    }
+    Ok(n)
 }

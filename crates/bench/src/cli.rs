@@ -46,6 +46,19 @@ pub struct CliArgs {
     pub csv: bool,
     /// Print the first N per-packet trace events.
     pub trace: usize,
+    /// Stream the full event trace to this file.
+    pub trace_out: Option<String>,
+    /// On-disk trace format for `--trace-out`.
+    pub trace_format: TraceFormat,
+}
+
+/// On-disk format for `--trace-out`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line (the default).
+    Jsonl,
+    /// Flat CSV with a header row.
+    Csv,
 }
 
 /// The AQMs `pi2sim` accepts.
@@ -72,6 +85,8 @@ impl Default for CliArgs {
             target: Duration::from_millis(20),
             csv: false,
             trace: 0,
+            trace_out: None,
+            trace_format: TraceFormat::Jsonl,
         }
     }
 }
@@ -198,6 +213,16 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|_| "bad --trace".to_string())?
             }
+            "--trace-out" => out.trace_out = Some(value("--trace-out")?.clone()),
+            "--trace-format" => {
+                out.trace_format = match value("--trace-format")?.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "csv" => TraceFormat::Csv,
+                    other => {
+                        return Err(format!("bad --trace-format '{other}' (jsonl or csv)"))
+                    }
+                }
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -224,7 +249,9 @@ pub fn usage() -> String {
          \x20 --seed <n>        RNG seed (default 1)\n\
          \x20 --target <time>   AQM delay target (default 20ms)\n\
          \x20 --csv             also print the (t, queue delay ms) series as CSV\n\
-         \x20 --trace <n>       print the first n per-packet bottleneck events",
+         \x20 --trace <n>       print the first n per-packet bottleneck events\n\
+         \x20 --trace-out <p>   stream every event + AQM state probe to this file\n\
+         \x20 --trace-format <f> jsonl (default) or csv, for --trace-out",
         AQMS.join("|")
     )
 }
@@ -284,6 +311,17 @@ mod tests {
         assert_eq!(a.flows.len(), 2);
         assert_eq!(a.secs, 30);
         assert_eq!(a.seed, 7);
+        assert_eq!(a.trace_out, None);
+        assert_eq!(a.trace_format, TraceFormat::Jsonl);
+    }
+
+    #[test]
+    fn trace_out_and_format_parse() {
+        let a = parse_args(&args("--trace-out /tmp/t.csv --trace-format csv")).unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.csv"));
+        assert_eq!(a.trace_format, TraceFormat::Csv);
+        let e = parse_args(&args("--trace-format xml")).unwrap_err();
+        assert!(e.contains("jsonl or csv"));
     }
 
     #[test]

@@ -133,3 +133,31 @@ pub fn print_fig18(cells: &[GridCell]) {
          cannot fill the pipe at the 20 ms target.\n"
     );
 }
+
+/// Per-cell event-counter totals from the always-on counting sink.
+pub fn print_counters(cells: &[GridCell]) {
+    println!("--- per-cell event counters (whole run, warmup included) ---");
+    let mut rows = vec![vec![
+        "cell".to_string(),
+        "pair".into(),
+        "aqm".into(),
+        "enq".into(),
+        "mark".into(),
+        "drop".into(),
+        "deq".into(),
+        "aqm upd".into(),
+    ]];
+    for c in cells {
+        rows.push(vec![
+            cell_key(c),
+            pair_label(c.pair).to_string(),
+            c.aqm.to_string(),
+            c.counts.enqueued.to_string(),
+            c.counts.marked.to_string(),
+            c.counts.dropped.to_string(),
+            c.counts.dequeued.to_string(),
+            c.aqm_updates.to_string(),
+        ]);
+    }
+    table(&rows);
+}

@@ -563,7 +563,18 @@ pub fn compare(current: &RunRecord, previous: &RunRecord) -> Vec<(String, f64)> 
                 .metrics
                 .iter()
                 .find(|(pk, _)| pk == k)
-                .map(|(_, pv)| (k.clone(), if *pv != 0.0 { v / pv } else { f64::NAN }))
+                .map(|(_, pv)| {
+                    // A zero baseline has no meaningful ratio; report 1.0
+                    // (no change) when the current value is also zero.
+                    let ratio = if *pv != 0.0 {
+                        v / pv
+                    } else if *v == 0.0 {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    };
+                    (k.clone(), ratio)
+                })
         })
         .collect()
 }

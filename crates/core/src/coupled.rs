@@ -21,7 +21,7 @@
 use crate::estimator::DelayEstimator;
 use crate::pi::PiCore;
 use crate::pi2::{Pi2, SquareMode};
-use pi2_netsim::{Aqm, Decision, Packet, QueueSnapshot};
+use pi2_netsim::{Aqm, AqmState, Decision, Packet, QueueSnapshot};
 use pi2_simcore::{Duration, Rng, Time};
 
 /// Configuration of the coupled AQM (defaults: paper Table 1, k = 2).
@@ -153,6 +153,20 @@ impl Aqm for CoupledPi2 {
         self.core.p()
     }
 
+    fn probe(&self) -> AqmState {
+        let (alpha_term, beta_term) = self.core.last_terms();
+        AqmState {
+            p_prime: self.core.p(),
+            prob: self.classic_prob(),
+            scalable_prob: self.scalable_prob(),
+            alpha_term,
+            beta_term,
+            est_rate_bytes_per_sec: self.estimator.rate_estimate().unwrap_or(0.0),
+            qdelay: self.core.prev_qdelay(),
+            ..AqmState::default()
+        }
+    }
+
     fn name(&self) -> &'static str {
         "coupled-pi2"
     }
@@ -269,6 +283,15 @@ mod tests {
             let d = c.on_enqueue(&pkt, &tiny, Time::ZERO, &mut rng);
             assert_eq!(d.action, Action::Pass);
         }
+    }
+
+    #[test]
+    fn probe_reports_both_class_probabilities() {
+        let c = coupled_with(0.4);
+        let st = c.probe();
+        assert!((st.p_prime - 0.4).abs() < 1e-12);
+        assert!((st.scalable_prob - 0.4).abs() < 1e-12);
+        assert!((st.prob - 0.04).abs() < 1e-12, "classic prob is (ps/k)²");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::pi::PiCore;
 use crate::pi2::{Pi2, SquareMode};
-use pi2_netsim::{Decision, Ecn, Packet, Qdisc, QueueStats};
+use pi2_netsim::{AqmState, Decision, Ecn, Packet, Qdisc, QueueStats};
 use pi2_simcore::{Duration, Rng, Time};
 use std::collections::VecDeque;
 
@@ -322,6 +322,21 @@ impl Qdisc for DualPi2 {
         self.core.p()
     }
 
+    fn probe(&self) -> AqmState {
+        let (alpha_term, beta_term) = self.core.last_terms();
+        AqmState {
+            p_prime: self.p_prime(),
+            prob: self.classic_prob(),
+            scalable_prob: self.l_prob(),
+            alpha_term,
+            beta_term,
+            // The C-queue delay the PI core last acted on; the head-age
+            // measure needs `now`, which this hook does not receive.
+            qdelay: self.core.prev_qdelay(),
+            ..AqmState::default()
+        }
+    }
+
     fn stats(&self) -> &QueueStats {
         &self.stats
     }
@@ -430,6 +445,16 @@ mod tests {
             assert_ne!(d.action, Action::Drop);
         }
         assert_eq!(q.stats().aqm_dropped, 0);
+    }
+
+    #[test]
+    fn probe_reports_coupled_probabilities() {
+        let mut q = dq();
+        q.core.set_p(0.4);
+        let st = q.probe();
+        assert!((st.p_prime - 0.4).abs() < 1e-12);
+        assert!((st.prob - 0.16).abs() < 1e-12, "classic prob is p'²");
+        assert!((st.scalable_prob - 0.8).abs() < 1e-12, "L prob is k·p'");
     }
 
     #[test]

@@ -56,17 +56,30 @@ impl RateEstimator {
         if self.dq_count >= DQ_THRESHOLD {
             let elapsed = now.saturating_since(self.start).as_secs_f64();
             if elapsed > 0.0 {
-                let sample = self.dq_count as f64 / elapsed;
+                // The sample covers exactly DQ_THRESHOLD bytes; the final
+                // departure's overshoot belongs to the *next* cycle rather
+                // than being discarded, keeping byte accounting exact
+                // across cycle boundaries.
+                let sample = DQ_THRESHOLD as f64 / elapsed;
                 self.avg_dq_rate = if self.avg_dq_rate == 0.0 {
                     sample
                 } else {
+                    // RFC 8033 §5.1: 0.5/0.5 exponential smoothing.
                     0.5 * self.avg_dq_rate + 0.5 * sample
                 };
             }
-            // Start the next cycle immediately (queue permitting).
+            // Restart immediately while enough backlog remains (the Linux
+            // pie.c condition), carrying the overshoot into the new
+            // cycle's count. Without backlog the next departures would
+            // measure arrivals rather than service, so the partial count
+            // is dropped along with the measurement.
             self.in_measurement = qlen_bytes as u64 >= DQ_THRESHOLD;
             self.start = now;
-            self.dq_count = 0;
+            self.dq_count = if self.in_measurement {
+                self.dq_count - DQ_THRESHOLD
+            } else {
+                0
+            };
         }
     }
 
@@ -74,6 +87,11 @@ impl RateEstimator {
     pub fn delay_of(&self, qlen_bytes: usize, link_rate_bps: u64) -> Duration {
         if self.avg_dq_rate > 0.0 {
             Duration::from_secs_f64(qlen_bytes as f64 / self.avg_dq_rate)
+        } else if link_rate_bps == 0 {
+            // No sample and no configured rate: there is nothing to divide
+            // by (`Duration::serialization` asserts on a zero rate), so
+            // report zero delay explicitly rather than a garbage estimate.
+            Duration::ZERO
         } else {
             // No sample yet: fall back to the configured link rate.
             Duration::serialization(qlen_bytes, link_rate_bps)
@@ -102,6 +120,15 @@ impl DelayEstimator {
     pub fn on_dequeue(&mut self, bytes: usize, qlen_bytes: usize, now: Time) {
         if let DelayEstimator::RateEstimate(re) = self {
             re.on_dequeue(bytes, qlen_bytes, now);
+        }
+    }
+
+    /// The smoothed departure rate in bytes/s, if this estimator keeps
+    /// one and has taken at least one sample (telemetry probes).
+    pub fn rate_estimate(&self) -> Option<f64> {
+        match self {
+            DelayEstimator::RateEstimate(re) if re.avg_dq_rate > 0.0 => Some(re.avg_dq_rate),
+            _ => None,
         }
     }
 
@@ -186,6 +213,68 @@ mod tests {
         // Fallback uses the link rate.
         let d = re.delay_of(12_500, 10_000_000);
         assert_eq!(d, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn rate_estimator_carries_threshold_overshoot() {
+        // Two 10 000 B departures 10 ms apart cross the 16 384 B threshold
+        // mid-packet. The first cycle samples exactly DQ_THRESHOLD bytes
+        // over 10 ms; the 3 616 B overshoot seeds the next cycle, which
+        // therefore completes after two more departures (23 616 ≥ 16 384)
+        // over 20 ms.
+        let mut re = RateEstimator::new();
+        let deep = 100_000; // backlog stays well above the threshold
+        re.on_dequeue(10_000, deep, Time::from_millis(10)); // starts cycle
+        re.on_dequeue(10_000, deep, Time::from_millis(20));
+        let s1 = DQ_THRESHOLD as f64 / 0.010;
+        assert!((re.avg_dq_rate - s1).abs() < 1e-6, "{}", re.avg_dq_rate);
+        re.on_dequeue(10_000, deep, Time::from_millis(30)); // carry: 13 616
+        assert!((re.avg_dq_rate - s1).abs() < 1e-6, "no new sample yet");
+        re.on_dequeue(10_000, deep, Time::from_millis(40)); // 23 616 ≥ thresh
+        let s2 = DQ_THRESHOLD as f64 / 0.020;
+        let expect = 0.5 * s1 + 0.5 * s2;
+        assert!((re.avg_dq_rate - expect).abs() < 1e-6, "{}", re.avg_dq_rate);
+    }
+
+    #[test]
+    fn rate_estimator_drops_overshoot_when_backlog_gone() {
+        // A cycle completing onto an empty queue must not carry its
+        // overshoot: the next (idle-period) departures would turn it into
+        // an arrival-rate sample.
+        let mut re = RateEstimator::new();
+        re.on_dequeue(10_000, 100_000, Time::from_millis(10));
+        re.on_dequeue(10_000, 0, Time::from_millis(20)); // samples, then stops
+        let after_first = re.avg_dq_rate;
+        assert!(after_first > 0.0);
+        // Shallow-queue departures: measurement stays off, rate unchanged.
+        re.on_dequeue(10_000, 0, Time::from_secs(10));
+        assert_eq!(re.avg_dq_rate, after_first);
+    }
+
+    #[test]
+    fn delay_of_zero_link_rate_without_sample_is_zero() {
+        // Before the first sample and with no configured link rate there
+        // is nothing to divide by; the fallback must be an explicit zero,
+        // not a panic (Duration::serialization asserts rate > 0).
+        let re = RateEstimator::new();
+        assert_eq!(re.delay_of(50_000, 0), Duration::ZERO);
+        // Once a sample exists, the link rate is irrelevant.
+        let mut re = RateEstimator::new();
+        re.on_dequeue(10_000, 100_000, Time::from_millis(10));
+        re.on_dequeue(10_000, 100_000, Time::from_millis(20));
+        assert!(re.delay_of(50_000, 0) > Duration::ZERO);
+    }
+
+    #[test]
+    fn rate_estimate_accessor_reports_only_real_samples() {
+        let mut e = DelayEstimator::linux_default();
+        assert_eq!(e.rate_estimate(), None);
+        e.on_dequeue(10_000, 100_000, Time::from_millis(10));
+        e.on_dequeue(10_000, 100_000, Time::from_millis(20));
+        let r = e.rate_estimate().expect("sample taken");
+        assert!(r > 0.0);
+        assert_eq!(DelayEstimator::QlenOverRate.rate_estimate(), None);
+        assert_eq!(DelayEstimator::Sojourn.rate_estimate(), None);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! variable is encoded into a drop/mark probability.
 
 use crate::estimator::DelayEstimator;
-use pi2_netsim::{Aqm, Decision, Packet, QueueSnapshot};
+use pi2_netsim::{Aqm, AqmState, Decision, Packet, QueueSnapshot};
 use pi2_simcore::{Duration, Rng, Time};
 
 /// The shared PI state machine.
@@ -40,6 +40,8 @@ pub struct PiCore {
     pub t_update: Duration,
     prev_qdelay: Duration,
     p: f64,
+    last_alpha_term: f64,
+    last_beta_term: f64,
 }
 
 impl PiCore {
@@ -54,6 +56,8 @@ impl PiCore {
             t_update,
             prev_qdelay: Duration::ZERO,
             p: 0.0,
+            last_alpha_term: 0.0,
+            last_beta_term: 0.0,
         }
     }
 
@@ -68,11 +72,21 @@ impl PiCore {
     }
 
     /// The raw Δp eq. (4) would apply for the given delay, *without*
-    /// integrating it — callers scale it first (PIE's tune) or just add it.
-    pub fn delta(&self, qdelay: Duration) -> f64 {
+    /// integrating it — callers scale it first (PIE's tune) or just add
+    /// it. Records the two unscaled contributions for telemetry probes
+    /// ([`PiCore::last_terms`]).
+    pub fn delta(&mut self, qdelay: Duration) -> f64 {
         let err = (qdelay - self.target).as_secs_f64();
         let growth = (qdelay - self.prev_qdelay).as_secs_f64();
-        self.alpha_hz * err + self.beta_hz * growth
+        self.last_alpha_term = self.alpha_hz * err;
+        self.last_beta_term = self.beta_hz * growth;
+        self.last_alpha_term + self.last_beta_term
+    }
+
+    /// The `(α·(τ − τ₀), β·(τ − τ_prev))` contributions of the most recent
+    /// [`PiCore::delta`] evaluation, before any caller-side scaling.
+    pub fn last_terms(&self) -> (f64, f64) {
+        (self.last_alpha_term, self.last_beta_term)
     }
 
     /// Integrate a (possibly scaled) Δp and record the delay history.
@@ -203,6 +217,19 @@ impl Aqm for Pi {
 
     fn control_variable(&self) -> f64 {
         self.core.p()
+    }
+
+    fn probe(&self) -> AqmState {
+        let (alpha_term, beta_term) = self.core.last_terms();
+        AqmState {
+            p_prime: self.core.p(),
+            prob: self.core.p().min(self.max_prob),
+            alpha_term,
+            beta_term,
+            est_rate_bytes_per_sec: self.estimator.rate_estimate().unwrap_or(0.0),
+            qdelay: self.core.prev_qdelay(),
+            ..AqmState::default()
+        }
     }
 
     fn name(&self) -> &'static str {

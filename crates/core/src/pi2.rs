@@ -18,7 +18,7 @@
 
 use crate::estimator::DelayEstimator;
 use crate::pi::PiCore;
-use pi2_netsim::{Aqm, Decision, Packet, QueueSnapshot};
+use pi2_netsim::{Aqm, AqmState, Decision, Packet, QueueSnapshot};
 use pi2_simcore::{Duration, Rng, Time};
 
 /// How the squared decision is evaluated.
@@ -184,6 +184,19 @@ impl Aqm for Pi2 {
         self.core.p()
     }
 
+    fn probe(&self) -> AqmState {
+        let (alpha_term, beta_term) = self.core.last_terms();
+        AqmState {
+            p_prime: self.p_prime(),
+            prob: self.classic_prob(),
+            alpha_term,
+            beta_term,
+            est_rate_bytes_per_sec: self.estimator.rate_estimate().unwrap_or(0.0),
+            qdelay: self.core.prev_qdelay(),
+            ..AqmState::default()
+        }
+    }
+
     fn name(&self) -> &'static str {
         "pi2"
     }
@@ -300,6 +313,22 @@ mod tests {
         let p2 = a.p_prime();
         let expect = 0.3125 * 0.010; // α · (30ms − 20ms)
         assert!(((p2 - p1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_reports_linear_and_squared_probabilities() {
+        let mut a = Pi2::new(Pi2Config::default());
+        let s = snap(37_500); // 30 ms at 10 Mb/s
+        a.update(&s, Time::ZERO);
+        let st = a.probe();
+        assert_eq!(st.p_prime, a.p_prime());
+        assert_eq!(st.prob, a.classic_prob());
+        assert!(st.prob < st.p_prime, "output is the square of p'");
+        assert_eq!(st.qdelay, Duration::from_millis(30));
+        // 10 ms standing error, 30 ms growth from zero history.
+        assert!((st.alpha_term - 0.3125 * 0.010).abs() < 1e-12);
+        assert!((st.beta_term - 3.125 * 0.030).abs() < 1e-12);
+        assert_eq!(st.scalable_prob, 0.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::estimator::DelayEstimator;
 use crate::pi::PiCore;
-use pi2_netsim::{Aqm, Decision, Packet, QueueSnapshot};
+use pi2_netsim::{Aqm, AqmState, Decision, Packet, QueueSnapshot};
 use pi2_simcore::{Duration, Rng, Time};
 
 /// The stepwise Δp scaling of RFC 8033 §4.2 (extended during IETF review
@@ -253,6 +253,24 @@ impl Aqm for Pie {
 
     fn control_variable(&self) -> f64 {
         self.core.p()
+    }
+
+    fn probe(&self) -> AqmState {
+        // PIE controls p directly: the linear variable and the output
+        // probability coincide. The α/β terms are reported unscaled — the
+        // tune factor is exactly what PI2 removes, so seeing the raw
+        // contributions next to the integrated p is the point.
+        let (alpha_term, beta_term) = self.core.last_terms();
+        AqmState {
+            p_prime: self.core.p(),
+            prob: self.core.p(),
+            alpha_term,
+            beta_term,
+            burst_allowance: self.burst_allowance,
+            est_rate_bytes_per_sec: self.estimator.rate_estimate().unwrap_or(0.0),
+            qdelay: self.qdelay,
+            ..AqmState::default()
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -498,6 +516,22 @@ mod tests {
         fixed.update(&s, Time::ZERO);
         assert!(tuned.prob() < fixed.prob());
         assert!(tuned.prob() > 0.0);
+    }
+
+    #[test]
+    fn probe_reports_burst_allowance_and_delay() {
+        let mut pie = Pie::new(PieConfig {
+            estimator: DelayEstimator::QlenOverRate,
+            ..PieConfig::linux_default()
+        });
+        let st = pie.probe();
+        assert_eq!(st.burst_allowance, Duration::from_millis(100));
+        pie.update(&snap(75_000), Time::ZERO); // 60 ms at 10 Mb/s
+        let st = pie.probe();
+        assert_eq!(st.burst_allowance, Duration::from_millis(68)); // −32 ms
+        assert_eq!(st.qdelay, Duration::from_millis(60));
+        assert_eq!(st.p_prime, st.prob, "PIE controls p directly");
+        assert_eq!(st.est_rate_bytes_per_sec, 0.0, "no rate estimator here");
     }
 
     #[test]

@@ -110,7 +110,6 @@ pub fn bare_pie_bursts(seed: u64) -> (f64, f64) {
                     warmup: Duration::from_secs(5),
                     ..MonitorConfig::default()
                 },
-                trace_capacity: 0,
             },
             Box::new(pi2_aqm::Pie::new(cfg)),
         );
@@ -189,7 +188,6 @@ pub fn delayed_ack_constant(p: f64, delayed: bool, seed: u64) -> f64 {
                 record_probs: false,
                 ..MonitorConfig::default()
             },
-            trace_capacity: 0,
         },
         Box::new(FixedProb::new(p)),
     );

@@ -51,7 +51,6 @@ pub fn measure(cc: CcKind, ecn: EcnSetting, p: f64, seed: u64) -> LawPoint {
                 warmup: Duration::from_secs(30),
                 ..MonitorConfig::default()
             },
-            trace_capacity: 0,
         },
         Box::new(FixedProb::new(p)),
     );
@@ -109,7 +108,6 @@ pub fn step_vs_probabilistic(seed: u64) -> (f64, f64, f64) {
                     warmup: Duration::from_secs(20),
                     ..MonitorConfig::default()
                 },
-                trace_capacity: 0,
             },
             aqm,
         );

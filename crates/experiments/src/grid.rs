@@ -11,6 +11,7 @@
 //! * Figure 18 — link utilization P1/mean/P99.
 
 use crate::scenario::{AqmKind, FlowGroup, Scenario};
+use pi2_netsim::FlowCounts;
 use pi2_simcore::{Duration, Time};
 use pi2_stats::Summary;
 use pi2_transport::{CcKind, EcnSetting};
@@ -74,6 +75,10 @@ pub struct GridCell {
     pub prob_ecn: Summary,
     /// Figure 18: utilization (%) summary.
     pub util: Summary,
+    /// Whole-run event totals from the always-on counting sink.
+    pub counts: FlowCounts,
+    /// AQM update ticks over the run.
+    pub aqm_updates: u64,
 }
 
 /// Run one cell.
@@ -112,6 +117,8 @@ pub fn run_cell(
         prob_cubic: r.prob_summary("cubic"),
         prob_ecn: r.prob_summary(pair.ecn_label()),
         util: r.util_summary(),
+        counts: r.counters.totals(),
+        aqm_updates: r.counters.aqm_updates,
     }
 }
 

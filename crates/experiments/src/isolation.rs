@@ -93,7 +93,6 @@ pub fn run_coupled(rate_bps: u64, rtt: Duration, duration_s: u64, seed: u64) -> 
             },
             seed,
             monitor: monitor_cfg(duration_s),
-            trace_capacity: 0,
         },
         AqmKind::coupled_default().build(),
     );

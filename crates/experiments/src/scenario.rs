@@ -7,7 +7,7 @@ use pi2_aqm::{
 };
 use pi2_netsim::{
     Aqm, Ecn, Monitor, MonitorConfig, PassAqm, PathConf, QueueConfig, Sim, SimConfig,
-    UdpCbrSource,
+    TraceCounts, UdpCbrSource,
 };
 use pi2_simcore::{Duration, Time};
 use pi2_stats::Summary;
@@ -209,7 +209,6 @@ impl Scenario {
                     warmup: self.warmup,
                     ..MonitorConfig::default()
                 },
-                trace_capacity: 0,
             },
             self.aqm.build(),
         );
@@ -263,6 +262,7 @@ impl Scenario {
         RunResult {
             aqm: self.aqm.name(),
             monitor: sim.core.monitor.clone(),
+            counters: sim.core.counters.clone(),
             rate_bps: sim.core.queue.rate_bps(),
         }
     }
@@ -275,6 +275,8 @@ pub struct RunResult {
     pub aqm: &'static str,
     /// Full measurement state.
     pub monitor: Monitor,
+    /// The always-on event counters (full run, warmup included).
+    pub counters: TraceCounts,
     /// Final link rate (after any changes).
     pub rate_bps: u64,
 }
@@ -331,6 +333,15 @@ impl RunResult {
     pub fn tput_series(&self) -> &[(f64, f64)] {
         &self.monitor.total_tput_series
     }
+
+    /// One-line event-counter summary for sweep output.
+    pub fn counter_summary(&self) -> String {
+        let t = self.counters.totals();
+        format!(
+            "enq {} mark {} drop {} deq {} ({} aqm updates)",
+            t.enqueued, t.marked, t.dropped, t.dequeued, self.counters.aqm_updates
+        )
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +365,16 @@ mod tests {
         assert!(tput > 8.0, "throughput {tput:.1} Mb/s");
         assert!(r.delay_summary().n > 0);
         assert_eq!(r.aqm, "pi2");
+        // The always-on counters agree with the monitor's accounting.
+        let t = r.counters.totals();
+        assert!(t.enqueued > 0 && t.dequeued > 0);
+        let m_drops: u64 = r.monitor.flows.iter().map(|f| f.dropped).sum();
+        let m_marks: u64 = r.monitor.flows.iter().map(|f| f.marked).sum();
+        let m_deqs: u64 = r.monitor.flows.iter().map(|f| f.dequeued_pkts).sum();
+        assert_eq!(t.dropped, m_drops);
+        assert_eq!(t.marked, m_marks);
+        assert_eq!(t.dequeued, m_deqs);
+        assert!(r.counter_summary().contains("aqm updates"));
     }
 
     #[test]

@@ -88,7 +88,6 @@ pub fn run_one(aqm: AqmKind, w: &WebWorkload) -> FctResult {
                 record_probs: false,
                 ..MonitorConfig::default()
             },
-            trace_capacity: 0,
         },
         aqm.build(),
     );

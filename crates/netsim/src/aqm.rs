@@ -73,6 +73,39 @@ impl QueueSnapshot {
     }
 }
 
+/// A structured snapshot of an AQM's internal control state, captured at
+/// each update tick and streamed to trace sinks (`"ev":"aqm"` lines in a
+/// JSONL trace).
+///
+/// Fields an AQM does not maintain stay at their zero defaults — a probe
+/// reports what the policy actually computes, e.g. only DualPI2/coupled
+/// PI2 fill `scalable_prob`, only PIE fills `burst_allowance`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AqmState {
+    /// The linear controlled variable: `p'` for PI2/coupled/DualPI2, `p`
+    /// itself for PIE/PI (they control the output probability directly).
+    pub p_prime: f64,
+    /// The classic-traffic output probability actually applied to
+    /// drops/marks (`p = p'²` for PI2, capped `p` for PIE/PI).
+    pub prob: f64,
+    /// The scalable-traffic (L4S) marking probability, where the scheme
+    /// has one (coupled PI2, DualPI2); otherwise 0.
+    pub scalable_prob: f64,
+    /// The proportional contribution `α·(qdelay − target)` of the last
+    /// controller update.
+    pub alpha_term: f64,
+    /// The integral-path contribution `β·(qdelay − qdelay_prev)` of the
+    /// last controller update.
+    pub beta_term: f64,
+    /// Remaining PIE burst allowance; zero for AQMs without one.
+    pub burst_allowance: Duration,
+    /// The departure-rate estimator's smoothed rate in bytes/s, when a
+    /// RFC 8033-style estimator is active and has sampled; otherwise 0.
+    pub est_rate_bytes_per_sec: f64,
+    /// The queue-delay input of the last controller update.
+    pub qdelay: Duration,
+}
+
 /// A drop/mark policy attached to the bottleneck queue.
 pub trait Aqm {
     /// Decide the fate of `pkt`, which the queue is about to admit.
@@ -105,6 +138,17 @@ pub trait Aqm {
     /// pseudo-probability `p'` for PI2/PI.
     fn control_variable(&self) -> f64 {
         0.0
+    }
+
+    /// Snapshot the internal control state for telemetry. The default
+    /// reports [`Aqm::control_variable`] as both `p'` and the output
+    /// probability; policies with richer state override this.
+    fn probe(&self) -> AqmState {
+        AqmState {
+            p_prime: self.control_variable(),
+            prob: self.control_variable(),
+            ..AqmState::default()
+        }
     }
 
     /// Human-readable name used in experiment output tables.

@@ -22,10 +22,12 @@ pub mod sim;
 pub mod source;
 pub mod trace;
 
-pub use aqm::{Action, Aqm, Decision, PassAqm, QueueSnapshot};
+pub use aqm::{Action, Aqm, AqmState, Decision, PassAqm, QueueSnapshot};
 pub use monitor::{FlowAccount, Monitor, MonitorConfig};
 pub use packet::{Ecn, FlowId, Packet};
 pub use queue::{BottleneckQueue, Qdisc, QueueConfig, QueueStats};
 pub use sim::{Ack, Event, PathConf, Sim, SimConfig, SimCore, Source, TimerKind};
 pub use source::{OnOffCbrSource, UdpCbrSource};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{
+    CountingSink, CsvSink, FlowCounts, JsonlSink, MemorySink, TraceCounts, TraceEvent, TraceSink,
+};

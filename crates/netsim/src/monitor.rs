@@ -51,10 +51,16 @@ pub struct FlowAccount {
     pub sent_pkts: u64,
     /// Bytes handed to the bottleneck by the sender.
     pub sent_bytes: u64,
+    /// Packets handed to the bottleneck after the warm-up period.
+    pub sent_pkts_postwarm: u64,
     /// Packets dropped by the AQM or buffer.
     pub dropped: u64,
     /// Packets CE-marked by the AQM.
     pub marked: u64,
+    /// Packets dropped after the warm-up period.
+    pub dropped_postwarm: u64,
+    /// Packets CE-marked after the warm-up period.
+    pub marked_postwarm: u64,
     /// Packets that left the bottleneck link.
     pub dequeued_pkts: u64,
     /// Bytes that left the bottleneck link.
@@ -65,6 +71,8 @@ pub struct FlowAccount {
     pub delivered_pkts: u64,
     /// Bytes that reached the receiver.
     pub delivered_bytes: u64,
+    /// Bytes that reached the receiver after the warm-up period.
+    pub delivered_bytes_postwarm: u64,
     /// Applied probability per offered packet, after warm-up
     /// (only if [`MonitorConfig::record_probs`]).
     pub prob_samples: Vec<f32>,
@@ -82,13 +90,17 @@ impl FlowAccount {
             label: label.to_string(),
             sent_pkts: 0,
             sent_bytes: 0,
+            sent_pkts_postwarm: 0,
             dropped: 0,
             marked: 0,
+            dropped_postwarm: 0,
+            marked_postwarm: 0,
             dequeued_pkts: 0,
             dequeued_bytes: 0,
             dequeued_bytes_postwarm: 0,
             delivered_pkts: 0,
             delivered_bytes: 0,
+            delivered_bytes_postwarm: 0,
             prob_samples: Vec::new(),
             tput_series: Vec::new(),
             sojourn_ms: Vec::new(),
@@ -97,12 +109,16 @@ impl FlowAccount {
     }
 
     /// Fraction of offered packets that were marked or dropped — the
-    /// empirical congestion-signal probability of this flow.
+    /// empirical congestion-signal probability of this flow. Measured over
+    /// the post-warm-up window, the same window as
+    /// [`FlowAccount::mean_tput_mbps`] (slow-start transients would
+    /// otherwise skew the numerator while the denominator of a throughput
+    /// comparison excludes them).
     pub fn signal_fraction(&self) -> f64 {
-        if self.sent_pkts == 0 {
+        if self.sent_pkts_postwarm == 0 {
             0.0
         } else {
-            (self.dropped + self.marked) as f64 / self.sent_pkts as f64
+            (self.dropped_postwarm + self.marked_postwarm) as f64 / self.sent_pkts_postwarm as f64
         }
     }
 
@@ -232,10 +248,14 @@ impl Monitor {
     }
 
     /// Record a packet being offered to the bottleneck.
-    pub fn record_sent(&mut self, flow: FlowId, bytes: usize, _now: Time) {
+    pub fn record_sent(&mut self, flow: FlowId, bytes: usize, now: Time) {
+        let postwarm = self.postwarm(now);
         let acc = &mut self.flows[flow.idx()];
         acc.sent_pkts += 1;
         acc.sent_bytes += bytes as u64;
+        if postwarm {
+            acc.sent_pkts_postwarm += 1;
+        }
     }
 
     /// Record the AQM decision for an offered packet.
@@ -243,8 +263,18 @@ impl Monitor {
         let postwarm = self.postwarm(now);
         let acc = &mut self.flows[flow.idx()];
         match decision.action {
-            Action::Drop => acc.dropped += 1,
-            Action::Mark => acc.marked += 1,
+            Action::Drop => {
+                acc.dropped += 1;
+                if postwarm {
+                    acc.dropped_postwarm += 1;
+                }
+            }
+            Action::Mark => {
+                acc.marked += 1;
+                if postwarm {
+                    acc.marked_postwarm += 1;
+                }
+            }
             Action::Pass => {}
         }
         if self.cfg.record_probs && postwarm {
@@ -270,10 +300,14 @@ impl Monitor {
     }
 
     /// Record an arrival at the receiver.
-    pub fn record_delivered(&mut self, flow: FlowId, bytes: usize, _now: Time) {
+    pub fn record_delivered(&mut self, flow: FlowId, bytes: usize, now: Time) {
+        let postwarm = self.postwarm(now);
         let acc = &mut self.flows[flow.idx()];
         acc.delivered_pkts += 1;
         acc.delivered_bytes += bytes as u64;
+        if postwarm {
+            acc.delivered_bytes_postwarm += bytes as u64;
+        }
     }
 
     /// Record the completion of a size-limited flow.
@@ -430,6 +464,50 @@ mod tests {
         assert!((m.sojourn_ms[0] - 7.0).abs() < 1e-6);
         assert_eq!(m.flow(FlowId(0)).dequeued_bytes, 3000);
         assert_eq!(m.flow(FlowId(0)).dequeued_bytes_postwarm, 1500);
+    }
+
+    #[test]
+    fn signal_fraction_and_throughput_share_the_warmup_window() {
+        // Pre-warm-up traffic (heavily signalled slow-start) must not leak
+        // into signal_fraction when mean_tput_mbps already excludes it:
+        // both read the post-warm-up window.
+        let mut m = Monitor::new(MonitorConfig {
+            warmup: Duration::from_secs(10),
+            ..MonitorConfig::default()
+        });
+        m.register_flow("f");
+        let pre = Time::from_secs(1);
+        let post = Time::from_secs(11);
+        // Before warm-up: 3 sent, 2 dropped, 1 delivered.
+        for _ in 0..3 {
+            m.record_sent(FlowId(0), 1500, pre);
+        }
+        m.record_decision(FlowId(0), Decision::drop(0.9), pre);
+        m.record_decision(FlowId(0), Decision::drop(0.9), pre);
+        m.record_decision(FlowId(0), Decision::pass(0.9), pre);
+        m.record_delivered(FlowId(0), 1500, pre);
+        // After warm-up: 4 sent, 1 marked, 3 delivered.
+        for _ in 0..4 {
+            m.record_sent(FlowId(0), 1500, post);
+        }
+        m.record_decision(FlowId(0), Decision::mark(0.1), post);
+        for _ in 0..3 {
+            m.record_decision(FlowId(0), Decision::pass(0.1), post);
+            m.record_delivered(FlowId(0), 1500, post);
+        }
+        let f = m.flow(FlowId(0));
+        // Full-run counters still see everything.
+        assert_eq!(f.sent_pkts, 7);
+        assert_eq!(f.dropped, 2);
+        assert_eq!(f.marked, 1);
+        assert_eq!(f.delivered_bytes, 6000);
+        // The signal fraction is post-warm-up only: 1 mark / 4 sent, not
+        // the full-run 3/7.
+        assert_eq!(f.sent_pkts_postwarm, 4);
+        assert_eq!(f.dropped_postwarm, 0);
+        assert_eq!(f.marked_postwarm, 1);
+        assert_eq!(f.signal_fraction(), 0.25);
+        assert_eq!(f.delivered_bytes_postwarm, 4500);
     }
 
     #[test]

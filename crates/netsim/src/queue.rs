@@ -6,7 +6,7 @@
 //! unresponsive overload is eventually tail-dropped exactly as the paper
 //! describes ("if needed, tail-drop will control non-responsive traffic").
 
-use crate::aqm::{Action, Aqm, Decision, QueueSnapshot};
+use crate::aqm::{Action, Aqm, AqmState, Decision, QueueSnapshot};
 use crate::packet::{Ecn, Packet};
 use pi2_simcore::{Duration, Rng, Time};
 use std::collections::VecDeque;
@@ -94,6 +94,17 @@ pub trait Qdisc {
 
     /// The internal control variable, for monitoring.
     fn control_variable(&self) -> f64;
+
+    /// Snapshot the AQM control state for telemetry, taken right after
+    /// each [`Qdisc::update`] tick. The default mirrors
+    /// [`Qdisc::control_variable`] into both probability fields.
+    fn probe(&self) -> AqmState {
+        AqmState {
+            p_prime: self.control_variable(),
+            prob: self.control_variable(),
+            ..AqmState::default()
+        }
+    }
 
     /// Aggregate counters.
     fn stats(&self) -> &QueueStats;
@@ -273,6 +284,9 @@ impl Qdisc for BottleneckQueue {
     }
     fn control_variable(&self) -> f64 {
         self.aqm().control_variable()
+    }
+    fn probe(&self) -> AqmState {
+        self.aqm().probe()
     }
     fn stats(&self) -> &QueueStats {
         &self.stats

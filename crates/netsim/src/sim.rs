@@ -21,7 +21,7 @@ use crate::aqm::Action;
 use crate::monitor::{Monitor, MonitorConfig};
 use crate::packet::{FlowId, Packet};
 use crate::queue::{BottleneckQueue, Qdisc, QueueConfig};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{TraceCounts, TraceEvent, TraceSink};
 use pi2_simcore::{Duration, EventQueue, Rng, Time};
 
 /// One-way delays of a flow's path, excluding the bottleneck queue.
@@ -133,9 +133,10 @@ pub struct SimCore {
     pub queue: Box<dyn Qdisc>,
     /// Measurement collection.
     pub monitor: Monitor,
-    /// Optional per-packet event trace (None unless enabled in
-    /// [`SimConfig::trace_capacity`]).
-    pub trace: Option<Trace>,
+    /// Always-on per-flow event counters (plain integer increments; kept
+    /// regardless of whether any sink is attached).
+    pub counters: TraceCounts,
+    sinks: Vec<Box<dyn TraceSink>>,
     paths: Vec<PathConf>,
     transmitting: bool,
     timer_seq: u64,
@@ -148,7 +149,8 @@ impl SimCore {
             rng: Rng::new(seed),
             queue,
             monitor: Monitor::new(monitor_cfg),
-            trace: None,
+            counters: TraceCounts::new(),
+            sinks: Vec::new(),
             paths: Vec::new(),
             transmitting: false,
             timer_seq: 0,
@@ -158,6 +160,36 @@ impl SimCore {
     /// The current virtual time.
     pub fn now(&self) -> Time {
         self.events.now()
+    }
+
+    /// Attach a streaming trace sink. Every bottleneck event and AQM
+    /// control-state snapshot from now on is forwarded to it; multiple
+    /// sinks receive the same stream in attachment order. Sinks are pure
+    /// observers — they never touch the RNG or the queue — so attaching
+    /// one cannot change a run's outcome.
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Flush every attached sink, stopping at (and returning) the first
+    /// error. Call at end of run before reading file-backed output.
+    pub fn flush_trace_sinks(&mut self) -> std::io::Result<()> {
+        for sink in &mut self.sinks {
+            sink.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Detach and return all attached sinks (flush first if their output
+    /// matters).
+    pub fn take_trace_sinks(&mut self) -> Vec<Box<dyn TraceSink>> {
+        std::mem::take(&mut self.sinks)
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        for sink in &mut self.sinks {
+            sink.on_event(&ev);
+        }
     }
 
     /// Register a flow with the given path; returns its dense id.
@@ -190,29 +222,37 @@ impl SimCore {
         let ecn = pkt.ecn;
         let decision = self.queue.offer(pkt, now, &mut self.rng);
         self.monitor.record_decision(flow, decision, now);
-        if let Some(tr) = &mut self.trace {
+        match decision.action {
+            Action::Drop => self.counters.note_drop(flow),
+            Action::Mark => {
+                self.counters.note_mark(flow);
+                self.counters.note_enqueue(flow);
+            }
+            Action::Pass => self.counters.note_enqueue(flow),
+        }
+        if !self.sinks.is_empty() {
             match decision.action {
-                Action::Drop => tr.push(TraceEvent::Drop {
+                Action::Drop => self.emit(TraceEvent::Drop {
                     t: now,
                     flow,
                     seq,
                     prob: decision.prob,
                 }),
                 Action::Mark => {
-                    tr.push(TraceEvent::Mark {
+                    self.emit(TraceEvent::Mark {
                         t: now,
                         flow,
                         seq,
                         prob: decision.prob,
                     });
-                    tr.push(TraceEvent::Enqueue {
+                    self.emit(TraceEvent::Enqueue {
                         t: now,
                         flow,
                         seq,
                         ecn: crate::packet::Ecn::Ce,
                     });
                 }
-                Action::Pass => tr.push(TraceEvent::Enqueue {
+                Action::Pass => self.emit(TraceEvent::Enqueue {
                     t: now,
                     flow,
                     seq,
@@ -281,8 +321,9 @@ impl SimCore {
             .pop(now)
             .expect("Dequeue event fired on an empty queue");
         self.monitor.record_dequeue(pkt.flow, pkt.size, sojourn, now);
-        if let Some(tr) = &mut self.trace {
-            tr.push(TraceEvent::Dequeue {
+        self.counters.note_dequeue(pkt.flow);
+        if !self.sinks.is_empty() {
+            self.emit(TraceEvent::Dequeue {
                 t: now,
                 flow: pkt.flow,
                 seq: pkt.seq,
@@ -331,9 +372,6 @@ pub struct SimConfig {
     pub seed: u64,
     /// Measurement configuration.
     pub monitor: MonitorConfig,
-    /// If nonzero, record up to this many bottleneck events in
-    /// [`SimCore::trace`].
-    pub trace_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -342,7 +380,6 @@ impl Default for SimConfig {
             queue: QueueConfig::default(),
             seed: 1,
             monitor: MonitorConfig::default(),
-            trace_capacity: 0,
         }
     }
 }
@@ -370,9 +407,6 @@ impl Sim {
         // timers, not run length; one up-front reservation keeps the heap
         // from regrowing on the per-event hot path.
         core.events.reserve(4096);
-        if cfg.trace_capacity > 0 {
-            core.trace = Some(Trace::new(cfg.trace_capacity));
-        }
         if let Some(iv) = core.queue.update_interval() {
             core.events.push(Time::ZERO + iv, Event::AqmUpdate);
         }
@@ -443,6 +477,13 @@ impl Sim {
                 self.core.queue.update(now);
                 let p = self.core.queue.control_variable();
                 self.core.monitor.record_control_variable(p, now);
+                self.core.counters.note_aqm_update();
+                if !self.core.sinks.is_empty() {
+                    let state = self.core.queue.probe();
+                    for sink in &mut self.core.sinks {
+                        sink.on_aqm_state(now, &state);
+                    }
+                }
                 if let Some(iv) = self.core.queue.update_interval() {
                     self.core.events.push(now + iv, Event::AqmUpdate);
                 }
@@ -526,7 +567,6 @@ mod tests {
             },
             seed: 7,
             monitor: MonitorConfig::default(),
-            trace_capacity: 0,
         };
         let mut sim = Sim::new(cfg, Box::new(PassAqm));
         let log = Rc::new(RefCell::new(ProbeLog::default()));
@@ -596,7 +636,6 @@ mod tests {
                 queue: QueueConfig::default(),
                 seed,
                 monitor: MonitorConfig::default(),
-                trace_capacity: 0,
             };
             let mut sim = Sim::new(cfg, Box::new(PassAqm));
             sim.add_flow(

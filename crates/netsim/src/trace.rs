@@ -1,14 +1,42 @@
-//! Optional per-packet event tracing.
+//! Streaming run telemetry: per-packet bottleneck events and per-tick
+//! AQM control-state snapshots.
 //!
-//! When enabled (off by default — it costs memory proportional to the
-//! packet count), the simulator records every admission verdict and
-//! departure at the bottleneck. Useful for debugging AQM behaviour
-//! packet-by-packet and for exporting runs to external analysis.
+//! The original tracer buffered every event in a `Vec`, costing memory
+//! proportional to the packet count — so it stayed off for exactly the
+//! long runs where packet-level evidence matters. This module replaces it
+//! with a [`TraceSink`] trait the simulator streams into:
+//!
+//! * [`MemorySink`] — a bounded in-memory buffer for tests and the
+//!   `pi2sim --trace N` debugging view (the old `Trace` behaviour);
+//! * [`JsonlSink`] / [`CsvSink`] — line-oriented writers over any
+//!   [`std::io::Write`], for exporting full runs at O(1) memory;
+//! * [`CountingSink`] — per-flow event totals via [`TraceCounts`], the
+//!   same counters [`crate::sim::SimCore`] keeps always-on.
+//!
+//! Sinks are pure observers: they never touch the RNG or the queue, so an
+//! attached sink cannot perturb a run — a traced simulation is
+//! bit-identical to an untraced one (asserted by the determinism tests).
 
+use crate::aqm::AqmState;
 use crate::packet::{Ecn, FlowId};
 use pi2_simcore::{Duration, Time};
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::rc::Rc;
 
 /// One traced bottleneck event.
+///
+/// ## Event contract
+///
+/// * Every admitted packet produces exactly one `Enqueue`, every departure
+///   exactly one `Dequeue`, and every AQM/overflow discard exactly one
+///   `Drop` (a dropped packet produces no `Enqueue` and no `Dequeue`).
+/// * A CE-marked admission is reported as a `Mark` **immediately followed
+///   by** an `Enqueue` (with the ECN field already CE) for the same
+///   packet. The `Mark` annotates the admission, it is not a second
+///   admission: consumers counting admissions must count `Enqueue` events
+///   only — counting `Mark` as well double-counts marked packets.
+///   [`TraceCounts`] implements this contract.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TraceEvent {
     /// Packet admitted to the queue.
@@ -22,7 +50,8 @@ pub enum TraceEvent {
         /// ECN field at admission (post-marking).
         ecn: Ecn,
     },
-    /// Packet CE-marked on admission (also reported as an Enqueue).
+    /// Packet CE-marked on admission (also reported as an Enqueue; see the
+    /// event contract above).
     Mark {
         /// When.
         t: Time,
@@ -68,6 +97,16 @@ impl TraceEvent {
         }
     }
 
+    /// The owning flow.
+    pub fn flow(&self) -> FlowId {
+        match *self {
+            TraceEvent::Enqueue { flow, .. }
+            | TraceEvent::Mark { flow, .. }
+            | TraceEvent::Drop { flow, .. }
+            | TraceEvent::Dequeue { flow, .. } => flow,
+        }
+    }
+
     /// One-line text rendering (`t  KIND  flow#seq  details`).
     pub fn render(&self) -> String {
         match *self {
@@ -88,30 +127,299 @@ impl TraceEvent {
             } => format!("{t} DEQ  f{}#{seq} sojourn={sojourn}", flow.0),
         }
     }
+
+    /// One JSON object, no trailing newline. See `EXPERIMENTS.md` for the
+    /// schema; floats use Rust's shortest-roundtrip formatting, so the
+    /// output is deterministic and parses back exactly.
+    pub fn jsonl(&self) -> String {
+        match *self {
+            TraceEvent::Enqueue { t, flow, seq, ecn } => format!(
+                "{{\"ev\":\"enq\",\"t_ns\":{},\"flow\":{},\"seq\":{seq},\"ecn\":\"{ecn:?}\"}}",
+                t.as_nanos(),
+                flow.0
+            ),
+            TraceEvent::Mark { t, flow, seq, prob } => format!(
+                "{{\"ev\":\"mark\",\"t_ns\":{},\"flow\":{},\"seq\":{seq},\"prob\":{prob}}}",
+                t.as_nanos(),
+                flow.0
+            ),
+            TraceEvent::Drop { t, flow, seq, prob } => format!(
+                "{{\"ev\":\"drop\",\"t_ns\":{},\"flow\":{},\"seq\":{seq},\"prob\":{prob}}}",
+                t.as_nanos(),
+                flow.0
+            ),
+            TraceEvent::Dequeue {
+                t,
+                flow,
+                seq,
+                sojourn,
+            } => format!(
+                "{{\"ev\":\"deq\",\"t_ns\":{},\"flow\":{},\"seq\":{seq},\"sojourn_ns\":{}}}",
+                t.as_nanos(),
+                flow.0,
+                sojourn.as_nanos()
+            ),
+        }
+    }
+
+    /// One CSV row matching [`CSV_HEADER`], no trailing newline.
+    pub fn csv(&self) -> String {
+        match *self {
+            TraceEvent::Enqueue { t, flow, seq, ecn } => {
+                format!("enq,{},{},{seq},{ecn:?},,,,,,,,,,", t.as_nanos(), flow.0)
+            }
+            TraceEvent::Mark { t, flow, seq, prob } => {
+                format!("mark,{},{},{seq},,{prob},,,,,,,,,", t.as_nanos(), flow.0)
+            }
+            TraceEvent::Drop { t, flow, seq, prob } => {
+                format!("drop,{},{},{seq},,{prob},,,,,,,,,", t.as_nanos(), flow.0)
+            }
+            TraceEvent::Dequeue {
+                t,
+                flow,
+                seq,
+                sojourn,
+            } => format!(
+                "deq,{},{},{seq},,,{},,,,,,,,",
+                t.as_nanos(),
+                flow.0,
+                sojourn.as_nanos()
+            ),
+        }
+    }
 }
 
-/// A bounded trace buffer (recording stops at capacity, it never evicts —
-/// the head of a run is usually what debugging needs).
+/// The column header shared by every [`CsvSink`] row (packet events leave
+/// the AQM columns blank and vice versa).
+pub const CSV_HEADER: &str = "event,t_ns,flow,seq,ecn,prob,sojourn_ns,p_prime,aqm_prob,\
+                              scalable_prob,alpha_term,beta_term,burst_ns,est_rate_Bps,qdelay_ns";
+
+/// The `"ev":"aqm"` JSONL line for a control-state snapshot at `t`.
+pub fn aqm_state_jsonl(t: Time, st: &AqmState) -> String {
+    format!(
+        "{{\"ev\":\"aqm\",\"t_ns\":{},\"p_prime\":{},\"prob\":{},\"scalable_prob\":{},\
+         \"alpha_term\":{},\"beta_term\":{},\"burst_ns\":{},\"est_rate_Bps\":{},\"qdelay_ns\":{}}}",
+        t.as_nanos(),
+        st.p_prime,
+        st.prob,
+        st.scalable_prob,
+        st.alpha_term,
+        st.beta_term,
+        st.burst_allowance.as_nanos(),
+        st.est_rate_bytes_per_sec,
+        st.qdelay.as_nanos()
+    )
+}
+
+/// The `aqm` CSV row for a control-state snapshot at `t`.
+pub fn aqm_state_csv(t: Time, st: &AqmState) -> String {
+    format!(
+        "aqm,{},,,,,,{},{},{},{},{},{},{},{}",
+        t.as_nanos(),
+        st.p_prime,
+        st.prob,
+        st.scalable_prob,
+        st.alpha_term,
+        st.beta_term,
+        st.burst_allowance.as_nanos(),
+        st.est_rate_bytes_per_sec,
+        st.qdelay.as_nanos()
+    )
+}
+
+/// A consumer of the simulator's telemetry stream.
+///
+/// The simulator calls [`TraceSink::on_event`] for every bottleneck event
+/// and [`TraceSink::on_aqm_state`] at every AQM update tick, in
+/// simulation order. Implementations must be pure observers — they see
+/// the stream, they cannot influence the run.
+pub trait TraceSink {
+    /// A bottleneck packet event occurred.
+    fn on_event(&mut self, ev: &TraceEvent);
+
+    /// The AQM's periodic update ran; `state` is its post-update control
+    /// state. Default: ignore.
+    fn on_aqm_state(&mut self, t: Time, state: &AqmState) {
+        let _ = (t, state);
+    }
+
+    /// Flush any buffered output (file-backed sinks). Reports the first
+    /// write error encountered since the last flush.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A shared handle to a sink: lets the caller keep reading a sink that
+/// has been handed to the simulator (single-threaded interior mutability).
+impl<S: TraceSink> TraceSink for Rc<RefCell<S>> {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.borrow_mut().on_event(ev);
+    }
+    fn on_aqm_state(&mut self, t: Time, state: &AqmState) {
+        self.borrow_mut().on_aqm_state(t, state);
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.borrow_mut().flush()
+    }
+}
+
+/// Per-flow event totals, O(1) memory per flow.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowCounts {
+    /// Packets admitted to the queue (marked admissions count once —
+    /// see the [`TraceEvent`] contract).
+    pub enqueued: u64,
+    /// Packets CE-marked on admission.
+    pub marked: u64,
+    /// Packets dropped (AQM decision or overflow).
+    pub dropped: u64,
+    /// Packets that completed transmission.
+    pub dequeued: u64,
+}
+
+impl FlowCounts {
+    fn add(&mut self, other: &FlowCounts) {
+        self.enqueued += other.enqueued;
+        self.marked += other.marked;
+        self.dropped += other.dropped;
+        self.dequeued += other.dequeued;
+    }
+}
+
+/// Always-on per-flow event counters.
+///
+/// [`crate::sim::SimCore`] keeps one of these regardless of whether any
+/// sink is attached — plain integer increments, cheap enough to never
+/// turn off. The same totals are reachable through the sink interface via
+/// [`CountingSink`], which is how exported traces are cross-checked
+/// against the live run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    flows: Vec<FlowCounts>,
+    /// Number of AQM update ticks observed.
+    pub aqm_updates: u64,
+}
+
+impl TraceCounts {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, flow: FlowId) -> &mut FlowCounts {
+        let idx = flow.idx();
+        if idx >= self.flows.len() {
+            self.flows.resize(idx + 1, FlowCounts::default());
+        }
+        &mut self.flows[idx]
+    }
+
+    /// Count an admission.
+    pub fn note_enqueue(&mut self, flow: FlowId) {
+        self.ensure(flow).enqueued += 1;
+    }
+
+    /// Count a CE mark (the accompanying admission is counted separately
+    /// by [`TraceCounts::note_enqueue`]).
+    pub fn note_mark(&mut self, flow: FlowId) {
+        self.ensure(flow).marked += 1;
+    }
+
+    /// Count a drop.
+    pub fn note_drop(&mut self, flow: FlowId) {
+        self.ensure(flow).dropped += 1;
+    }
+
+    /// Count a departure.
+    pub fn note_dequeue(&mut self, flow: FlowId) {
+        self.ensure(flow).dequeued += 1;
+    }
+
+    /// Count an AQM update tick.
+    pub fn note_aqm_update(&mut self) {
+        self.aqm_updates += 1;
+    }
+
+    /// Count one trace event, honouring the Mark⇒Enqueue contract: a
+    /// `Mark` increments only `marked` (its admission arrives as the
+    /// following `Enqueue` event).
+    pub fn count(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Enqueue { flow, .. } => self.note_enqueue(*flow),
+            TraceEvent::Mark { flow, .. } => self.note_mark(*flow),
+            TraceEvent::Drop { flow, .. } => self.note_drop(*flow),
+            TraceEvent::Dequeue { flow, .. } => self.note_dequeue(*flow),
+        }
+    }
+
+    /// This flow's totals (zero for flows never seen).
+    pub fn flow(&self, flow: FlowId) -> FlowCounts {
+        self.flows.get(flow.idx()).copied().unwrap_or_default()
+    }
+
+    /// Per-flow totals, indexed by [`FlowId`]; flows with no events yet
+    /// may be absent from the tail.
+    pub fn flows(&self) -> &[FlowCounts] {
+        &self.flows
+    }
+
+    /// Totals summed over all flows.
+    pub fn totals(&self) -> FlowCounts {
+        let mut sum = FlowCounts::default();
+        for f in &self.flows {
+            sum.add(f);
+        }
+        sum
+    }
+}
+
+/// A sink that only counts (the streaming face of [`TraceCounts`]).
 #[derive(Clone, Debug, Default)]
-pub struct Trace {
+pub struct CountingSink {
+    /// The running totals.
+    pub counts: TraceCounts,
+}
+
+impl CountingSink {
+    /// A sink with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.counts.count(ev);
+    }
+    fn on_aqm_state(&mut self, _t: Time, _state: &AqmState) {
+        self.counts.note_aqm_update();
+    }
+}
+
+/// A bounded in-memory sink (recording stops at capacity, it never
+/// evicts — the head of a run is usually what debugging needs).
+#[derive(Clone, Debug)]
+pub struct MemorySink {
     events: Vec<TraceEvent>,
+    aqm_states: Vec<(Time, AqmState)>,
     capacity: usize,
 }
 
-impl Trace {
-    /// A trace buffer holding at most `capacity` events.
+impl MemorySink {
+    /// A sink holding at most `capacity` events (and as many AQM-state
+    /// snapshots).
     pub fn new(capacity: usize) -> Self {
-        Trace {
+        MemorySink {
             events: Vec::new(),
+            aqm_states: Vec::new(),
             capacity,
         }
     }
 
-    /// Record an event (silently ignored once full).
-    pub fn push(&mut self, ev: TraceEvent) {
-        if self.events.len() < self.capacity {
-            self.events.push(ev);
-        }
+    /// A sink with no bound (tests on small scenarios).
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
     }
 
     /// The recorded events, in order.
@@ -119,12 +427,17 @@ impl Trace {
         &self.events
     }
 
-    /// True once the buffer has hit capacity.
+    /// The recorded `(tick time, state)` AQM snapshots, in order.
+    pub fn aqm_states(&self) -> &[(Time, AqmState)] {
+        &self.aqm_states
+    }
+
+    /// True once the event buffer has hit capacity.
     pub fn is_full(&self) -> bool {
         self.events.len() >= self.capacity
     }
 
-    /// Render the whole trace, one event per line.
+    /// Render the recorded events, one per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for ev in &self.events {
@@ -135,20 +448,154 @@ impl Trace {
     }
 }
 
+impl TraceSink for MemorySink {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(*ev);
+        }
+    }
+    fn on_aqm_state(&mut self, t: Time, state: &AqmState) {
+        if self.aqm_states.len() < self.capacity {
+            self.aqm_states.push((t, *state));
+        }
+    }
+}
+
+/// A streaming JSONL writer: one JSON object per line, packet events and
+/// AQM snapshots interleaved in simulation order. Wrap the writer in a
+/// [`std::io::BufWriter`] for file output. Write errors are sticky and
+/// reported by [`TraceSink::flush`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+    lines: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Stream onto `w`.
+    pub fn new(w: W) -> Self {
+        JsonlSink {
+            w,
+            lines: 0,
+            err: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwrap the underlying writer (tests reading a `Vec<u8>` back).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Err(e) = self.w.write_all(line.as_bytes()).and_then(|_| self.w.write_all(b"\n")) {
+            self.err = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.write_line(&ev.jsonl());
+    }
+    fn on_aqm_state(&mut self, t: Time, state: &AqmState) {
+        self.write_line(&aqm_state_jsonl(t, state));
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()
+    }
+}
+
+/// A streaming CSV writer with the [`CSV_HEADER`] columns (written on
+/// construction); packet events and AQM snapshots share the one table,
+/// blank where a column does not apply.
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    w: W,
+    lines: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Stream onto `w`, writing the header row immediately.
+    pub fn new(w: W) -> Self {
+        let mut sink = CsvSink {
+            w,
+            lines: 0,
+            err: None,
+        };
+        sink.write_line(CSV_HEADER);
+        sink
+    }
+
+    /// Rows successfully written so far (including the header).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Err(e) = self.w.write_all(line.as_bytes()).and_then(|_| self.w.write_all(b"\n")) {
+            self.err = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+impl<W: Write> TraceSink for CsvSink<W> {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.write_line(&ev.csv());
+    }
+    fn on_aqm_state(&mut self, t: Time, state: &AqmState) {
+        self.write_line(&aqm_state_csv(t, state));
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn enq(i: u64) -> TraceEvent {
+        TraceEvent::Enqueue {
+            t: Time::from_millis(i),
+            flow: FlowId(0),
+            seq: i,
+            ecn: Ecn::NotEct,
+        }
+    }
+
     #[test]
-    fn trace_is_bounded() {
-        let mut tr = Trace::new(2);
+    fn memory_sink_is_bounded() {
+        let mut tr = MemorySink::new(2);
         for i in 0..5 {
-            tr.push(TraceEvent::Enqueue {
-                t: Time::from_millis(i),
-                flow: FlowId(0),
-                seq: i,
-                ecn: Ecn::NotEct,
-            });
+            tr.on_event(&enq(i));
         }
         assert_eq!(tr.events().len(), 2);
         assert!(tr.is_full());
@@ -157,14 +604,14 @@ mod tests {
 
     #[test]
     fn rendering_is_line_per_event() {
-        let mut tr = Trace::new(10);
-        tr.push(TraceEvent::Drop {
+        let mut tr = MemorySink::new(10);
+        tr.on_event(&TraceEvent::Drop {
             t: Time::from_millis(3),
             flow: FlowId(2),
             seq: 7,
             prob: 0.25,
         });
-        tr.push(TraceEvent::Dequeue {
+        tr.on_event(&TraceEvent::Dequeue {
             t: Time::from_millis(4),
             flow: FlowId(2),
             seq: 6,
@@ -174,5 +621,147 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("DROP f2#7 p=0.2500"));
         assert!(text.contains("DEQ  f2#6"));
+    }
+
+    #[test]
+    fn counting_does_not_double_count_marked_admissions() {
+        // A marked admission arrives as Mark + Enqueue; the enqueue total
+        // must rise by exactly one.
+        let mut counts = TraceCounts::new();
+        let f = FlowId(1);
+        counts.count(&TraceEvent::Mark {
+            t: Time::ZERO,
+            flow: f,
+            seq: 0,
+            prob: 0.1,
+        });
+        counts.count(&TraceEvent::Enqueue {
+            t: Time::ZERO,
+            flow: f,
+            seq: 0,
+            ecn: Ecn::Ce,
+        });
+        counts.count(&TraceEvent::Enqueue {
+            t: Time::ZERO,
+            flow: f,
+            seq: 1,
+            ecn: Ecn::Ect0,
+        });
+        counts.count(&TraceEvent::Drop {
+            t: Time::ZERO,
+            flow: f,
+            seq: 2,
+            prob: 0.2,
+        });
+        counts.count(&TraceEvent::Dequeue {
+            t: Time::ZERO,
+            flow: f,
+            seq: 0,
+            sojourn: Duration::ZERO,
+        });
+        let c = counts.flow(f);
+        assert_eq!(c.enqueued, 2, "Mark must not count as an admission");
+        assert_eq!(c.marked, 1);
+        assert_eq!(c.dropped, 1);
+        assert_eq!(c.dequeued, 1);
+        // Unseen flows read as zero.
+        assert_eq!(counts.flow(FlowId(9)), FlowCounts::default());
+        assert_eq!(counts.totals(), c);
+    }
+
+    #[test]
+    fn counting_sink_matches_direct_counts() {
+        let evs = [
+            enq(0),
+            TraceEvent::Mark {
+                t: Time::ZERO,
+                flow: FlowId(2),
+                seq: 3,
+                prob: 0.5,
+            },
+            TraceEvent::Dequeue {
+                t: Time::from_millis(1),
+                flow: FlowId(0),
+                seq: 0,
+                sojourn: Duration::from_micros(10),
+            },
+        ];
+        let mut sink = CountingSink::new();
+        let mut direct = TraceCounts::new();
+        for ev in &evs {
+            sink.on_event(ev);
+            direct.count(ev);
+        }
+        sink.on_aqm_state(Time::ZERO, &AqmState::default());
+        direct.note_aqm_update();
+        assert_eq!(sink.counts, direct);
+        assert_eq!(sink.counts.aqm_updates, 1);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_parseable_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_event(&enq(5));
+        sink.on_event(&TraceEvent::Drop {
+            t: Time::from_millis(6),
+            flow: FlowId(1),
+            seq: 9,
+            prob: 0.0625,
+        });
+        sink.on_aqm_state(
+            Time::from_millis(32),
+            &AqmState {
+                p_prime: 0.125,
+                prob: 0.015625,
+                ..AqmState::default()
+            },
+        );
+        sink.flush().unwrap();
+        assert_eq!(sink.lines(), 3);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"ev\":\"enq\",\"t_ns\":5000000,\"flow\":0,\"seq\":5,\"ecn\":\"NotEct\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"ev\":\"drop\",\"t_ns\":6000000,\"flow\":1,\"seq\":9,\"prob\":0.0625}"
+        );
+        assert!(lines[2].starts_with("{\"ev\":\"aqm\",\"t_ns\":32000000,\"p_prime\":0.125"));
+    }
+
+    #[test]
+    fn csv_sink_has_header_and_consistent_columns() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.on_event(&enq(1));
+        sink.on_event(&TraceEvent::Dequeue {
+            t: Time::from_millis(2),
+            flow: FlowId(0),
+            seq: 1,
+            sojourn: Duration::from_micros(1200),
+        });
+        sink.on_aqm_state(Time::from_millis(32), &AqmState::default());
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let cols = lines[0].split(',').count();
+        assert!(lines[0].starts_with("event,t_ns,flow,seq,"));
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        assert!(lines[1].starts_with("enq,1000000,0,1,NotEct,"));
+        assert!(lines[2].starts_with("deq,2000000,0,1,,,1200000,"));
+        assert!(lines[3].starts_with("aqm,32000000,,,,,,0,0,0,"));
+    }
+
+    #[test]
+    fn shared_handle_lets_caller_keep_reading() {
+        let mem = Rc::new(RefCell::new(MemorySink::new(10)));
+        let mut handle: Box<dyn TraceSink> = Box::new(Rc::clone(&mem));
+        handle.on_event(&enq(0));
+        assert_eq!(mem.borrow().events().len(), 1);
     }
 }

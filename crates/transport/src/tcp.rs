@@ -646,7 +646,6 @@ mod tests {
                 },
                 seed: 11,
                 monitor: MonitorConfig::default(),
-                trace_capacity: 0,
             },
             aqm,
         )

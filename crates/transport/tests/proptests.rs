@@ -85,7 +85,6 @@ proptest! {
                 },
                 seed,
                 monitor: MonitorConfig::default(),
-                trace_capacity: 0,
             },
             Box::new(PassAqm),
         );
@@ -134,7 +133,6 @@ proptest! {
                 },
                 seed,
                 monitor: MonitorConfig::default(),
-                trace_capacity: 0,
             },
             Box::new(PassAqm),
         );

@@ -32,7 +32,6 @@ fn run(aqm: Box<dyn Aqm>, name: &'static str) -> Outcome {
                 warmup: Duration::from_secs(15),
                 ..MonitorConfig::default()
             },
-            trace_capacity: 0,
         },
         aqm,
     );

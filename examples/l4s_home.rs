@@ -86,7 +86,6 @@ fn main() {
             },
             seed: 7,
             monitor: monitor_cfg(),
-            trace_capacity: 0,
         },
         Box::new(CoupledPi2::new(CoupledPi2Config::default())),
     );

@@ -21,7 +21,6 @@ fn main() {
                 warmup: Duration::from_secs(10),
                 ..MonitorConfig::default()
             },
-            trace_capacity: 0,
         },
         Box::new(Pi2::new(Pi2Config::default())),
     );

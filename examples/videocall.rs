@@ -29,7 +29,6 @@ fn run(aqm: Box<dyn Aqm>, name: &'static str) {
                 warmup: Duration::from_secs(10),
                 ..MonitorConfig::default()
             },
-            trace_capacity: 0,
         },
         aqm,
     );

@@ -29,6 +29,19 @@ PI2_SECS=2 PI2_BENCH_OUT="$smoke_out" \
 PI2_BENCH_OUT="$smoke_out" \
     cargo run -q -p pi2-bench --release --bin bench_aqm_decision
 
+echo "== traced smoke run: JSONL sink parses and matches the counting sink"
+trace_out="$(mktemp -t pi2_trace_smoke.XXXXXX.jsonl)"
+trace_log="$(mktemp -t pi2_trace_smoke.XXXXXX.log)"
+trap 'rm -f "$smoke_out" "$trace_out" "$trace_log"' EXIT
+cargo run -q -p pi2-bench --release --bin pi2sim -- \
+    --aqm pi2 --rate 10M --flows 2xreno --secs 8 --warmup 2 \
+    --trace-out "$trace_out" | tee "$trace_log"
+# Non-empty, and pi2sim's own re-parse confirmed the per-flow totals.
+test -s "$trace_out"
+grep -q '^{"ev":' "$trace_out"
+grep -q '"ev":"aqm"' "$trace_out"
+grep -q 'trace verified:' "$trace_log"
+
 echo "== grid determinism smoke: serial vs parallel must match bit-for-bit"
 PI2_SECS=2 PI2_THREADS=1 cargo run -q -p pi2-bench --release --bin grid_all > /tmp/pi2_grid_serial.txt
 PI2_SECS=2 PI2_THREADS=4 cargo run -q -p pi2-bench --release --bin grid_all > /tmp/pi2_grid_par.txt

@@ -26,7 +26,6 @@
 //!         queue: QueueConfig { rate_bps: 10_000_000, buffer_bytes: 60_000_000 },
 //!         seed: 42,
 //!         monitor: MonitorConfig::default(),
-//!         trace_capacity: 0,
 //!     },
 //!     Box::new(Pi2::new(Pi2Config::default())),
 //! );

@@ -24,7 +24,6 @@ fn run_aqm(
                 warmup: Duration::from_secs(secs as i64 / 4),
                 ..MonitorConfig::default()
             },
-            trace_capacity: 0,
         },
         aqm,
     );

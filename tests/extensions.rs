@@ -97,7 +97,6 @@ fn alternative_aqms_remain_stable_on_mixed_traffic() {
                     warmup: Duration::from_secs(10),
                     ..MonitorConfig::default()
                 },
-                trace_capacity: 0,
             },
             aqm,
         );
@@ -131,7 +130,9 @@ fn alternative_aqms_remain_stable_on_mixed_traffic() {
 /// rendered trace is line-per-event.
 #[test]
 fn trace_records_coherent_packet_lifecycles() {
-    use pi2::netsim::TraceEvent;
+    use pi2::netsim::{MemorySink, TraceEvent};
+    use std::cell::RefCell;
+    use std::rc::Rc;
     let mut sim = Sim::new(
         SimConfig {
             queue: QueueConfig {
@@ -140,10 +141,11 @@ fn trace_records_coherent_packet_lifecycles() {
             },
             seed: 9,
             monitor: MonitorConfig::default(),
-            trace_capacity: 10_000,
         },
         Box::new(Pi2::new(Pi2Config::default())),
     );
+    let handle = Rc::new(RefCell::new(MemorySink::new(10_000)));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&handle)));
     sim.add_flow(
         PathConf::symmetric(Duration::from_millis(20)),
         "f",
@@ -151,7 +153,7 @@ fn trace_records_coherent_packet_lifecycles() {
         tcp_flow(CcKind::Reno, EcnSetting::NotEcn),
     );
     sim.run_until(Time::from_secs(5));
-    let trace = sim.core.trace.as_ref().expect("trace enabled");
+    let trace = handle.borrow();
     assert!(!trace.events().is_empty());
     // Timestamps are non-decreasing and every dequeue has a prior enqueue
     // of the same (flow, seq).

@@ -1,0 +1,184 @@
+//! Streaming-telemetry integration tests: sinks are pure observers (a
+//! traced run is bit-identical to an untraced one), every sink sees the
+//! same stream, and a small seeded scenario matches its checked-in golden
+//! trace byte for byte.
+
+use pi2::netsim::{CountingSink, JsonlSink, MemorySink, TraceEvent};
+use pi2::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn build_sim(seed: u64) -> Sim {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 10_000_000,
+                buffer_bytes: 40_000 * 1500,
+            },
+            seed,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(Pi2::new(Pi2Config::default())),
+    );
+    for _ in 0..2 {
+        sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(20)),
+            "reno",
+            Time::ZERO,
+            |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    CcKind::Reno,
+                    EcnSetting::NotEcn,
+                    TcpConfig::default(),
+                ))
+            },
+        );
+    }
+    sim
+}
+
+/// Attaching sinks must not change the simulation: sinks never touch the
+/// RNG or the event queue, so a traced run and an untraced run of the
+/// same seed are the same run.
+#[test]
+fn sinks_do_not_perturb_the_simulation() {
+    let mut plain = build_sim(3);
+    plain.run_until(Time::from_secs(5));
+
+    let mut traced = build_sim(3);
+    traced
+        .core
+        .add_trace_sink(Box::new(MemorySink::unbounded()));
+    traced.core.add_trace_sink(Box::new(CountingSink::default()));
+    traced.run_until(Time::from_secs(5));
+
+    assert_eq!(plain.core.events.popped(), traced.core.events.popped());
+    assert_eq!(plain.core.counters, traced.core.counters);
+    assert_eq!(plain.core.monitor.sojourn_ms, traced.core.monitor.sojourn_ms);
+    for (a, b) in plain
+        .core
+        .monitor
+        .flows
+        .iter()
+        .zip(&traced.core.monitor.flows)
+    {
+        assert_eq!(a.dequeued_bytes, b.dequeued_bytes);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.marked, b.marked);
+    }
+}
+
+/// Every sink receives the identical stream: a JSONL sink writing to a
+/// byte buffer must render exactly what a memory sink recorded.
+#[test]
+fn jsonl_sink_matches_memory_sink_stream() {
+    let mut sim = build_sim(4);
+    let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    let mem = Rc::new(RefCell::new(MemorySink::unbounded()));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&jsonl)));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&mem)));
+    sim.run_until(Time::from_secs(3));
+    sim.core.flush_trace_sinks().expect("flush");
+    drop(sim.core.take_trace_sinks());
+
+    let jsonl = Rc::try_unwrap(jsonl).expect("sole owner").into_inner();
+    let mem = Rc::try_unwrap(mem).expect("sole owner").into_inner();
+    let text = String::from_utf8(jsonl.into_inner()).expect("utf8");
+
+    // Split the written stream into event lines and AQM probe lines
+    // (interleaved on disk, stored separately by the memory sink).
+    let mut ev_lines = Vec::new();
+    let mut aqm_lines = Vec::new();
+    for line in text.lines() {
+        if line.starts_with("{\"ev\":\"aqm\"") {
+            aqm_lines.push(line);
+        } else {
+            ev_lines.push(line);
+        }
+    }
+    assert_eq!(ev_lines.len(), mem.events().len());
+    for (line, ev) in ev_lines.iter().zip(mem.events()) {
+        assert_eq!(*line, ev.jsonl());
+    }
+    assert_eq!(aqm_lines.len(), mem.aqm_states().len());
+    for (line, (t, st)) in aqm_lines.iter().zip(mem.aqm_states()) {
+        assert_eq!(*line, pi2::netsim::trace::aqm_state_jsonl(*t, st));
+    }
+}
+
+/// The in-memory trace agrees with the always-on counters and the
+/// monitor, event by event.
+#[test]
+fn trace_counting_sink_and_monitor_agree() {
+    let mut sim = build_sim(5);
+    let mem = Rc::new(RefCell::new(MemorySink::unbounded()));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&mem)));
+    sim.run_until(Time::from_secs(5));
+
+    let mut marks = 0u64;
+    let mut drops = 0u64;
+    let mut enqs = 0u64;
+    let mut deqs = 0u64;
+    for ev in mem.borrow().events() {
+        match ev {
+            TraceEvent::Enqueue { .. } => enqs += 1,
+            TraceEvent::Mark { .. } => marks += 1,
+            TraceEvent::Drop { .. } => drops += 1,
+            TraceEvent::Dequeue { .. } => deqs += 1,
+        }
+    }
+    let t = sim.core.counters.totals();
+    assert!(enqs > 0 && deqs > 0);
+    assert_eq!(enqs, t.enqueued);
+    assert_eq!(marks, t.marked);
+    assert_eq!(drops, t.dropped);
+    assert_eq!(deqs, t.dequeued);
+    let m = &sim.core.monitor;
+    assert_eq!(drops, m.flows.iter().map(|f| f.dropped).sum::<u64>());
+    assert_eq!(marks, m.flows.iter().map(|f| f.marked).sum::<u64>());
+    assert_eq!(deqs, m.flows.iter().map(|f| f.dequeued_pkts).sum::<u64>());
+}
+
+/// Golden-file regression: a tiny seeded scenario's JSONL trace is stable
+/// byte for byte. Regenerate with
+/// `PI2_BLESS=1 cargo test --test trace_streaming golden` after an
+/// intentional behavior change.
+#[test]
+fn golden_trace_for_small_scenario() {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 1_000_000,
+                buffer_bytes: 20 * 1500,
+            },
+            seed: 11,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(Pi2::new(Pi2Config::default())),
+    );
+    let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&jsonl)));
+    sim.add_flow(
+        PathConf::symmetric(Duration::from_millis(20)),
+        "udp",
+        Time::ZERO,
+        |id| Box::new(pi2::netsim::UdpCbrSource::new(id, 1_500_000, 1500, Ecn::NotEct)),
+    );
+    sim.run_until(Time::from_millis(200));
+    sim.core.flush_trace_sinks().expect("flush");
+    drop(sim.core.take_trace_sinks());
+    let got = String::from_utf8(
+        Rc::try_unwrap(jsonl).expect("sole owner").into_inner().into_inner(),
+    )
+    .expect("utf8");
+    assert!(!got.is_empty(), "scenario produced no events");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_small.jsonl");
+    if std::env::var_os("PI2_BLESS").is_some() {
+        std::fs::write(path, &got).expect("bless golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file (PI2_BLESS=1 to create)");
+    assert_eq!(got, want, "trace diverged from golden file {path}");
+}

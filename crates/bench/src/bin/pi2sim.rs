@@ -13,7 +13,7 @@ use pi2_aqm::{
 use pi2_bench::cli::{parse_args, usage, CliArgs, TraceFormat};
 use pi2_bench::perf::Json;
 use pi2_netsim::{
-    Aqm, CsvSink, Ecn, JsonlSink, MemorySink, MonitorConfig, PassAqm, PathConf, Qdisc,
+    Aqm, AuditSink, CsvSink, Ecn, JsonlSink, MemorySink, MonitorConfig, PassAqm, PathConf, Qdisc,
     QueueConfig, Sim, SimConfig, UdpCbrSource,
 };
 use pi2_simcore::{Duration, Time};
@@ -102,6 +102,17 @@ fn main() {
     };
 
     let mut sim = build_sim(&a);
+    // `--audit`: attach the invariant auditor even in release builds
+    // (debug builds attach an unlabelled one by default). Standalone PI2
+    // also gets the squaring-law check, since its probe exposes both p'
+    // and the applied p = min(p'², 0.25).
+    if a.audit {
+        let mut audit = AuditSink::new(a.seed).with_label(&a.aqm);
+        if a.aqm == "pi2" {
+            audit = audit.expect_squared(0.25);
+        }
+        sim.core.enable_audit(audit);
+    }
     // `--trace N`: a bounded in-memory sink we keep a handle to for the
     // post-run rendering.
     let mem_trace = if a.trace > 0 {
@@ -189,6 +200,13 @@ fn main() {
         "counters: enq {} mark {} drop {} deq {}  aqm updates {}",
         tot.enqueued, tot.marked, tot.dropped, tot.dequeued, sim.core.counters.aqm_updates
     );
+    if let Some(audit) = sim.core.audit() {
+        println!(
+            "audit: all invariants held over {} events, {} state probes",
+            audit.events_seen(),
+            audit.probes_seen()
+        );
+    }
     if a.csv {
         println!("t_s,qdelay_ms");
         for (t, d) in &m.qdelay_series {

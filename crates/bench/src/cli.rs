@@ -44,6 +44,10 @@ pub struct CliArgs {
     pub target: Duration,
     /// Emit the queue-delay time series as CSV on stdout.
     pub csv: bool,
+    /// Attach the runtime invariant auditor ([`pi2_netsim::AuditSink`])
+    /// regardless of build profile (debug builds attach it by default;
+    /// see the `PI2_AUDIT` env knob).
+    pub audit: bool,
     /// Print the first N per-packet trace events.
     pub trace: usize,
     /// Stream the full event trace to this file.
@@ -84,6 +88,7 @@ impl Default for CliArgs {
             seed: 1,
             target: Duration::from_millis(20),
             csv: false,
+            audit: false,
             trace: 0,
             trace_out: None,
             trace_format: TraceFormat::Jsonl,
@@ -208,6 +213,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             }
             "--target" => out.target = parse_time(value("--target")?)?,
             "--csv" => out.csv = true,
+            "--audit" => out.audit = true,
             "--trace" => {
                 out.trace = value("--trace")?
                     .parse()
@@ -249,6 +255,8 @@ pub fn usage() -> String {
          \x20 --seed <n>        RNG seed (default 1)\n\
          \x20 --target <time>   AQM delay target (default 20ms)\n\
          \x20 --csv             also print the (t, queue delay ms) series as CSV\n\
+         \x20 --audit           attach the invariant auditor (always on in debug\n\
+         \x20                   builds; env PI2_AUDIT=1/0 overrides either way)\n\
          \x20 --trace <n>       print the first n per-packet bottleneck events\n\
          \x20 --trace-out <p>   stream every event + AQM state probe to this file\n\
          \x20 --trace-format <f> jsonl (default) or csv, for --trace-out",
@@ -342,5 +350,12 @@ mod tests {
         assert_eq!(a.aqm, "pi2");
         assert_eq!(a.rate_bps, 10_000_000);
         assert!(!a.csv);
+        assert!(!a.audit);
+    }
+
+    #[test]
+    fn audit_flag_parses() {
+        let a = parse_args(&args("--audit")).unwrap();
+        assert!(a.audit);
     }
 }

@@ -1,0 +1,413 @@
+//! Runtime invariant auditor: an always-compilable observer that checks
+//! the simulator's global bookkeeping on every trace event and AQM probe,
+//! and panics with a **replayable seed** the moment an invariant breaks.
+//!
+//! The auditor is wired into [`crate::sim::SimCore`] as a debug-default
+//! observer (see `PI2_AUDIT` in [`crate::sim::Sim::with_qdisc`]): debug
+//! builds audit every run unless `PI2_AUDIT=0`, release builds audit only
+//! when `PI2_AUDIT=1` or `--audit`/`enable_audit` asks for it. It is a
+//! pure observer — it never touches the RNG, the queue, or the event heap
+//! — so an audited run is bit-identical to an unaudited one.
+//!
+//! Invariants checked, mirroring the paper's accounting assumptions:
+//!
+//! * **monotone virtual clock** — event and probe timestamps never go
+//!   backwards;
+//! * **probability bounds** — every per-packet decision probability and
+//!   every probed `p'`, `p`, scalable `p` is finite and in `[0, 1]`;
+//! * **squaring law** — on PI2 paths (opt-in via
+//!   [`AuditSink::expect_squared`]) each probe satisfies
+//!   `p = min(p'², cap)`, the paper's Section 3 coupling;
+//! * **non-negative queue depth** — admissions minus departures never go
+//!   below zero, globally and per flow;
+//! * **conservation** — at end of run, `enqueued − dequeued` equals the
+//!   packets still queued ([`AuditSink::check_conservation`], called by
+//!   `Sim::run_until`).
+
+use crate::aqm::AqmState;
+use crate::trace::{TraceCounts, TraceEvent, TraceSink};
+use pi2_simcore::{Duration, Time};
+
+/// Slack for floating-point identity checks (the squaring law is computed
+/// in one multiply, so this only absorbs cross-platform rounding).
+const EPS: f64 = 1e-9;
+
+/// The invariant-checking trace sink. See the module docs for the
+/// invariant list.
+#[derive(Debug)]
+pub struct AuditSink {
+    /// The run's RNG seed, embedded in every violation panic so the run
+    /// can be replayed bit-identically.
+    seed: u64,
+    /// Short context string for violation messages (e.g. the AQM name).
+    label: String,
+    /// When set, every AQM probe must satisfy `prob = min(p_prime², cap)`
+    /// with `cap` the configured classic-probability ceiling.
+    squared_cap: Option<f64>,
+    /// Packets already in the qdisc when the auditor attached; only an
+    /// attach-at-time-zero auditor (baseline 0) can check per-flow
+    /// dequeue ≤ enqueue strictly.
+    baseline_pkts: u64,
+    /// Independent event accounting (separate instance from the
+    /// simulator's own always-on counters).
+    counts: TraceCounts,
+    /// Running queue depth implied by the event stream.
+    qlen_pkts: i64,
+    last_event_t: Time,
+    last_probe_t: Time,
+    events_seen: u64,
+    probes_seen: u64,
+}
+
+impl AuditSink {
+    /// An auditor for a run driven by `seed`.
+    pub fn new(seed: u64) -> Self {
+        AuditSink {
+            seed,
+            label: String::new(),
+            squared_cap: None,
+            baseline_pkts: 0,
+            counts: TraceCounts::new(),
+            qlen_pkts: 0,
+            last_event_t: Time::ZERO,
+            last_probe_t: Time::ZERO,
+            events_seen: 0,
+            probes_seen: 0,
+        }
+    }
+
+    /// Attach a context label used in violation messages.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Require the PI2 squaring law `prob = min(p_prime², cap)` on every
+    /// probe. Use the AQM's configured `max_classic_prob` as `cap`
+    /// (0.25 for the paper's defaults).
+    pub fn expect_squared(mut self, cap: f64) -> Self {
+        self.squared_cap = Some(cap);
+        self
+    }
+
+    /// Tell the auditor how many packets were already queued when it
+    /// attached (a mid-run attach); those departures are not violations.
+    pub fn set_baseline_pkts(&mut self, pkts: usize) {
+        self.baseline_pkts = pkts as u64;
+        self.qlen_pkts = pkts as i64;
+    }
+
+    /// Events observed so far (for "the auditor actually ran" assertions).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// AQM probes observed so far.
+    pub fn probes_seen(&self) -> u64 {
+        self.probes_seen
+    }
+
+    /// The auditor's independent per-flow accounting.
+    pub fn counts(&self) -> &TraceCounts {
+        &self.counts
+    }
+
+    fn violation(&self, t: Time, what: &str) -> ! {
+        let label = if self.label.is_empty() { "" } else { &self.label };
+        panic!(
+            "audit[{label}] INVARIANT VIOLATION at t={t} (after {} events, {} probes): {what}\n  \
+             replayable seed: {seed} — rerun the identical scenario with seed {seed} to \
+             reproduce this bit-for-bit",
+            self.events_seen,
+            self.probes_seen,
+            seed = self.seed,
+        );
+    }
+
+    fn check_prob(&self, t: Time, name: &str, p: f64) {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            self.violation(t, &format!("{name} = {p} outside [0, 1]"));
+        }
+    }
+
+    /// End-of-run conservation: every admitted packet was either dequeued
+    /// or is still sitting in the qdisc. `Sim::run_until` calls this with
+    /// the qdisc's current occupancy after the event loop drains.
+    pub fn check_conservation(&self, qlen_pkts: usize, now: Time) {
+        let t = self.counts.totals();
+        let expected = self.baseline_pkts + t.enqueued - t.dequeued;
+        if expected != qlen_pkts as u64 {
+            self.violation(
+                now,
+                &format!(
+                    "conservation broken: {} enqueued − {} dequeued (+{} baseline) \
+                     implies {} packets queued, but the qdisc holds {}",
+                    t.enqueued, t.dequeued, self.baseline_pkts, expected, qlen_pkts
+                ),
+            );
+        }
+        // Strict per-flow accounting is only sound when nothing predates
+        // the auditor.
+        if self.baseline_pkts == 0 {
+            for (i, f) in self.counts.flows().iter().enumerate() {
+                if f.dequeued > f.enqueued {
+                    self.violation(
+                        now,
+                        &format!(
+                            "flow {i}: {} dequeued but only {} enqueued",
+                            f.dequeued, f.enqueued
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl TraceSink for AuditSink {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        let t = ev.time();
+        if t < self.last_event_t {
+            self.violation(
+                t,
+                &format!("virtual clock went backwards (previous event at {})", self.last_event_t),
+            );
+        }
+        self.last_event_t = t;
+        self.events_seen += 1;
+        match ev {
+            TraceEvent::Enqueue { .. } => {
+                self.qlen_pkts += 1;
+            }
+            TraceEvent::Mark { prob, .. } => {
+                // The matching admission arrives as a separate Enqueue
+                // event (the Mark ⇒ Enqueue contract); only the
+                // probability is checked here.
+                self.check_prob(t, "mark probability", *prob);
+            }
+            TraceEvent::Drop { prob, .. } => {
+                self.check_prob(t, "drop probability", *prob);
+            }
+            TraceEvent::Dequeue { flow, sojourn, .. } => {
+                if *sojourn < Duration::ZERO {
+                    self.violation(t, &format!("negative sojourn {sojourn} on flow {}", flow.idx()));
+                }
+                self.qlen_pkts -= 1;
+                if self.qlen_pkts < 0 {
+                    self.violation(t, "queue depth went negative (dequeue with nothing queued)");
+                }
+                if self.baseline_pkts == 0 {
+                    let f = self.counts.flow(*flow);
+                    // This event is counted below, so compare with ≥.
+                    if f.dequeued >= f.enqueued {
+                        self.violation(
+                            t,
+                            &format!(
+                                "flow {}: dequeue #{} but only {} admissions",
+                                flow.idx(),
+                                f.dequeued + 1,
+                                f.enqueued
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        self.counts.count(ev);
+    }
+
+    fn on_aqm_state(&mut self, t: Time, st: &AqmState) {
+        if t < self.last_probe_t {
+            self.violation(
+                t,
+                &format!("AQM probe clock went backwards (previous probe at {})", self.last_probe_t),
+            );
+        }
+        self.last_probe_t = t;
+        self.probes_seen += 1;
+        self.check_prob(t, "p_prime", st.p_prime);
+        self.check_prob(t, "prob", st.prob);
+        self.check_prob(t, "scalable_prob", st.scalable_prob);
+        for (name, v) in [("alpha_term", st.alpha_term), ("beta_term", st.beta_term)] {
+            if !v.is_finite() {
+                self.violation(t, &format!("{name} = {v} is not finite"));
+            }
+        }
+        if !st.est_rate_bytes_per_sec.is_finite() || st.est_rate_bytes_per_sec < 0.0 {
+            self.violation(
+                t,
+                &format!("estimated departure rate {} is negative", st.est_rate_bytes_per_sec),
+            );
+        }
+        if st.qdelay < Duration::ZERO {
+            self.violation(t, &format!("negative probed queue delay {}", st.qdelay));
+        }
+        if st.burst_allowance < Duration::ZERO {
+            self.violation(t, &format!("negative burst allowance {}", st.burst_allowance));
+        }
+        if let Some(cap) = self.squared_cap {
+            let want = (st.p_prime * st.p_prime).min(cap);
+            if (st.prob - want).abs() > EPS {
+                self.violation(
+                    t,
+                    &format!(
+                        "squaring law broken: prob = {} but min(p_prime², cap) = \
+                         min({}², {cap}) = {want}",
+                        st.prob, st.p_prime
+                    ),
+                );
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Ecn, FlowId};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn enq(t: u64, flow: u32, seq: u64) -> TraceEvent {
+        TraceEvent::Enqueue {
+            t: Time::from_millis(t),
+            flow: FlowId(flow),
+            seq,
+            ecn: Ecn::NotEct,
+        }
+    }
+
+    fn deq(t: u64, flow: u32, seq: u64) -> TraceEvent {
+        TraceEvent::Dequeue {
+            t: Time::from_millis(t),
+            flow: FlowId(flow),
+            seq,
+            sojourn: Duration::from_millis(1),
+        }
+    }
+
+    fn panic_message(r: std::thread::Result<()>) -> String {
+        let err = r.expect_err("auditor should have panicked");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string panic payload")
+    }
+
+    #[test]
+    fn clean_stream_passes_and_conserves() {
+        let mut a = AuditSink::new(7).with_label("test");
+        a.on_event(&enq(1, 0, 0));
+        a.on_event(&enq(2, 1, 0));
+        a.on_event(&deq(3, 0, 0));
+        a.check_conservation(1, Time::from_millis(3));
+        assert_eq!(a.events_seen(), 3);
+    }
+
+    #[test]
+    fn corrupted_counter_is_caught_with_a_replayable_seed() {
+        // The seeded fault: a dequeue for a flow whose admission counter
+        // never saw the packet — exactly what a corrupted counter or a
+        // double-pop bug would produce.
+        let seed = 0xDECAF_u64;
+        let mut a = AuditSink::new(seed).with_label("pi2");
+        a.on_event(&enq(1, 0, 0));
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            a.on_event(&deq(2, 1, 0)); // flow 1 never enqueued anything
+        })));
+        assert!(msg.contains("INVARIANT VIOLATION"), "{msg}");
+        assert!(msg.contains(&format!("seed: {seed}")), "seed must be replayable: {msg}");
+        assert!(msg.contains("flow 1"), "{msg}");
+    }
+
+    #[test]
+    fn backwards_clock_is_a_violation() {
+        let mut a = AuditSink::new(3);
+        a.on_event(&enq(5, 0, 0));
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            a.on_event(&enq(4, 0, 1));
+        })));
+        assert!(msg.contains("clock went backwards"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_probability_is_a_violation() {
+        let mut a = AuditSink::new(3);
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            a.on_event(&TraceEvent::Drop {
+                t: Time::ZERO,
+                flow: FlowId(0),
+                seq: 0,
+                prob: 1.5,
+            });
+        })));
+        assert!(msg.contains("outside [0, 1]"), "{msg}");
+    }
+
+    #[test]
+    fn squaring_law_is_enforced_when_requested() {
+        let mut a = AuditSink::new(3).expect_squared(0.25);
+        let good = AqmState {
+            p_prime: 0.3,
+            prob: 0.09,
+            ..AqmState::default()
+        };
+        a.on_aqm_state(Time::from_millis(32), &good);
+        // Above the cap the applied probability must saturate at it.
+        let capped = AqmState {
+            p_prime: 0.9,
+            prob: 0.25,
+            ..AqmState::default()
+        };
+        a.on_aqm_state(Time::from_millis(64), &capped);
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let bad = AqmState {
+                p_prime: 0.3,
+                prob: 0.3, // linear, not squared: a PIE probe on a PI2 path
+                ..AqmState::default()
+            };
+            a.on_aqm_state(Time::from_millis(96), &bad);
+        })));
+        assert!(msg.contains("squaring law broken"), "{msg}");
+    }
+
+    #[test]
+    fn conservation_mismatch_is_a_violation() {
+        let mut a = AuditSink::new(11);
+        a.on_event(&enq(1, 0, 0));
+        a.on_event(&enq(1, 0, 1));
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            // Claim the queue is empty while two packets are unaccounted.
+            a.check_conservation(0, Time::from_millis(2));
+        })));
+        assert!(msg.contains("conservation broken"), "{msg}");
+        assert!(msg.contains("seed: 11"), "{msg}");
+    }
+
+    #[test]
+    fn negative_queue_depth_is_a_violation() {
+        let mut a = AuditSink::new(3);
+        a.set_baseline_pkts(0);
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            a.on_event(&deq(1, 0, 0));
+        })));
+        // Per-flow admission accounting trips first (a dequeue with no
+        // admission) — both phrasings describe the same corruption.
+        assert!(
+            msg.contains("only 0 admissions") || msg.contains("queue depth went negative"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn mid_run_attach_uses_its_baseline() {
+        let mut a = AuditSink::new(5);
+        a.set_baseline_pkts(2); // two packets predate the auditor
+        a.on_event(&deq(1, 0, 0));
+        a.on_event(&deq(2, 0, 1));
+        a.check_conservation(0, Time::from_millis(3));
+    }
+}

@@ -15,6 +15,7 @@
 //! never touches wall-clock time or sockets.
 
 pub mod aqm;
+pub mod audit;
 pub mod monitor;
 pub mod packet;
 pub mod queue;
@@ -23,6 +24,7 @@ pub mod source;
 pub mod trace;
 
 pub use aqm::{Action, Aqm, AqmState, Decision, PassAqm, QueueSnapshot};
+pub use audit::AuditSink;
 pub use monitor::{FlowAccount, Monitor, MonitorConfig};
 pub use packet::{Ecn, FlowId, Packet};
 pub use queue::{BottleneckQueue, Qdisc, QueueConfig, QueueStats};

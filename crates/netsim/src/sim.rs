@@ -18,6 +18,7 @@
 //! duplicate ACKs or an RTO, exactly as on a real network.
 
 use crate::aqm::Action;
+use crate::audit::AuditSink;
 use crate::monitor::{Monitor, MonitorConfig};
 use crate::packet::{FlowId, Packet};
 use crate::queue::{BottleneckQueue, Qdisc, QueueConfig};
@@ -137,6 +138,7 @@ pub struct SimCore {
     /// regardless of whether any sink is attached).
     pub counters: TraceCounts,
     sinks: Vec<Box<dyn TraceSink>>,
+    audit: Option<Box<AuditSink>>,
     paths: Vec<PathConf>,
     transmitting: bool,
     timer_seq: u64,
@@ -151,6 +153,7 @@ impl SimCore {
             monitor: Monitor::new(monitor_cfg),
             counters: TraceCounts::new(),
             sinks: Vec::new(),
+            audit: None,
             paths: Vec::new(),
             transmitting: false,
             timer_seq: 0,
@@ -186,7 +189,45 @@ impl SimCore {
         std::mem::take(&mut self.sinks)
     }
 
+    /// Attach the runtime invariant auditor (see [`crate::audit`]). Like
+    /// any sink it is a pure observer, so auditing never changes a run's
+    /// outcome; unlike plain sinks it panics with the run's replayable
+    /// seed the moment the event stream breaks an invariant. If packets
+    /// are already queued the auditor starts from that baseline.
+    pub fn enable_audit(&mut self, mut audit: AuditSink) {
+        audit.set_baseline_pkts(self.queue.len_pkts());
+        self.audit = Some(Box::new(audit));
+    }
+
+    /// Detach and return the auditor, disabling further audit checks.
+    pub fn take_audit(&mut self) -> Option<Box<AuditSink>> {
+        self.audit.take()
+    }
+
+    /// The attached auditor, if auditing is enabled.
+    pub fn audit(&self) -> Option<&AuditSink> {
+        self.audit.as_deref()
+    }
+
+    /// End-of-run audit: verify packet conservation against the qdisc's
+    /// current occupancy. No-op when auditing is off. [`Sim::run_until`]
+    /// calls this after the event loop; explicit callers stepping the sim
+    /// by hand can invoke it at any event boundary.
+    pub fn finish_audit(&self) {
+        if let Some(a) = &self.audit {
+            a.check_conservation(self.queue.len_pkts(), self.now());
+        }
+    }
+
+    /// True when at least one observer (sink or auditor) wants events.
+    fn tracing(&self) -> bool {
+        self.audit.is_some() || !self.sinks.is_empty()
+    }
+
     fn emit(&mut self, ev: TraceEvent) {
+        if let Some(audit) = &mut self.audit {
+            audit.on_event(&ev);
+        }
         for sink in &mut self.sinks {
             sink.on_event(&ev);
         }
@@ -230,7 +271,7 @@ impl SimCore {
             }
             Action::Pass => self.counters.note_enqueue(flow),
         }
-        if !self.sinks.is_empty() {
+        if self.tracing() {
             match decision.action {
                 Action::Drop => self.emit(TraceEvent::Drop {
                     t: now,
@@ -322,7 +363,7 @@ impl SimCore {
             .expect("Dequeue event fired on an empty queue");
         self.monitor.record_dequeue(pkt.flow, pkt.size, sojourn, now);
         self.counters.note_dequeue(pkt.flow);
-        if !self.sinks.is_empty() {
+        if self.tracing() {
             self.emit(TraceEvent::Dequeue {
                 t: now,
                 flow: pkt.flow,
@@ -403,6 +444,18 @@ impl Sim {
     /// buffer in `cfg.queue` are ignored — the qdisc carries its own.
     pub fn with_qdisc(cfg: SimConfig, qdisc: Box<dyn Qdisc>) -> Self {
         let mut core = SimCore::new(qdisc, cfg.seed, cfg.monitor);
+        // Debug-default runtime auditing: debug builds audit every run
+        // (set PI2_AUDIT=0 to opt out), release builds only on PI2_AUDIT=1
+        // or an explicit `enable_audit`. The auditor is a pure observer,
+        // so this cannot change any run's outcome — only catch corruption.
+        let audit_on = match std::env::var("PI2_AUDIT").ok().as_deref() {
+            Some("0") | Some("off") | Some("false") => false,
+            Some(_) => true,
+            None => cfg!(debug_assertions),
+        };
+        if audit_on {
+            core.enable_audit(AuditSink::new(cfg.seed));
+        }
         // Pending events are bounded by in-flight packets + per-flow
         // timers, not run length; one up-front reservation keeps the heap
         // from regrowing on the per-event hot path.
@@ -449,6 +502,9 @@ impl Sim {
             }
             self.step();
         }
+        // Event boundaries are exactly where audited conservation must
+        // hold; repeated run_until calls re-verify at each stop point.
+        self.core.finish_audit();
     }
 
     /// Process a single event. Returns false when the event queue is empty.
@@ -478,8 +534,11 @@ impl Sim {
                 let p = self.core.queue.control_variable();
                 self.core.monitor.record_control_variable(p, now);
                 self.core.counters.note_aqm_update();
-                if !self.core.sinks.is_empty() {
+                if self.core.tracing() {
                     let state = self.core.queue.probe();
+                    if let Some(audit) = &mut self.core.audit {
+                        audit.on_aqm_state(now, &state);
+                    }
                     for sink in &mut self.core.sinks {
                         sink.on_aqm_state(now, &state);
                     }

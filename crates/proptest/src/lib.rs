@@ -1,0 +1,152 @@
+//! A vendored, std-only stand-in for the `proptest` crate.
+//!
+//! The workspace's tier-1 gate (`cargo build --release && cargo test -q`)
+//! must resolve and run with **no network access**, so the real `proptest`
+//! registry crate can never be fetched here. This crate implements the
+//! exact API subset the workspace's `tests/proptests.rs` suites use, with
+//! the same names and module paths, so the suites compile unchanged:
+//!
+//! - the [`proptest!`] macro, with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`], [`prop_oneof!`];
+//! - [`strategy::Strategy`] implemented for numeric `Range`s, tuples of
+//!   strategies, [`strategy::Just`], [`prelude::any`] and
+//!   `prop::collection::vec`;
+//! - a deterministic runner with `PROPTEST_CASES` / `PROPTEST_RNG_SEED`
+//!   environment overrides and failure-seed persistence to the standard
+//!   `tests/<file>.proptest-regressions` location (real-proptest entries
+//!   with 256-bit seeds in an existing corpus are skipped, not choked on).
+//!
+//! Differences from the real crate, by design: no shrinking (a failure
+//! reports the replayable case seed instead of a minimal input), and case
+//! generation is deterministic per test name so CI failures reproduce
+//! locally without any environment coupling.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection::vec` lives here, mirroring the real crate's path.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Everything the test suites import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn` becomes a `#[test]` (the attribute is
+/// written in the source, as with the real crate) that generates inputs
+/// from the given strategies and runs the body for a configurable number
+/// of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __regressions = $crate::test_runner::regression_path(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                );
+                $crate::test_runner::run(
+                    &__regressions,
+                    stringify!($name),
+                    &($cfg),
+                    |__rng: &mut $crate::test_runner::TestRng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                        let mut __case = move || -> ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __case()
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test; on failure the case fails
+/// (with its replayable seed) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (it counts as neither pass nor fail).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Pick uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

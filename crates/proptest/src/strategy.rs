@@ -1,0 +1,267 @@
+//! Input strategies: how a property test turns random bits into values.
+//!
+//! The trait is object-safe (no shrinking machinery) so `prop_oneof!` can
+//! erase heterogeneous strategies into `Box<dyn Strategy<Value = T>>`.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of one type from a seeded RNG.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Produce one value. Must be a pure function of the RNG stream so a
+    /// persisted case seed replays the identical inputs.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                // Two's-complement span; correct for signed ranges too.
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Visit the endpoints much more often than uniform
+                // sampling would: off-by-one bugs live there.
+                match rng.next_u64() % 16 {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => self.start.wrapping_add((rng.next_u64() % span) as $t),
+                }
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy {:?}", self);
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy {:?}", self);
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical "any value" strategy, used via [`any`].
+pub trait Arbitrary {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Weight the extremes: 0 and MAX expose overflow bugs.
+                match rng.next_u64() % 32 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A uniform choice among boxed strategies; built by [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from at least one option.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Box a strategy for use in a [`Union`]; the macro calls this so type
+/// inference unifies every arm on one value type.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// The strategy returned by [`vec`] (`prop::collection::vec`).
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `elem`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.size.start + 1 >= self.size.end {
+            self.size.start
+        } else {
+            self.size.generate(rng)
+        };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_respect_bounds_and_hit_endpoints() {
+        let mut rng = TestRng::new(7);
+        let r = 10u64..20;
+        let (mut lo_hit, mut hi_hit) = (false, false);
+        for _ in 0..1000 {
+            let v = r.generate(&mut rng);
+            assert!(r.contains(&v), "{v} outside {r:?}");
+            lo_hit |= v == 10;
+            hi_hit |= v == 19;
+        }
+        assert!(lo_hit && hi_hit, "endpoints never generated");
+    }
+
+    #[test]
+    fn signed_ranges_cover_negative_spans() {
+        let mut rng = TestRng::new(3);
+        let r = -50i64..-10;
+        for _ in 0..500 {
+            let v = r.generate(&mut rng);
+            assert!(r.contains(&v), "{v} outside {r:?}");
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = TestRng::new(11);
+        let r = -1e3f64..1e3;
+        for _ in 0..500 {
+            let v = r.generate(&mut rng);
+            assert!((-1e3..1e3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_stay_inside_the_size_range() {
+        let mut rng = TestRng::new(5);
+        let s = vec(0u8..4, 1..30);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..30).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn union_eventually_picks_every_option() {
+        let mut rng = TestRng::new(9);
+        let u = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8)), boxed(Just(3u8))]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn tuples_compose_strategies() {
+        let mut rng = TestRng::new(1);
+        let s = (0u64..10, -1.0f64..1.0, Just(true));
+        for _ in 0..100 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 10);
+            assert!((-1.0..1.0).contains(&b));
+            assert!(c);
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        let s = (0u64..1_000_000, -1e3f64..1e3);
+        let a: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..50).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..50).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

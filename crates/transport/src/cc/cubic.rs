@@ -260,4 +260,29 @@ mod tests {
         let err = (mean - law).abs() / law;
         assert!(err < 0.15, "mean {mean:.2} vs law {law:.2} (err {err:.3})");
     }
+
+    /// Appendix A shape: the response exponent switches at eq. (8)'s
+    /// boundary — B = 1/2 in the CReno region (short RTT / high p),
+    /// B = 3/4 in the pure-cubic region (long RTT / tiny p).
+    #[test]
+    fn window_response_exponent_switches_at_the_creno_boundary() {
+        let cc = Cubic::new(10.0);
+        let slope = |p0: f64, p1: f64, rtt: Duration| {
+            let w0 = cc.steady_state_window(p0, rtt).unwrap();
+            let w1 = cc.steady_state_window(p1, rtt).unwrap();
+            (w1.ln() - w0.ln()) / (p1.ln() - p0.ln())
+        };
+        // 10 ms RTT: creno·r^1.5 < 3.5 for every p here, so CReno.
+        let short = Duration::from_millis(10);
+        for pair in [(1e-3, 1e-2), (1e-2, 1e-1)] {
+            let s = slope(pair.0, pair.1, short);
+            assert!((s + 0.5).abs() < 1e-12, "CReno slope {s} at p {pair:?}");
+        }
+        // 400 ms RTT and tiny p: the boundary flips, pure-cubic law.
+        let long = Duration::from_millis(400);
+        for pair in [(1e-6, 1e-5), (1e-5, 1e-4)] {
+            let s = slope(pair.0, pair.1, long);
+            assert!((s + 0.75).abs() < 1e-12, "cubic slope {s} at p {pair:?}");
+        }
+    }
 }

@@ -242,4 +242,32 @@ mod tests {
         let err = (mean - law).abs() / law;
         assert!(err < 0.2, "mean {mean:.1} vs 2/p {law:.1} (err {err:.3})");
     }
+
+    /// The alpha estimator is exactly the EWMA recurrence
+    /// α ← (1−g)·α + g·F with g = 1/16, where F is the window's realized
+    /// mark fraction — tracked here against a hand-iterated model over a
+    /// varied drive sequence, to full floating-point precision.
+    #[test]
+    fn alpha_follows_the_ewma_recurrence_exactly() {
+        let mut cc = Dctcp::new(10.0);
+        cc.ssthresh = 10.0; // start in CA
+        let mut now = Time::ZERO;
+        let mut expected = cc.alpha;
+        assert_eq!(expected, 1.0, "alpha starts pessimistic");
+        let g = 1.0 / 16.0;
+        let drive = [0.0, 0.5, 0.25, 0.0, 1.0, 0.125, 0.0, 0.0, 0.3, 0.75];
+        for &frac in drive.iter().cycle().take(60) {
+            // Mirror run_rtt's feedback quantization before driving it.
+            let w = cc.cwnd().round() as u64;
+            let f = (w as f64 * frac).round() / w as f64;
+            run_rtt(&mut cc, &mut now, frac);
+            expected = (1.0 - g) * expected + g * f;
+            assert!(
+                (cc.alpha - expected).abs() < 1e-12,
+                "alpha {} diverged from recurrence {expected}",
+                cc.alpha
+            );
+        }
+        assert!((0.0..=1.0).contains(&cc.alpha));
+    }
 }

@@ -183,4 +183,21 @@ mod tests {
         let err = (mean - law).abs() / law;
         assert!(err < 0.10, "mean {mean:.2} vs law {law:.2} (err {err:.3})");
     }
+
+    /// Appendix A shape: Reno's response is W ∝ 1/p^B with B = 1/2, so
+    /// the log–log slope of the law is exactly −0.5 across decades of p.
+    #[test]
+    fn window_response_exponent_is_minus_half() {
+        let cc = Reno::new(10.0);
+        let ps = [1e-4, 1e-3, 1e-2, 1e-1];
+        for pair in ps.windows(2) {
+            let w0 = cc.steady_state_window(pair[0], r()).unwrap();
+            let w1 = cc.steady_state_window(pair[1], r()).unwrap();
+            let slope = (w1.ln() - w0.ln()) / (pair[1].ln() - pair[0].ln());
+            assert!(
+                (slope + 0.5).abs() < 1e-12,
+                "slope {slope} over p in {pair:?}"
+            );
+        }
+    }
 }

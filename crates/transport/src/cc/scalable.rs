@@ -341,4 +341,29 @@ mod tests {
         let law = 2.0 / p;
         assert!((mean - law).abs() / law < 0.15, "mean {mean:.1} vs {law:.1}");
     }
+
+    /// Appendix A shape: every scalable control has response exponent
+    /// B = 1 — the log–log slope of each law is exactly −1, which is
+    /// what makes their rate response RTT- and rate-independent.
+    #[test]
+    fn window_response_exponent_is_minus_one_for_all_scalable_controls() {
+        let ccs: [Box<dyn CongestionControl>; 3] = [
+            Box::new(ScalableHalfPkt::new(10.0)),
+            Box::new(Relentless::new(10.0)),
+            Box::new(ScalableTcp::new(10.0)),
+        ];
+        let ps = [1e-4, 1e-3, 1e-2, 1e-1];
+        for cc in &ccs {
+            for pair in ps.windows(2) {
+                let w0 = cc.steady_state_window(pair[0], r()).unwrap();
+                let w1 = cc.steady_state_window(pair[1], r()).unwrap();
+                let slope = (w1.ln() - w0.ln()) / (pair[1].ln() - pair[0].ln());
+                assert!(
+                    (slope + 1.0).abs() < 1e-12,
+                    "{}: slope {slope} over p in {pair:?}",
+                    cc.name()
+                );
+            }
+        }
+    }
 }

@@ -296,4 +296,71 @@ mod tests {
             assert!(w[0].1 < w[1].0);
         }
     }
+
+    #[test]
+    fn empty_set_operations_are_safe() {
+        let mut r = RangeSet::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(!r.contains(0));
+        assert_eq!(r.find(0), None);
+        assert_eq!(r.max(), None);
+        assert_eq!(r.first_at_or_after(0), None);
+        assert_eq!(r.remove_below(u64::MAX), 0);
+        assert_eq!(r.take_leading(0), None);
+        r.insert_range(5, 5); // empty range: no-op
+        r.insert_range(7, 3); // reversed range: no-op
+        assert!(r.is_empty());
+    }
+
+    /// The half-open representation stores `seq` as `[seq, seq+1)`, so
+    /// the largest representable member is `u64::MAX - 1`; everything up
+    /// to that boundary must work without overflow.
+    #[test]
+    fn sequences_near_the_u64_boundary() {
+        let top = u64::MAX - 1;
+        let mut r = RangeSet::new();
+        assert!(r.insert(top));
+        assert!(!r.insert(top)); // duplicate at the boundary
+        assert_eq!(r.ranges(), &[(top, u64::MAX)]);
+        assert!(r.contains(top));
+        assert_eq!(r.max(), Some(top));
+        assert_eq!(r.find(top), Some((top, u64::MAX)));
+
+        r.insert_range(u64::MAX - 10, u64::MAX);
+        assert_eq!(r.ranges(), &[(u64::MAX - 10, u64::MAX)]);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.first_at_or_after(top), Some(top));
+        assert_eq!(r.remove_below(u64::MAX), 10);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn adjacent_ranges_merge_in_both_directions() {
+        let mut r = RangeSet::new();
+        r.insert_range(0, 5);
+        r.insert_range(10, 15);
+        r.insert(5); // extends [0,5) rightward
+        assert_eq!(r.ranges(), &[(0, 6), (10, 15)]);
+        r.insert(9); // prepends to [10,15)
+        assert_eq!(r.ranges(), &[(0, 6), (9, 15)]);
+        r.insert_range(6, 9); // exactly fills the gap: one range left
+        assert_eq!(r.ranges(), &[(0, 15)]);
+    }
+
+    #[test]
+    fn remove_below_at_exact_range_edges() {
+        let mut r = RangeSet::new();
+        r.insert_range(10, 20);
+        r.insert_range(30, 40);
+        // Cutoff at a range start removes nothing from that range.
+        assert_eq!(r.remove_below(10), 0);
+        assert_eq!(r.ranges(), &[(10, 20), (30, 40)]);
+        // Cutoff at a range end removes exactly that range.
+        assert_eq!(r.remove_below(20), 10);
+        assert_eq!(r.ranges(), &[(30, 40)]);
+        // Cutoff inside a range trims it in place.
+        assert_eq!(r.remove_below(35), 5);
+        assert_eq!(r.ranges(), &[(35, 40)]);
+    }
 }

@@ -1,0 +1,550 @@
+//! The fluid ⇄ packet differential harness.
+//!
+//! One [`MatchedConfig`] describes a single physical situation — an AQM
+//! at a bottleneck rate, a homogeneous set of long-running flows at a
+//! base RTT — and knows how to express it in both formalisms:
+//!
+//! * packet level: a `pi2_experiments::Scenario` (the AQM implementations
+//!   under test, real TCP machinery, stochastic mark/drop decisions);
+//! * fluid level: a `pi2_fluid::FluidConfig` (the deterministic delay-ODE
+//!   of Misra et al. with the paper's controller variants).
+//!
+//! The mapping follows the paper's Table 1 / Figure 7 pairings:
+//!
+//! | packet AQM                  | traffic      | fluid encoder + gains        |
+//! |-----------------------------|--------------|------------------------------|
+//! | `Pi` (untuned PIE gains)    | Reno         | `Direct`, `PiGains::pie()`   |
+//! | `Pi` (default = scal gains) | Scalable     | `Direct`, `PiGains::scal_pi()`|
+//! | `Pi2`                       | Reno         | `Squared`, `PiGains::pi2()`  |
+//! | `CoupledPi2` (PI2 family)   | Scalable     | `Direct`, `PiGains::scal_pi()`|
+//! | `Pie` (paper ECN rework)    | Reno         | `TunedDirect`, `PiGains::pie()`|
+//! | `Pie` (paper ECN rework)    | Scalable     | `TunedDirect`, `PiGains::pie()`|
+//!
+//! (The coupled AQM's PI core runs at 2× the Classic PI2 gains and applies
+//! `p'` directly to Scalable packets, which is exactly the `scal pi`
+//! fluid loop.)
+//!
+//! Three steady-state metrics are compared per configuration, each with
+//! its own [`Tol`]erance:
+//!
+//! * **signal probability** — the packet side's post-warm-up fraction of
+//!   offered packets that were marked or dropped, against the fluid
+//!   side's mean applied signal `s(p')` over the settled tail;
+//! * **mean queue delay** — post-warm-up mean packet sojourn minus one
+//!   packet serialization time (sojourns are measured at the *end* of
+//!   transmission; the fluid `q/C` is pure waiting time), against the
+//!   settled-tail mean of `q/C`;
+//! * **per-flow rate ratio** — max/min of per-flow mean throughput. The
+//!   fluid model's identical flows give exactly 1; the packet side must
+//!   stay within the stochastic-fairness band of it.
+//!
+//! The comparison is `|packet − fluid| ≤ abs + rel · max(|packet|, |fluid|)`
+//! per metric, and a machine-readable JSONL report (one object per
+//! configuration) records every number that went into the verdict.
+
+use pi2_aqm::{CoupledPi2Config, Pi2Config, PiConfig, PieConfig};
+use pi2_experiments::{AqmKind, FlowGroup, RunResult, Scenario};
+use pi2_fluid::{FluidConfig, FluidControllerKind, FluidSim, FluidTcpKind, PiGains};
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting};
+use std::io::{self, Write};
+
+/// Which AQM family guards the bottleneck (both sides of the check).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiffAqm {
+    /// Plain PI: fixed PIE gains on Reno (Figure 6's straw man), the
+    /// default Scalable gains on Scalable traffic (`scal pi`).
+    Pi,
+    /// The PI2 family: standalone `Pi2` for Classic traffic, the coupled
+    /// single-queue AQM's Scalable path (`p'` applied directly) for
+    /// Scalable traffic.
+    Pi2,
+    /// Linux PIE with the paper's ECN rework (marks at any `p`).
+    Pie,
+}
+
+/// Which homogeneous traffic class drives the bottleneck.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiffTraffic {
+    /// TCP Reno, no ECN: the Classic `W ∝ 1/√p` law.
+    Reno,
+    /// The half-packet-per-mark Scalable control on ECT(1): `W ∝ 1/p`.
+    Scalable,
+}
+
+impl DiffTraffic {
+    fn label(self) -> &'static str {
+        match self {
+            DiffTraffic::Reno => "reno",
+            DiffTraffic::Scalable => "scal",
+        }
+    }
+}
+
+/// One per-metric tolerance: passes when
+/// `|packet − fluid| ≤ abs + rel · max(|packet|, |fluid|)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Tol {
+    /// Relative term, as a fraction of the larger magnitude.
+    pub rel: f64,
+    /// Absolute floor, in the metric's own unit.
+    pub abs: f64,
+}
+
+impl Tol {
+    /// Does `(packet, fluid)` agree under this tolerance?
+    pub fn ok(&self, packet: f64, fluid: f64) -> bool {
+        (packet - fluid).abs() <= self.abs + self.rel * packet.abs().max(fluid.abs())
+    }
+}
+
+/// The per-metric tolerances of one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Congestion-signal probability (dimensionless).
+    pub signal: Tol,
+    /// Mean queue delay (seconds).
+    pub qdelay: Tol,
+    /// Per-flow rate ratio (dimensionless, fluid side ≡ 1).
+    pub rate_ratio: Tol,
+}
+
+impl Tolerances {
+    /// The documented default band.
+    ///
+    /// The packet simulator is stochastic and the fluid model is a mean
+    /// approximation that ignores slow-start, retransmission timers,
+    /// burst allowances and integer-window effects, so the bands are
+    /// deliberately loose in relative terms while still tight enough
+    /// that any mapping bug (wrong gains, wrong encoder, wrong traffic
+    /// law) lands far outside them:
+    ///
+    /// * signal probability: ±30 % relative ± 0.005 absolute — a wrong
+    ///   encoder (p' vs p'²) is off by ~1/p' ≈ 5–10×;
+    /// * queue delay: ±25 % relative ± 4 ms absolute around the 20 ms
+    ///   target — a destabilized loop overshoots by the buffer depth;
+    /// * rate ratio: ±60 % relative — identical long flows through one
+    ///   queue land well under 1.6× max/min over a 40 s window, while
+    ///   an unfair pathology (e.g. lockout) shows up as ≥3×.
+    pub fn default_band() -> Self {
+        Tolerances {
+            signal: Tol { rel: 0.30, abs: 0.005 },
+            qdelay: Tol { rel: 0.25, abs: 0.004 },
+            rate_ratio: Tol { rel: 0.60, abs: 0.0 },
+        }
+    }
+
+    /// Scale every tolerance (both terms) by `f` — `f < 1` tightens.
+    /// `validate_grid --tighten` uses this to demonstrate that a failed
+    /// tolerance makes the harness exit non-zero.
+    pub fn scaled(self, f: f64) -> Self {
+        let s = |t: Tol| Tol { rel: t.rel * f, abs: t.abs * f };
+        Tolerances {
+            signal: s(self.signal),
+            qdelay: s(self.qdelay),
+            rate_ratio: s(self.rate_ratio),
+        }
+    }
+}
+
+/// One physical situation expressed in both formalisms.
+#[derive(Clone, Debug)]
+pub struct MatchedConfig {
+    /// Report key, e.g. `"pi2-reno"`.
+    pub name: String,
+    /// AQM family.
+    pub aqm: DiffAqm,
+    /// Traffic class.
+    pub traffic: DiffTraffic,
+    /// Number of long-running flows.
+    pub n_flows: usize,
+    /// Bottleneck rate in bits/s.
+    pub rate_bps: u64,
+    /// Two-way propagation delay (RTT excluding queuing).
+    pub base_rtt: Duration,
+    /// Packet-run length.
+    pub duration: Time,
+    /// Packet-run warm-up excluded from aggregates.
+    pub warmup: Duration,
+    /// Packet-run RNG seed.
+    pub seed: u64,
+    /// Fluid-run length; the settled tail (last third) is averaged.
+    pub fluid_t_end: f64,
+    /// Agreement bands.
+    pub tol: Tolerances,
+}
+
+/// MTU-sized segments on both sides, as everywhere else in the repo.
+const PKT_BYTES: f64 = 1500.0;
+
+impl MatchedConfig {
+    /// A matched configuration with the harness defaults: 12 Mb/s,
+    /// 50 ms base RTT, 5 flows, 60 s packet run with 20 s warm-up.
+    ///
+    /// At this operating point the Reno equilibrium sits near p ≈ 0.8 %
+    /// (p' ≈ 9 %) and the Scalable one near p' ≈ 14 % — comfortably
+    /// inside every controller's caps and far from both the `p → 0`
+    /// starvation corner and the 25 % Classic drop ceiling.
+    pub fn new(aqm: DiffAqm, traffic: DiffTraffic) -> Self {
+        let name = format!(
+            "{}-{}",
+            match aqm {
+                DiffAqm::Pi => "pi",
+                DiffAqm::Pi2 => "pi2",
+                DiffAqm::Pie => "pie",
+            },
+            traffic.label()
+        );
+        MatchedConfig {
+            name,
+            aqm,
+            traffic,
+            n_flows: 5,
+            rate_bps: 12_000_000,
+            base_rtt: Duration::from_millis(50),
+            duration: Time::from_secs(60),
+            warmup: Duration::from_secs(20),
+            seed: 7,
+            fluid_t_end: 120.0,
+            tol: Tolerances::default_band(),
+        }
+    }
+
+    /// The packet-level half: a runnable scenario.
+    pub fn scenario(&self) -> Scenario {
+        let aqm = match (self.aqm, self.traffic) {
+            (DiffAqm::Pi, DiffTraffic::Reno) => AqmKind::Pi(PiConfig::untuned_pie_gains()),
+            (DiffAqm::Pi, DiffTraffic::Scalable) => AqmKind::Pi(PiConfig::default()),
+            (DiffAqm::Pi2, DiffTraffic::Reno) => AqmKind::Pi2(Pi2Config::default()),
+            (DiffAqm::Pi2, DiffTraffic::Scalable) => {
+                AqmKind::Coupled(CoupledPi2Config::default())
+            }
+            (DiffAqm::Pie, _) => AqmKind::Pie(PieConfig::paper_default()),
+        };
+        let (cc, ecn) = match self.traffic {
+            DiffTraffic::Reno => (CcKind::Reno, EcnSetting::NotEcn),
+            DiffTraffic::Scalable => (CcKind::ScalableHalfPkt, EcnSetting::Scalable),
+        };
+        let mut sc = Scenario::new(aqm, self.rate_bps);
+        sc.tcp.push(FlowGroup::new(
+            self.n_flows,
+            cc,
+            ecn,
+            self.traffic.label(),
+            self.base_rtt,
+        ));
+        sc.duration = self.duration;
+        sc.warmup = self.warmup;
+        sc.seed = self.seed;
+        sc
+    }
+
+    /// The fluid half: the matching ODE configuration.
+    pub fn fluid(&self) -> FluidConfig {
+        let (encoder, gains) = match (self.aqm, self.traffic) {
+            (DiffAqm::Pi, DiffTraffic::Reno) => (FluidControllerKind::Direct, PiGains::pie()),
+            (DiffAqm::Pi, DiffTraffic::Scalable) => {
+                (FluidControllerKind::Direct, PiGains::scal_pi())
+            }
+            (DiffAqm::Pi2, DiffTraffic::Reno) => (FluidControllerKind::Squared, PiGains::pi2()),
+            (DiffAqm::Pi2, DiffTraffic::Scalable) => {
+                // The coupled AQM's core runs at 2× the Classic PI2 gains
+                // and applies p' unsquared to ECT(1) — the scal-pi loop.
+                (FluidControllerKind::Direct, PiGains::scal_pi())
+            }
+            (DiffAqm::Pie, _) => (FluidControllerKind::TunedDirect, PiGains::pie()),
+        };
+        FluidConfig {
+            capacity_pps: self.rate_bps as f64 / 8.0 / PKT_BYTES,
+            base_rtt: self.base_rtt.as_secs_f64(),
+            n_flows: vec![(0.0, self.n_flows as f64)],
+            tcp: match self.traffic {
+                DiffTraffic::Reno => FluidTcpKind::Reno,
+                DiffTraffic::Scalable => FluidTcpKind::Scalable,
+            },
+            encoder,
+            gains,
+            target: 0.020,
+            dt: 0.001,
+        }
+    }
+}
+
+/// One metric's side-by-side numbers and verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricReport {
+    /// Metric key (`"signal_prob"`, `"qdelay_s"`, `"rate_ratio"`).
+    pub metric: &'static str,
+    /// Packet-level value.
+    pub packet: f64,
+    /// Fluid-level value.
+    pub fluid: f64,
+    /// The band it was judged under.
+    pub tol: Tol,
+    /// Verdict.
+    pub pass: bool,
+}
+
+impl MetricReport {
+    fn judge(metric: &'static str, packet: f64, fluid: f64, tol: Tol) -> Self {
+        MetricReport {
+            metric,
+            packet,
+            fluid,
+            tol,
+            pass: tol.ok(packet, fluid),
+        }
+    }
+}
+
+/// One configuration's full comparison.
+#[derive(Clone, Debug)]
+pub struct ConfigReport {
+    /// The configuration's report key.
+    pub name: String,
+    /// All metric comparisons.
+    pub metrics: Vec<MetricReport>,
+    /// True iff every metric passed.
+    pub pass: bool,
+}
+
+impl ConfigReport {
+    /// One JSONL object (no trailing newline), hand-rolled like
+    /// `pi2_netsim::trace`.
+    pub fn jsonl(&self) -> String {
+        let mut s = format!("{{\"config\":\"{}\",\"pass\":{},\"metrics\":[", self.name, self.pass);
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"metric\":\"{}\",\"packet\":{:.6},\"fluid\":{:.6},\"rel_tol\":{},\"abs_tol\":{},\"pass\":{}}}",
+                m.metric, m.packet, m.fluid, m.tol.rel, m.tol.abs, m.pass
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// A human-readable multi-line table for terminal output.
+    pub fn table(&self) -> String {
+        let mut s = format!(
+            "{:<14} {}\n",
+            self.name,
+            if self.pass { "PASS" } else { "FAIL" }
+        );
+        for m in &self.metrics {
+            s.push_str(&format!(
+                "  {:<12} packet {:>10.5}  fluid {:>10.5}  (rel {:.0}% + abs {})  {}\n",
+                m.metric,
+                m.packet,
+                m.fluid,
+                m.tol.rel * 100.0,
+                m.tol.abs,
+                if m.pass { "ok" } else { "DISAGREE" }
+            ));
+        }
+        s
+    }
+}
+
+/// A whole grid's verdict.
+#[derive(Clone, Debug)]
+pub struct GridReport {
+    /// Per-configuration reports, in input order.
+    pub configs: Vec<ConfigReport>,
+    /// True iff every configuration passed.
+    pub all_pass: bool,
+}
+
+/// Extract the packet side's three steady-state metrics.
+fn packet_metrics(cfg: &MatchedConfig, run: &RunResult) -> (f64, f64, f64) {
+    let label = cfg.traffic.label();
+    let flows = run.monitor.flows_labelled(label);
+    let (mut sent, mut signalled) = (0u64, 0u64);
+    for &i in &flows {
+        let f = &run.monitor.flows[i];
+        sent += f.sent_pkts_postwarm;
+        signalled += f.dropped_postwarm + f.marked_postwarm;
+    }
+    let signal = if sent == 0 { 0.0 } else { signalled as f64 / sent as f64 };
+
+    // Sojourns are recorded when the packet finishes transmitting; the
+    // fluid q/C is the wait *before* transmission, so remove one
+    // serialization time.
+    let serialization = PKT_BYTES * 8.0 / cfg.rate_bps as f64;
+    let qdelay = if run.monitor.sojourn_ms.is_empty() {
+        0.0
+    } else {
+        let mean_ms = run.monitor.sojourn_ms.iter().map(|&v| v as f64).sum::<f64>()
+            / run.monitor.sojourn_ms.len() as f64;
+        (mean_ms / 1e3 - serialization).max(0.0)
+    };
+
+    let span = run.monitor.measurement_span();
+    let mut tputs: Vec<f64> = flows
+        .iter()
+        .map(|&i| run.monitor.flows[i].mean_tput_mbps(span))
+        .collect();
+    tputs.retain(|&t| t > 0.0);
+    let ratio = match (
+        tputs.iter().cloned().fold(f64::INFINITY, f64::min),
+        tputs.iter().cloned().fold(0.0f64, f64::max),
+    ) {
+        (min, max) if min.is_finite() && min > 0.0 => max / min,
+        _ => f64::INFINITY,
+    };
+    (signal, qdelay, ratio)
+}
+
+/// Extract the fluid side's metrics from the settled tail (last third).
+fn fluid_metrics(cfg: &MatchedConfig) -> (f64, f64) {
+    let fl = cfg.fluid();
+    let encoder = fl.encoder;
+    let samples = FluidSim::new(fl).run(cfg.fluid_t_end, 0.01);
+    let tail_from = cfg.fluid_t_end * 2.0 / 3.0;
+    let tail: Vec<_> = samples.iter().filter(|s| s.t >= tail_from).collect();
+    assert!(!tail.is_empty(), "fluid run produced no tail samples");
+    let n = tail.len() as f64;
+    let signal = tail
+        .iter()
+        .map(|s| match encoder {
+            FluidControllerKind::Squared => s.p_prime * s.p_prime,
+            _ => s.p_prime,
+        })
+        .sum::<f64>()
+        / n;
+    let qdelay = tail.iter().map(|s| s.qdelay).sum::<f64>() / n;
+    (signal, qdelay)
+}
+
+/// Run one matched configuration through both models and judge it.
+pub fn run_config(cfg: &MatchedConfig) -> ConfigReport {
+    let run = cfg.scenario().run();
+    let (p_signal, p_qdelay, p_ratio) = packet_metrics(cfg, &run);
+    let (f_signal, f_qdelay) = fluid_metrics(cfg);
+    let metrics = vec![
+        MetricReport::judge("signal_prob", p_signal, f_signal, cfg.tol.signal),
+        MetricReport::judge("qdelay_s", p_qdelay, f_qdelay, cfg.tol.qdelay),
+        // Identical fluid flows share the link exactly: the reference is 1.
+        MetricReport::judge("rate_ratio", p_ratio, 1.0, cfg.tol.rate_ratio),
+    ];
+    let pass = metrics.iter().all(|m| m.pass);
+    ConfigReport {
+        name: cfg.name.clone(),
+        metrics,
+        pass,
+    }
+}
+
+/// The standard grid: {PI, PI2, PIE} × {Reno, Scalable} — six matched
+/// configurations covering every encoder (`Direct`, `Squared`,
+/// `TunedDirect`), both window laws, and three distinct gain sets.
+pub fn default_grid() -> Vec<MatchedConfig> {
+    let mut out = Vec::new();
+    for aqm in [DiffAqm::Pi, DiffAqm::Pi2, DiffAqm::Pie] {
+        for traffic in [DiffTraffic::Reno, DiffTraffic::Scalable] {
+            out.push(MatchedConfig::new(aqm, traffic));
+        }
+    }
+    out
+}
+
+/// Run a grid, streaming one JSONL line per configuration to `out`,
+/// followed by a `{"summary":...}` line.
+pub fn run_grid<W: Write>(cfgs: &[MatchedConfig], out: &mut W) -> io::Result<GridReport> {
+    let mut configs = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let report = run_config(cfg);
+        writeln!(out, "{}", report.jsonl())?;
+        configs.push(report);
+    }
+    let all_pass = configs.iter().all(|c| c.pass);
+    let failed: Vec<&str> = configs
+        .iter()
+        .filter(|c| !c.pass)
+        .map(|c| c.name.as_str())
+        .collect();
+    writeln!(
+        out,
+        "{{\"summary\":{{\"configs\":{},\"pass\":{},\"failed\":[{}]}}}}",
+        configs.len(),
+        all_pass,
+        failed
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    Ok(GridReport { configs, all_pass })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_combines_relative_and_absolute_terms() {
+        let t = Tol { rel: 0.1, abs: 0.01 };
+        assert!(t.ok(1.0, 1.1));
+        assert!(t.ok(0.0, 0.009));
+        assert!(!t.ok(1.0, 1.2));
+        assert!(t.ok(-1.0, -1.1), "signs handled via magnitudes");
+    }
+
+    #[test]
+    fn scaling_tolerances_tightens_both_terms() {
+        let t = Tolerances::default_band().scaled(0.01);
+        assert!(t.signal.rel < 0.01);
+        assert!(t.qdelay.abs < 1e-4);
+    }
+
+    #[test]
+    fn grid_covers_every_aqm_traffic_pair_once() {
+        let grid = default_grid();
+        assert_eq!(grid.len(), 6);
+        let names: Vec<&str> = grid.iter().map(|c| c.name.as_str()).collect();
+        for want in ["pi-reno", "pi-scal", "pi2-reno", "pi2-scal", "pie-reno", "pie-scal"] {
+            assert!(names.contains(&want), "missing {want} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn jsonl_report_is_well_formed() {
+        let r = ConfigReport {
+            name: "x".into(),
+            metrics: vec![MetricReport::judge(
+                "signal_prob",
+                0.01,
+                0.011,
+                Tol { rel: 0.3, abs: 0.005 },
+            )],
+            pass: true,
+        };
+        let line = r.jsonl();
+        assert!(line.starts_with("{\"config\":\"x\""));
+        assert!(line.contains("\"metric\":\"signal_prob\""));
+        assert!(line.ends_with("]}"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn fluid_halves_settle_near_the_target_delay() {
+        // Cheap sanity on the mapping itself: every fluid half of the
+        // grid must settle within a few ms of the 20 ms target.
+        for cfg in default_grid() {
+            let (signal, qdelay) = fluid_metrics(&cfg);
+            assert!(
+                (qdelay - 0.020).abs() < 0.008,
+                "{}: fluid qdelay {:.1} ms",
+                cfg.name,
+                qdelay * 1e3
+            );
+            assert!(
+                signal > 1e-4 && signal < 0.5,
+                "{}: fluid signal {signal}",
+                cfg.name
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # pi2-validate — differential and metamorphic validation
+//!
+//! The reproduction has two independent models of the same system: the
+//! packet-level simulator (`pi2-netsim` + `pi2-aqm` + `pi2-transport`,
+//! the ground truth) and the fluid ODE integrator (`pi2-fluid::ode`, the
+//! paper's analytical model). Each can be wrong on its own; it is much
+//! harder for both to be wrong *in the same way*. This crate turns that
+//! observation into an executable cross-check:
+//!
+//! * [`differential`] — run matched configurations (AQM kind × traffic
+//!   class × RTT × rate) through both models and compare steady-state
+//!   congestion-signal probability, mean queue delay, and per-flow rate
+//!   fairness under per-metric tolerances, emitting a machine-readable
+//!   JSONL agreement report (same hand-rolled JSONL conventions as
+//!   `pi2_netsim::trace`).
+//! * [`metamorphic`] — properties that relate *runs to other runs* rather
+//!   than to fixed numbers: summary metrics are seed-invariant within a
+//!   band, jointly scaling link rate and packet size is a symmetry, and
+//!   the coupled AQM's Classic/Scalable probabilities obey the paper's
+//!   `p_C = (p_S / k)²` coupling law. The generators here are reused by
+//!   both the deterministic tier-1 tests and the feature-gated
+//!   `proptests` suite.
+//!
+//! The third validation layer — the always-on runtime invariant auditor —
+//! lives in `pi2_netsim::audit` so it can observe the event stream
+//! in-process; this crate's tests exercise it end to end.
+
+pub mod differential;
+pub mod metamorphic;
+
+pub use differential::{
+    default_grid, run_config, run_grid, ConfigReport, DiffAqm, DiffTraffic, GridReport,
+    MatchedConfig, MetricReport, Tol, Tolerances,
+};
+pub use metamorphic::{coupling_scenario, run_summary, standard_scenario, SummaryMetrics};

@@ -1,0 +1,171 @@
+//! Metamorphic properties: relations between *runs*, not fixed numbers.
+//!
+//! A metamorphic test never needs to know the right answer — only how the
+//! answer must transform when the input does. Three families are
+//! provided as reusable generators, shared between the deterministic
+//! tier-1 tests (`crates/validate/tests/metamorphic.rs`) and the
+//! feature-gated randomized suite (`tests/proptests.rs`):
+//!
+//! * **seed invariance** — the RNG seed picks one sample path, not one
+//!   physical system: post-warm-up summary metrics must agree across
+//!   seeds within a stochastic band;
+//! * **rate/MSS scaling symmetry** — multiplying link rate and segment
+//!   size by the same factor leaves the system's packet-rate dynamics
+//!   (delay in seconds, signal probability, packets per second)
+//!   untouched;
+//! * **the coupling law** — the coupled AQM gives Classic traffic
+//!   `p_C = (p_S / k)²` with k = 2 (paper eq. (6)); both probabilities
+//!   are measured from independent per-flow accounting, so the relation
+//!   cross-checks the whole mark/drop path, not the controller alone.
+
+use pi2_experiments::{AqmKind, FlowGroup, Scenario};
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting, TcpConfig};
+
+/// Post-warm-up summary of one run, for run-to-run comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct SummaryMetrics {
+    /// Mean per-packet queue delay in ms.
+    pub qdelay_ms: f64,
+    /// Pooled mean throughput over the group, in Mb/s.
+    pub tput_mbps: f64,
+    /// Pooled congestion-signal probability (marks + drops over sent).
+    pub signal: f64,
+    /// Max/min per-flow throughput ratio within the group.
+    pub rate_ratio: f64,
+}
+
+/// The label every [`standard_scenario`] flow group carries.
+pub const GROUP: &str = "tcp";
+
+/// A short homogeneous scenario: `n_flows` long-running flows of `cc`
+/// through `aqm`, 30 s run with 10 s warm-up. The generator half of the
+/// metamorphic suite — property tests vary its inputs and compare
+/// [`run_summary`] outputs.
+#[allow(clippy::too_many_arguments)]
+pub fn standard_scenario(
+    aqm: AqmKind,
+    n_flows: usize,
+    rate_bps: u64,
+    rtt: Duration,
+    cc: CcKind,
+    ecn: EcnSetting,
+    mss: usize,
+    seed: u64,
+) -> Scenario {
+    let mut sc = Scenario::new(aqm, rate_bps);
+    let mut group = FlowGroup::new(n_flows, cc, ecn, GROUP, rtt);
+    group.tcp = TcpConfig {
+        mss,
+        ..TcpConfig::default()
+    };
+    sc.tcp.push(group);
+    sc.duration = Time::from_secs(30);
+    sc.warmup = Duration::from_secs(10);
+    sc.seed = seed;
+    sc
+}
+
+/// Run a scenario and reduce it to its [`SummaryMetrics`] over [`GROUP`].
+pub fn run_summary(sc: &Scenario) -> SummaryMetrics {
+    let run = sc.run();
+    let flows = run.monitor.flows_labelled(GROUP);
+    let (mut sent, mut signalled) = (0u64, 0u64);
+    for &i in &flows {
+        let f = &run.monitor.flows[i];
+        sent += f.sent_pkts_postwarm;
+        signalled += f.dropped_postwarm + f.marked_postwarm;
+    }
+    let qdelay_ms = if run.monitor.sojourn_ms.is_empty() {
+        0.0
+    } else {
+        run.monitor.sojourn_ms.iter().map(|&v| v as f64).sum::<f64>()
+            / run.monitor.sojourn_ms.len() as f64
+    };
+    let span = run.monitor.measurement_span();
+    let tputs: Vec<f64> = flows
+        .iter()
+        .map(|&i| run.monitor.flows[i].mean_tput_mbps(span))
+        .filter(|&t| t > 0.0)
+        .collect();
+    let min = tputs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = tputs.iter().cloned().fold(0.0f64, f64::max);
+    SummaryMetrics {
+        qdelay_ms,
+        tput_mbps: run.tput_mbps(GROUP),
+        signal: if sent == 0 { 0.0 } else { signalled as f64 / sent as f64 },
+        rate_ratio: if min.is_finite() && min > 0.0 { max / min } else { f64::INFINITY },
+    }
+}
+
+/// A mixed Classic/Scalable scenario through the coupled AQM, the input
+/// to the k = 2 coupling-law check: `n_classic` Reno flows (label
+/// `"classic"`, signalled by drop) share the queue with `n_scal`
+/// half-packet Scalable flows (label `"scal"`, signalled by ECT(1)
+/// mark).
+pub fn coupling_scenario(n_classic: usize, n_scal: usize, seed: u64) -> Scenario {
+    let mut sc = Scenario::new(AqmKind::coupled_default(), 12_000_000);
+    let rtt = Duration::from_millis(50);
+    sc.tcp.push(FlowGroup::new(
+        n_classic,
+        CcKind::Reno,
+        EcnSetting::NotEcn,
+        "classic",
+        rtt,
+    ));
+    sc.tcp.push(FlowGroup::new(
+        n_scal,
+        CcKind::ScalableHalfPkt,
+        EcnSetting::Scalable,
+        "scal",
+        rtt,
+    ));
+    sc.duration = Time::from_secs(60);
+    sc.warmup = Duration::from_secs(20);
+    sc.seed = seed;
+    sc
+}
+
+/// Pooled post-warm-up signal probability of one label in a finished run.
+pub fn label_signal(run: &pi2_experiments::RunResult, label: &str) -> f64 {
+    let flows = run.monitor.flows_labelled(label);
+    let (mut sent, mut signalled) = (0u64, 0u64);
+    for &i in &flows {
+        let f = &run.monitor.flows[i];
+        sent += f.sent_pkts_postwarm;
+        signalled += f.dropped_postwarm + f.marked_postwarm;
+    }
+    if sent == 0 {
+        0.0
+    } else {
+        signalled as f64 / sent as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_the_requested_shape() {
+        let sc = standard_scenario(
+            AqmKind::pi2_default(),
+            3,
+            10_000_000,
+            Duration::from_millis(40),
+            CcKind::Reno,
+            EcnSetting::NotEcn,
+            1500,
+            9,
+        );
+        assert_eq!(sc.tcp.len(), 1);
+        assert_eq!(sc.tcp[0].count, 3);
+        assert_eq!(sc.tcp[0].tcp.mss, 1500);
+        assert_eq!(sc.seed, 9);
+
+        let mixed = coupling_scenario(2, 2, 1);
+        assert_eq!(mixed.tcp.len(), 2);
+        assert_eq!(mixed.tcp[0].label, "classic");
+        assert_eq!(mixed.tcp[1].label, "scal");
+    }
+}

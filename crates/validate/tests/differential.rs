@@ -1,0 +1,100 @@
+//! The fluid ⇄ packet differential grid as tier-1 tests: one test per
+//! matched configuration so a disagreement names its config in the test
+//! list, plus the harness's own failure path (a deliberately tightened
+//! tolerance must fail) and the JSONL report contract.
+
+use pi2_validate::differential::{
+    default_grid, run_config, run_grid, DiffAqm, DiffTraffic, MatchedConfig,
+};
+
+fn check(aqm: DiffAqm, traffic: DiffTraffic) {
+    let cfg = MatchedConfig::new(aqm, traffic);
+    let report = run_config(&cfg);
+    assert!(
+        report.pass,
+        "fluid/packet disagreement:\n{}",
+        report.table()
+    );
+}
+
+#[test]
+fn pi_reno_agrees_with_the_fluid_model() {
+    check(DiffAqm::Pi, DiffTraffic::Reno);
+}
+
+#[test]
+fn pi_scalable_agrees_with_the_fluid_model() {
+    check(DiffAqm::Pi, DiffTraffic::Scalable);
+}
+
+#[test]
+fn pi2_reno_agrees_with_the_fluid_model() {
+    check(DiffAqm::Pi2, DiffTraffic::Reno);
+}
+
+#[test]
+fn pi2_scalable_agrees_with_the_fluid_model() {
+    check(DiffAqm::Pi2, DiffTraffic::Scalable);
+}
+
+#[test]
+fn pie_reno_agrees_with_the_fluid_model() {
+    check(DiffAqm::Pie, DiffTraffic::Reno);
+}
+
+#[test]
+fn pie_scalable_agrees_with_the_fluid_model() {
+    check(DiffAqm::Pie, DiffTraffic::Scalable);
+}
+
+/// The acceptance criterion's negative control: the harness must be able
+/// to fail. Tightening the band 1000× turns the ordinary stochastic
+/// residual into a violation, and the report records which metric broke.
+#[test]
+fn deliberately_tightened_tolerance_fails() {
+    let mut cfg = MatchedConfig::new(DiffAqm::Pi2, DiffTraffic::Reno);
+    cfg.tol = cfg.tol.scaled(0.001);
+    let report = run_config(&cfg);
+    assert!(
+        !report.pass,
+        "a 1000x tightened tolerance should not pass:\n{}",
+        report.table()
+    );
+    assert!(
+        report.metrics.iter().any(|m| !m.pass),
+        "the failing metric must be identified"
+    );
+}
+
+/// The grid report is one JSONL object per config plus a summary line,
+/// and its pass verdicts match the per-config reports.
+#[test]
+fn grid_report_streams_parseable_jsonl() {
+    // One cheap config: the full grid is covered by the per-config tests.
+    let grid = vec![MatchedConfig::new(DiffAqm::Pi2, DiffTraffic::Scalable)];
+    let mut out: Vec<u8> = Vec::new();
+    let report = run_grid(&grid, &mut out).expect("writing to a Vec cannot fail");
+    assert_eq!(report.configs.len(), 1);
+    let text = String::from_utf8(out).expect("report is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one config line + one summary line");
+    assert!(lines[0].starts_with("{\"config\":\"pi2-scal\""));
+    assert!(lines[0].contains("\"metric\":\"signal_prob\""));
+    assert!(lines[0].contains("\"metric\":\"qdelay_s\""));
+    assert!(lines[0].contains("\"metric\":\"rate_ratio\""));
+    assert!(lines[1].starts_with("{\"summary\":"));
+    assert!(lines[1].contains(&format!("\"pass\":{}", report.all_pass)));
+    for line in lines {
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "balanced braces in {line}"
+        );
+    }
+}
+
+/// The standard grid covers every encoder and both window laws.
+#[test]
+fn default_grid_is_the_full_cross_product() {
+    assert_eq!(default_grid().len(), 6);
+}

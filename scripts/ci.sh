@@ -29,23 +29,42 @@ PI2_SECS=2 PI2_BENCH_OUT="$smoke_out" \
 PI2_BENCH_OUT="$smoke_out" \
     cargo run -q -p pi2-bench --release --bin bench_aqm_decision
 
-echo "== traced smoke run: JSONL sink parses and matches the counting sink"
+echo "== traced+audited smoke run: JSONL sink parses, invariants hold"
 trace_out="$(mktemp -t pi2_trace_smoke.XXXXXX.jsonl)"
 trace_log="$(mktemp -t pi2_trace_smoke.XXXXXX.log)"
 trap 'rm -f "$smoke_out" "$trace_out" "$trace_log"' EXIT
+# --audit attaches the runtime invariant auditor even in this release
+# build: conservation, clock monotonicity, probability bounds, and (for
+# pi2) the squaring law are checked on every event, and any violation
+# panics with the replay seed.
 cargo run -q -p pi2-bench --release --bin pi2sim -- \
     --aqm pi2 --rate 10M --flows 2xreno --secs 8 --warmup 2 \
-    --trace-out "$trace_out" | tee "$trace_log"
+    --audit --trace-out "$trace_out" | tee "$trace_log"
 # Non-empty, and pi2sim's own re-parse confirmed the per-flow totals.
 test -s "$trace_out"
 grep -q '^{"ev":' "$trace_out"
 grep -q '"ev":"aqm"' "$trace_out"
 grep -q 'trace verified:' "$trace_log"
+grep -q 'audit: all invariants held' "$trace_log"
 
 echo "== grid determinism smoke: serial vs parallel must match bit-for-bit"
 PI2_SECS=2 PI2_THREADS=1 cargo run -q -p pi2-bench --release --bin grid_all > /tmp/pi2_grid_serial.txt
 PI2_SECS=2 PI2_THREADS=4 cargo run -q -p pi2-bench --release --bin grid_all > /tmp/pi2_grid_par.txt
 diff /tmp/pi2_grid_serial.txt /tmp/pi2_grid_par.txt
 rm -f /tmp/pi2_grid_serial.txt /tmp/pi2_grid_par.txt
+
+echo "== differential validation: packet sim vs fluid model (6 configs)"
+# Gates CI: validate_grid exits non-zero if any metric leaves its
+# documented tolerance band (see crates/validate/src/differential.rs).
+cargo run -q -p pi2-bench --release --bin validate_grid > /dev/null
+
+echo "== randomized proptests (vendored shim; time-boxed via PROPTEST_CASES)"
+# Each case can simulate minutes of traffic, so CI clamps the case count;
+# nightly / local runs can raise it (PROPTEST_CASES=32 scripts/ci.sh).
+for p in pi2-aqm pi2-experiments pi2-fluid pi2-netsim pi2-simcore \
+         pi2-stats pi2-transport pi2-validate; do
+    PROPTEST_CASES="${PROPTEST_CASES:-2}" \
+        cargo test -q -p "$p" --release --features proptests --test proptests
+done
 
 echo "== ci.sh: all green"

@@ -48,6 +48,7 @@ pub use pi2_netsim as netsim;
 pub use pi2_simcore as simcore;
 pub use pi2_stats as stats;
 pub use pi2_transport as transport;
+pub use pi2_validate as validate;
 
 /// One-stop import for examples and tests.
 pub mod prelude {

@@ -140,6 +140,71 @@ fn trace_counting_sink_and_monitor_agree() {
     assert_eq!(deqs, m.flows.iter().map(|f| f.dequeued_pkts).sum::<u64>());
 }
 
+/// The invariant auditor is a pure observer too: an audited run is
+/// bit-identical to an unaudited one. Audit state is controlled through
+/// the explicit API (not the `PI2_AUDIT` env knob) so the test is
+/// immune to the environment and to the debug-build default: the
+/// "unaudited" arm detaches whatever `Sim::with_qdisc` attached.
+#[test]
+fn audit_does_not_perturb_the_simulation() {
+    let mut plain = build_sim(3);
+    drop(plain.core.take_audit());
+    plain.run_until(Time::from_secs(5));
+
+    let mut audited = build_sim(3);
+    audited
+        .core
+        .enable_audit(pi2::netsim::AuditSink::new(3).expect_squared(0.25));
+    audited.run_until(Time::from_secs(5));
+
+    let audit = audited.core.audit().expect("auditor still attached");
+    assert!(audit.events_seen() > 0, "auditor saw the event stream");
+    assert!(audit.probes_seen() > 0, "auditor saw the AQM probes");
+
+    assert_eq!(plain.core.events.popped(), audited.core.events.popped());
+    assert_eq!(plain.core.counters, audited.core.counters);
+    assert_eq!(plain.core.monitor.sojourn_ms, audited.core.monitor.sojourn_ms);
+    for (a, b) in plain
+        .core
+        .monitor
+        .flows
+        .iter()
+        .zip(&audited.core.monitor.flows)
+    {
+        assert_eq!(a.dequeued_bytes, b.dequeued_bytes);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.marked, b.marked);
+    }
+}
+
+/// Auditing composes with tracing: the audited run's JSONL stream is
+/// byte-identical to the unaudited run's (the auditor sees the same
+/// stream the sinks do, and changes nothing).
+#[test]
+fn audited_trace_matches_unaudited_trace_byte_for_byte() {
+    let run = |audit: bool| -> String {
+        let mut sim = build_sim(6);
+        if audit {
+            sim.core.enable_audit(pi2::netsim::AuditSink::new(6));
+        } else {
+            drop(sim.core.take_audit());
+        }
+        let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+        sim.core.add_trace_sink(Box::new(Rc::clone(&jsonl)));
+        sim.run_until(Time::from_secs(3));
+        sim.core.flush_trace_sinks().expect("flush");
+        drop(sim.core.take_trace_sinks());
+        String::from_utf8(
+            Rc::try_unwrap(jsonl).expect("sole owner").into_inner().into_inner(),
+        )
+        .expect("utf8")
+    };
+    let unaudited = run(false);
+    let audited = run(true);
+    assert!(!unaudited.is_empty());
+    assert_eq!(unaudited, audited);
+}
+
 /// Golden-file regression: a tiny seeded scenario's JSONL trace is stable
 /// byte for byte. Regenerate with
 /// `PI2_BLESS=1 cargo test --test trace_streaming golden` after an

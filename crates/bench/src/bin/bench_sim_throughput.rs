@@ -57,6 +57,26 @@ fn bench_aqm(name: &str, secs: u64, make: impl Fn() -> Box<dyn Aqm>) -> Measurem
     })
 }
 
+/// The same PI2 run with the `pi2_obs` registry recording, bounding the
+/// metrics overhead (`*_metrics_ns_per_event` vs the plain case above).
+fn bench_pi2_metrics_on(secs: u64) -> Measurement {
+    bench("pi2_10flows_50mbps_metrics", 1, 7, || {
+        let mut sim = build(Box::new(Pi2::new(Pi2Config::default())));
+        sim.core.enable_metrics();
+        sim.run_until(Time::from_secs(secs));
+        std::hint::black_box(
+            sim.core
+                .take_metrics()
+                .map_or(0, |m| m.events_processed()),
+        )
+    })
+}
+
+/// Default ceiling for the `PI2_OVERHEAD_GATE` check: metrics-on may cost
+/// at most this fraction more per event than metrics-off. Documented in
+/// EXPERIMENTS.md; override with `PI2_OVERHEAD_TOL` (e.g. `0.25`).
+const DEFAULT_OVERHEAD_TOL: f64 = 0.15;
+
 fn main() {
     header(
         "Microbench: simulator throughput",
@@ -71,6 +91,7 @@ fn main() {
         bench_aqm("pi2_10flows_50mbps", secs, || {
             Box::new(Pi2::new(Pi2Config::default()))
         }),
+        bench_pi2_metrics_on(secs),
     ];
     table(&measurement_rows("event", &ms));
 
@@ -78,6 +99,43 @@ fn main() {
     for m in &ms {
         metrics.push((format!("{}_events_per_sec", m.name), m.units_per_sec()));
         metrics.push((format!("{}_ns_per_event", m.name), m.ns_per_unit()));
+    }
+
+    // Event-loop self-profile of the PI2 case: wall-clock per event class
+    // from one instrumented run, folded into the same perf record.
+    {
+        let mut sim = build(Box::new(Pi2::new(Pi2Config::default())));
+        sim.enable_profiler();
+        sim.run_until(Time::from_secs(secs));
+        let prof = sim.take_profiler().expect("profiler was enabled");
+        println!("--- event-loop profile (pi2, {secs} simulated s) ---");
+        print!("{}", prof.render_table());
+        metrics.extend(prof.metric_pairs());
+    }
+
+    // `PI2_OVERHEAD_GATE=1`: fail (exit 1) when the registry costs more
+    // per event than the documented tolerance. CI runs this so a future
+    // hot-path metrics hook cannot silently regress the simulator.
+    let off = ms[1].ns_per_unit();
+    let on = ms[2].ns_per_unit();
+    let tol = std::env::var("PI2_OVERHEAD_TOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_OVERHEAD_TOL);
+    let ratio = if off > 0.0 { on / off } else { 1.0 };
+    metrics.push(("metrics_overhead_ratio".to_string(), ratio));
+    println!(
+        "metrics overhead: {on:.1} ns/event on vs {off:.1} ns/event off \
+         (ratio {ratio:.3}, tolerance {:.2})",
+        1.0 + tol
+    );
+    if std::env::var("PI2_OVERHEAD_GATE").ok().as_deref() == Some("1") && ratio > 1.0 + tol {
+        eprintln!(
+            "OVERHEAD GATE FAILED: metrics-on is {:.1}% slower per event (allowed {:.0}%)",
+            100.0 * (ratio - 1.0),
+            100.0 * tol
+        );
+        std::process::exit(1);
     }
     // Event totals from the always-on counting sink, recorded alongside
     // the timing metrics so perf history can spot behavioral drift too.

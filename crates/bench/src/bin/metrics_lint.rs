@@ -1,0 +1,73 @@
+//! `metrics_lint` — validate a `pi2sim --metrics-out` snapshot.
+//!
+//! ```text
+//! cargo run -p pi2-bench --bin metrics_lint -- snap.json snap.prom ...
+//! ```
+//!
+//! Format is sniffed per file: a body starting with `{` is checked as a
+//! JSON snapshot (parsed with the workspace's own parser, schema version
+//! and the three sections verified), anything else as Prometheus
+//! exposition text via [`pi2_obs::prom_lint`]. Exits non-zero on the
+//! first invalid file, so `ci.sh` can gate on it directly.
+
+use pi2_bench::perf::Json;
+
+fn lint_json(text: &str) -> Result<String, String> {
+    let j = Json::parse(text)?;
+    let schema = j
+        .get("schema")
+        .and_then(|v| v.as_f64())
+        .ok_or("missing \"schema\" version")?;
+    if schema != 1.0 {
+        return Err(format!("unknown schema version {schema}"));
+    }
+    let mut n = 0usize;
+    for section in ["counters", "gauges", "histograms"] {
+        match j.get(section) {
+            Some(Json::Obj(fields)) => n += fields.len(),
+            Some(_) => return Err(format!("\"{section}\" is not an object")),
+            None => return Err(format!("missing \"{section}\" section")),
+        }
+    }
+    // Every histogram must carry the summary fields the exporters and
+    // the grid column rely on.
+    if let Some(Json::Obj(hists)) = j.get("histograms") {
+        for (name, h) in hists {
+            for field in ["count", "sum", "mean", "stddev", "p50", "p90", "p99"] {
+                if h.get(field).is_none() {
+                    return Err(format!("histogram {name} missing \"{field}\""));
+                }
+            }
+        }
+    }
+    Ok(format!("json snapshot ok: {n} metrics"))
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: metrics_lint <snapshot.json|snapshot.prom>...");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                std::process::exit(1);
+            }
+        };
+        let result = if text.trim_start().starts_with('{') {
+            lint_json(&text)
+        } else {
+            pi2_obs::prom_lint(&text).map(|n| format!("prometheus text ok: {n} samples"))
+        };
+        match result {
+            Ok(msg) => println!("{path}: {msg}"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -10,7 +10,7 @@ use pi2_aqm::{
     Codel, CodelConfig, CoupledPi2, CoupledPi2Config, CurvyRed, CurvyRedConfig, DualPi2,
     DualPi2Config, FqConfig, FqDrr, Pi, PiConfig, Pi2, Pi2Config, Pie, PieConfig, Red, RedConfig,
 };
-use pi2_bench::cli::{parse_args, usage, CliArgs, TraceFormat};
+use pi2_bench::cli::{parse_args, usage, CliArgs, MetricsFormat, TraceFormat};
 use pi2_bench::perf::Json;
 use pi2_netsim::{
     Aqm, AuditSink, CsvSink, Ecn, JsonlSink, MemorySink, MonitorConfig, PassAqm, PathConf, Qdisc,
@@ -102,6 +102,16 @@ fn main() {
     };
 
     let mut sim = build_sim(&a);
+    // `--metrics-out`: record the run into a `pi2_obs` registry (a pure
+    // observer — the snapshot comes for free, the run's bits don't change).
+    if a.metrics_out.is_some() {
+        sim.core.enable_metrics();
+    }
+    // `--profile`: attach the event-loop self-profiler (PI2_PROFILE=1
+    // enables it too, inside Sim construction).
+    if a.profile {
+        sim.enable_profiler();
+    }
     // `--audit`: attach the invariant auditor even in release builds
     // (debug builds attach an unlabelled one by default). Standalone PI2
     // also gets the squaring-law check, since its probe exposes both p'
@@ -153,6 +163,9 @@ fn main() {
         eprintln!("trace sink error: {e}");
         std::process::exit(1);
     }
+    // Detach the observers before borrowing the monitor for the summary.
+    let profiler = sim.take_profiler();
+    let metrics = sim.core.take_metrics();
 
     let m = &sim.core.monitor;
     println!(
@@ -205,6 +218,38 @@ fn main() {
             "audit: all invariants held over {} events, {} state probes",
             audit.events_seen(),
             audit.probes_seen()
+        );
+    }
+    if let Some(prof) = &profiler {
+        println!("# event-loop profile ({} events timed):", prof.total_events());
+        print!("{}", prof.render_table());
+    }
+    if let Some(path) = &a.metrics_out {
+        let snap = metrics.as_deref().expect("metrics were enabled for --metrics-out");
+        let body = match a.metrics_format {
+            MetricsFormat::Json => snap.registry().to_json(),
+            MetricsFormat::Prom => {
+                let text = snap.registry().to_prometheus();
+                // Our own exposition output must always lint clean; a
+                // failure here is a bug, not an input problem.
+                if let Err(e) = pi2_obs::prom_lint(&text) {
+                    eprintln!("metrics snapshot failed the exposition lint: {e}");
+                    std::process::exit(1);
+                }
+                text
+            }
+        };
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("cannot write metrics snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "metrics snapshot: {} bytes ({}) written to {path}",
+            body.len(),
+            match a.metrics_format {
+                MetricsFormat::Json => "json",
+                MetricsFormat::Prom => "prometheus",
+            }
         );
     }
     if a.csv {

@@ -54,6 +54,13 @@ pub struct CliArgs {
     pub trace_out: Option<String>,
     /// On-disk trace format for `--trace-out`.
     pub trace_format: TraceFormat,
+    /// Write a metrics-registry snapshot to this file at end of run.
+    pub metrics_out: Option<String>,
+    /// On-disk snapshot format for `--metrics-out`.
+    pub metrics_format: MetricsFormat,
+    /// Attach the event-loop self-profiler and print the per-class
+    /// breakdown (env `PI2_PROFILE=1` does the same).
+    pub profile: bool,
 }
 
 /// On-disk format for `--trace-out`.
@@ -63,6 +70,15 @@ pub enum TraceFormat {
     Jsonl,
     /// Flat CSV with a header row.
     Csv,
+}
+
+/// On-disk format for `--metrics-out`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// A single JSON document (the default).
+    Json,
+    /// Prometheus text exposition format (version 0.0.4).
+    Prom,
 }
 
 /// The AQMs `pi2sim` accepts.
@@ -92,6 +108,9 @@ impl Default for CliArgs {
             trace: 0,
             trace_out: None,
             trace_format: TraceFormat::Jsonl,
+            metrics_out: None,
+            metrics_format: MetricsFormat::Json,
+            profile: false,
         }
     }
 }
@@ -229,6 +248,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     }
                 }
             }
+            "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?.clone()),
+            "--metrics-format" => {
+                out.metrics_format = match value("--metrics-format")?.as_str() {
+                    "json" => MetricsFormat::Json,
+                    "prom" | "prometheus" => MetricsFormat::Prom,
+                    other => {
+                        return Err(format!("bad --metrics-format '{other}' (json or prom)"))
+                    }
+                }
+            }
+            "--profile" => out.profile = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -259,7 +289,12 @@ pub fn usage() -> String {
          \x20                   builds; env PI2_AUDIT=1/0 overrides either way)\n\
          \x20 --trace <n>       print the first n per-packet bottleneck events\n\
          \x20 --trace-out <p>   stream every event + AQM state probe to this file\n\
-         \x20 --trace-format <f> jsonl (default) or csv, for --trace-out",
+         \x20 --trace-format <f> jsonl (default) or csv, for --trace-out\n\
+         \x20 --metrics-out <p> write the end-of-run metrics snapshot (counters +\n\
+         \x20                   histogram quantiles) to this file\n\
+         \x20 --metrics-format <f> json (default) or prom, for --metrics-out\n\
+         \x20 --profile         time the event loop per event class and print the\n\
+         \x20                   breakdown (env PI2_PROFILE=1 does the same)",
         AQMS.join("|")
     )
 }
@@ -330,6 +365,20 @@ mod tests {
         assert_eq!(a.trace_format, TraceFormat::Csv);
         let e = parse_args(&args("--trace-format xml")).unwrap_err();
         assert!(e.contains("jsonl or csv"));
+    }
+
+    #[test]
+    fn metrics_and_profile_flags_parse() {
+        let a = parse_args(&args("--metrics-out /tmp/m.prom --metrics-format prom --profile"))
+            .unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.prom"));
+        assert_eq!(a.metrics_format, MetricsFormat::Prom);
+        assert!(a.profile);
+        let d = parse_args(&args("--metrics-out /tmp/m.json")).unwrap();
+        assert_eq!(d.metrics_format, MetricsFormat::Json, "json is the default");
+        assert!(!d.profile);
+        let e = parse_args(&args("--metrics-format yaml")).unwrap_err();
+        assert!(e.contains("json or prom"));
     }
 
     #[test]

@@ -134,7 +134,9 @@ pub fn print_fig18(cells: &[GridCell]) {
     );
 }
 
-/// Per-cell event-counter totals from the always-on counting sink.
+/// Per-cell event-counter totals from the always-on counting sink, plus
+/// the registry-histogram metrics column (whole-run sojourn P50/P99 and
+/// dispatch-loop event count from `pi2_obs`).
 pub fn print_counters(cells: &[GridCell]) {
     println!("--- per-cell event counters (whole run, warmup included) ---");
     let mut rows = vec![vec![
@@ -146,6 +148,9 @@ pub fn print_counters(cells: &[GridCell]) {
         "drop".into(),
         "deq".into(),
         "aqm upd".into(),
+        "soj p50 ms".into(),
+        "soj p99 ms".into(),
+        "events".into(),
     ]];
     for c in cells {
         rows.push(vec![
@@ -157,6 +162,9 @@ pub fn print_counters(cells: &[GridCell]) {
             c.counts.dropped.to_string(),
             c.counts.dequeued.to_string(),
             c.aqm_updates.to_string(),
+            f(c.sojourn_p50_ms),
+            f(c.sojourn_p99_ms),
+            c.events_processed.to_string(),
         ]);
     }
     table(&rows);

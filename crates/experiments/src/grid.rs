@@ -79,6 +79,15 @@ pub struct GridCell {
     pub counts: FlowCounts,
     /// AQM update ticks over the run.
     pub aqm_updates: u64,
+    /// Registry-histogram sojourn median (ms), whole run. Unlike
+    /// [`GridCell::delay`] (post-warm-up monitor samples) this comes from
+    /// the `pi2_obs` log-linear histogram, so it doubles as a cross-check
+    /// between the two measurement paths.
+    pub sojourn_p50_ms: f64,
+    /// Registry-histogram sojourn P99 (ms), whole run.
+    pub sojourn_p99_ms: f64,
+    /// Events the dispatch loop processed for this cell.
+    pub events_processed: u64,
 }
 
 /// Run one cell.
@@ -106,6 +115,14 @@ pub fn run_cell(
     let r = sc.run();
     let c = r.per_flow_tput_mbps("cubic");
     let e = r.per_flow_tput_mbps(pair.ecn_label());
+    let (sojourn_p50_ms, sojourn_p99_ms, events_processed) = match r.metrics.as_deref() {
+        Some(m) => (
+            m.sojourn().quantile(0.5) as f64 / 1e6,
+            m.sojourn().quantile(0.99) as f64 / 1e6,
+            m.events_processed(),
+        ),
+        None => (0.0, 0.0, 0),
+    };
     GridCell {
         aqm: r.aqm,
         pair,
@@ -119,6 +136,9 @@ pub fn run_cell(
         util: r.util_summary(),
         counts: r.counters.totals(),
         aqm_updates: r.counters.aqm_updates,
+        sojourn_p50_ms,
+        sojourn_p99_ms,
+        events_processed,
     }
 }
 

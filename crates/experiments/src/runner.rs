@@ -25,7 +25,10 @@
 //! single knob governs every figure-regeneration binary.
 
 use crate::scenario::{RunResult, Scenario};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use pi2_netsim::SimMetrics;
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The worker count: `PI2_THREADS` if set (minimum 1), otherwise the
 /// machine's available parallelism.
@@ -33,6 +36,76 @@ pub fn threads() -> usize {
     match std::env::var("PI2_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
         Some(n) => n.max(1),
         None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Rate-limited stderr progress for long sweeps: `done/total` cells and
+/// elapsed wall time, rewritten in place (`\r`). Output goes to stderr
+/// only, so sweep stdout (which CI diffs for determinism) is untouched.
+/// Silent when stderr is not a terminal, when `PI2_QUIET=1`, or for
+/// single-item batches.
+struct Progress {
+    enabled: bool,
+    start: Instant,
+    done: AtomicUsize,
+    total: usize,
+    /// Elapsed ms at the last print, for rate limiting.
+    last_print_ms: AtomicU64,
+}
+
+impl Progress {
+    /// Minimum interval between reprints; a terminal redraw every 200 ms
+    /// is smooth to a human and negligible to the sweep.
+    const MIN_INTERVAL_MS: u64 = 200;
+
+    fn new(total: usize) -> Self {
+        let quiet = matches!(
+            std::env::var("PI2_QUIET").ok().as_deref(),
+            Some(v) if !matches!(v, "0" | "off" | "false")
+        );
+        Progress {
+            enabled: total > 1 && !quiet && std::io::stderr().is_terminal(),
+            start: Instant::now(),
+            done: AtomicUsize::new(0),
+            total,
+            last_print_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one completed item; maybe redraw the progress line.
+    fn note_done(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled {
+            return;
+        }
+        let elapsed = self.start.elapsed();
+        let now_ms = elapsed.as_millis() as u64;
+        let last = self.last_print_ms.load(Ordering::Relaxed);
+        let finished = done == self.total;
+        if !finished && now_ms.saturating_sub(last) < Self::MIN_INTERVAL_MS {
+            return;
+        }
+        // One winner per interval; losers (and any race on the final
+        // item's extra redraw) just skip — progress output is best-effort.
+        if self
+            .last_print_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+            && !finished
+        {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[pi2 sweep] {done}/{} cells done, {:.1}s elapsed",
+            self.total,
+            elapsed.as_secs_f64()
+        );
+        if finished {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
     }
 }
 
@@ -48,8 +121,16 @@ where
 {
     let n = items.len();
     let workers = n_threads.clamp(1, n.max(1));
+    let progress = Progress::new(n);
     if workers <= 1 || n <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .map(|item| {
+                let r = f(item);
+                progress.note_done();
+                r
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
@@ -65,6 +146,7 @@ where
                             break;
                         }
                         claimed.push((i, f(&items[i])));
+                        progress.note_done();
                     }
                     claimed
                 })
@@ -108,6 +190,20 @@ pub fn run_all_threads(n_threads: usize, scenarios: &[Scenario]) -> Vec<RunResul
     par_map_threads(n_threads, scenarios, Scenario::run)
 }
 
+/// Fold every run's metrics registry into one fleet-level [`SimMetrics`].
+/// Results arrive from [`run_all`]/[`par_map`] in item order regardless
+/// of thread count, and this merges in that same order, so the merged
+/// snapshot is byte-identical for any `PI2_THREADS` (asserted by
+/// `tests/metrics_obs.rs`). Returns `None` when no run carried metrics.
+pub fn merged_metrics(results: &[RunResult]) -> Option<SimMetrics> {
+    let mut iter = results.iter().filter_map(|r| r.metrics.as_deref());
+    let first = iter.next()?.clone();
+    Some(iter.fold(first, |mut acc, m| {
+        acc.merge(m);
+        acc
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +240,40 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(par_map_threads(threads, &seeds, work), serial);
         }
+    }
+
+    #[test]
+    fn merged_metrics_identical_across_thread_counts() {
+        use crate::scenario::{AqmKind, FlowGroup, Scenario};
+        use pi2_simcore::{Duration, Time};
+        use pi2_transport::{CcKind, EcnSetting};
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|i| {
+                let mut sc = Scenario::new(AqmKind::pi2_default(), 4_000_000);
+                sc.tcp.push(FlowGroup::new(
+                    1,
+                    CcKind::Reno,
+                    EcnSetting::NotEcn,
+                    "reno",
+                    Duration::from_millis(20),
+                ));
+                sc.duration = Time::from_secs(3);
+                sc.warmup = Duration::from_secs(1);
+                sc.seed = 100 + i;
+                sc
+            })
+            .collect();
+        let snapshot = |n_threads| {
+            let results = run_all_threads(n_threads, &scenarios);
+            merged_metrics(&results)
+                .expect("every scenario run carries metrics")
+                .registry()
+                .to_json()
+        };
+        let serial = snapshot(1);
+        assert!(serial.contains("pi2_enqueued_total"));
+        assert_eq!(serial, snapshot(2), "2 workers must merge to the serial bytes");
+        assert_eq!(serial, snapshot(4), "4 workers must merge to the serial bytes");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use pi2_aqm::{
     PieConfig, Red, RedConfig,
 };
 use pi2_netsim::{
-    Aqm, Ecn, Monitor, MonitorConfig, PassAqm, PathConf, QueueConfig, Sim, SimConfig,
+    Aqm, Ecn, Monitor, MonitorConfig, PassAqm, PathConf, QueueConfig, Sim, SimConfig, SimMetrics,
     TraceCounts, UdpCbrSource,
 };
 use pi2_simcore::{Duration, Time};
@@ -212,6 +212,10 @@ impl Scenario {
             },
             self.aqm.build(),
         );
+        // Metrics are a pure observer (see `pi2_netsim::metrics`), so
+        // enabling them unconditionally cannot change any run's outcome —
+        // it just gives every sweep cell a registry snapshot for free.
+        sim.core.enable_metrics();
         // Pre-size the measurement vectors so per-packet recording never
         // reallocates mid-run (before add_flow, so per-flow vectors pick
         // up the same hints). The packet estimate assumes MTU-sized
@@ -264,6 +268,7 @@ impl Scenario {
             monitor: sim.core.monitor.clone(),
             counters: sim.core.counters.clone(),
             rate_bps: sim.core.queue.rate_bps(),
+            metrics: sim.core.take_metrics(),
         }
     }
 }
@@ -279,6 +284,10 @@ pub struct RunResult {
     pub counters: TraceCounts,
     /// Final link rate (after any changes).
     pub rate_bps: u64,
+    /// The run's metrics registry (histograms + counters; see
+    /// [`pi2_netsim::metrics`]). `Some` for every [`Scenario::run`];
+    /// `None` only for hand-built results.
+    pub metrics: Option<Box<SimMetrics>>,
 }
 
 impl RunResult {
@@ -332,6 +341,21 @@ impl RunResult {
     /// The `(t, total Mb/s)` series.
     pub fn tput_series(&self) -> &[(f64, f64)] {
         &self.monitor.total_tput_series
+    }
+
+    /// One-line metrics summary for sweep/grid output: sojourn P50/P99
+    /// (ms) from the registry histogram plus the dispatch-loop event
+    /// total. Empty string when metrics were not collected.
+    pub fn metrics_summary(&self) -> String {
+        let Some(m) = self.metrics.as_deref() else {
+            return String::new();
+        };
+        format!(
+            "sojourn p50 {:.2} ms p99 {:.2} ms ({} events)",
+            m.sojourn().quantile(0.5) as f64 / 1e6,
+            m.sojourn().quantile(0.99) as f64 / 1e6,
+            m.events_processed(),
+        )
     }
 
     /// One-line event-counter summary for sweep output.

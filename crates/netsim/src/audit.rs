@@ -24,13 +24,28 @@
 //!   packets still queued ([`AuditSink::check_conservation`], called by
 //!   `Sim::run_until`).
 
+//! ## Flight recorder
+//!
+//! Alongside the seed, every auditor keeps a fixed-capacity ring buffer
+//! of the most recent trace events (the **flight recorder**,
+//! [`pi2_obs::RingBuffer`]). When a violation fires, the retained window
+//! — the last [`DEFAULT_FLIGHT_CAPACITY`] events leading up to the
+//! failure — is dumped as JSONL to `PI2_FLIGHT_OUT` (or a seed-stamped
+//! file in the system temp directory) and the dump path is embedded in
+//! the panic message, so a broken invariant leaves both a replay recipe
+//! and the immediate evidence.
+
 use crate::aqm::AqmState;
 use crate::trace::{TraceCounts, TraceEvent, TraceSink};
+use pi2_obs::RingBuffer;
 use pi2_simcore::{Duration, Time};
 
 /// Slack for floating-point identity checks (the squaring law is computed
 /// in one multiply, so this only absorbs cross-platform rounding).
 const EPS: f64 = 1e-9;
+
+/// Trace events the flight recorder retains (see the module docs).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
 
 /// The invariant-checking trace sink. See the module docs for the
 /// invariant list.
@@ -57,6 +72,9 @@ pub struct AuditSink {
     last_probe_t: Time,
     events_seen: u64,
     probes_seen: u64,
+    /// The most recent trace events, dumped on violation (see the module
+    /// docs).
+    flight: RingBuffer<TraceEvent>,
 }
 
 impl AuditSink {
@@ -73,7 +91,22 @@ impl AuditSink {
             last_probe_t: Time::ZERO,
             events_seen: 0,
             probes_seen: 0,
+            flight: RingBuffer::new(DEFAULT_FLIGHT_CAPACITY),
         }
+    }
+
+    /// Resize the flight recorder (discards anything already retained).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight = RingBuffer::new(capacity);
+        self
+    }
+
+    /// The flight recorder's retained events, oldest first.
+    pub fn flight_events(&self) -> Vec<TraceEvent> {
+        self.flight.iter().copied().collect()
     }
 
     /// Attach a context label used in violation messages.
@@ -112,12 +145,50 @@ impl AuditSink {
         &self.counts
     }
 
+    /// Write the flight-recorder window as JSONL (one trace event per
+    /// line, oldest first, closed by a `"ev":"violation"` context record)
+    /// to `PI2_FLIGHT_OUT` or a seed-stamped temp file. Returns the path,
+    /// or `None` when there is nothing retained or the write failed (a
+    /// failed dump must never mask the violation itself).
+    fn dump_flight(&self, t: Time) -> Option<std::path::PathBuf> {
+        if self.flight.is_empty() {
+            return None;
+        }
+        let path = match std::env::var_os("PI2_FLIGHT_OUT") {
+            Some(p) => std::path::PathBuf::from(p),
+            None => std::env::temp_dir().join(format!("pi2_flight_seed{}.jsonl", self.seed)),
+        };
+        let mut body = String::new();
+        for ev in self.flight.iter() {
+            body.push_str(&ev.jsonl());
+            body.push('\n');
+        }
+        body.push_str(&format!(
+            "{{\"ev\":\"violation\",\"t_ns\":{},\"seed\":{},\"events_seen\":{},\
+             \"probes_seen\":{},\"ring_evicted\":{}}}\n",
+            t.as_nanos(),
+            self.seed,
+            self.events_seen,
+            self.probes_seen,
+            self.flight.total_pushed() - self.flight.len() as u64,
+        ));
+        std::fs::write(&path, body).ok().map(|_| path)
+    }
+
     fn violation(&self, t: Time, what: &str) -> ! {
         let label = if self.label.is_empty() { "" } else { &self.label };
+        let flight = match self.dump_flight(t) {
+            Some(p) => format!(
+                "\n  flight recorder: last {} trace events dumped to {}",
+                self.flight.len(),
+                p.display()
+            ),
+            None => String::new(),
+        };
         panic!(
             "audit[{label}] INVARIANT VIOLATION at t={t} (after {} events, {} probes): {what}\n  \
              replayable seed: {seed} — rerun the identical scenario with seed {seed} to \
-             reproduce this bit-for-bit",
+             reproduce this bit-for-bit{flight}",
             self.events_seen,
             self.probes_seen,
             seed = self.seed,
@@ -166,6 +237,9 @@ impl AuditSink {
 
 impl TraceSink for AuditSink {
     fn on_event(&mut self, ev: &TraceEvent) {
+        // Record before checking so a violating event is itself the last
+        // line of the flight-recorder dump.
+        self.flight.push(*ev);
         let t = ev.time();
         if t < self.last_event_t {
             self.violation(
@@ -400,6 +474,50 @@ mod tests {
             msg.contains("only 0 admissions") || msg.contains("queue depth went negative"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn flight_recorder_wraps_and_keeps_the_newest_window() {
+        let mut a = AuditSink::new(21).with_flight_capacity(4);
+        for seq in 0..10 {
+            a.on_event(&enq(seq + 1, 0, seq));
+        }
+        let kept = a.flight_events();
+        assert_eq!(kept.len(), 4, "ring must cap at its capacity");
+        let seqs: Vec<u64> = kept
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Enqueue { seq, .. } => *seq,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn violation_dumps_the_flight_recorder_as_jsonl() {
+        // Unique seed → unique default dump path, so this test needs no
+        // env mutation (which would race parallel tests).
+        let seed = 0xF11_887_u64;
+        let path = std::env::temp_dir().join(format!("pi2_flight_seed{seed}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        let mut a = AuditSink::new(seed).with_flight_capacity(8);
+        a.on_event(&enq(1, 0, 0));
+        a.on_event(&enq(2, 0, 1));
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            a.on_event(&deq(3, 1, 0)); // flow 1 never enqueued anything
+        })));
+        assert!(msg.contains("flight recorder"), "{msg}");
+        assert!(msg.contains(&path.display().to_string()), "{msg}");
+        let dump = std::fs::read_to_string(&path).expect("dump file must exist");
+        let lines: Vec<&str> = dump.lines().collect();
+        // Two enqueues + the violating dequeue + the context record.
+        assert_eq!(lines.len(), 4, "{dump}");
+        assert!(lines[0].contains("\"ev\":\"enq\""));
+        assert!(lines[2].contains("\"ev\":\"deq\""), "violating event is last");
+        assert!(lines[3].contains("\"ev\":\"violation\""));
+        assert!(lines[3].contains(&format!("\"seed\":{seed}")));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

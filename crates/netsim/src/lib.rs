@@ -16,6 +16,7 @@
 
 pub mod aqm;
 pub mod audit;
+pub mod metrics;
 pub mod monitor;
 pub mod packet;
 pub mod queue;
@@ -25,10 +26,13 @@ pub mod trace;
 
 pub use aqm::{Action, Aqm, AqmState, Decision, PassAqm, QueueSnapshot};
 pub use audit::AuditSink;
+pub use metrics::SimMetrics;
 pub use monitor::{FlowAccount, Monitor, MonitorConfig};
 pub use packet::{Ecn, FlowId, Packet};
 pub use queue::{BottleneckQueue, Qdisc, QueueConfig, QueueStats};
-pub use sim::{Ack, Event, PathConf, Sim, SimConfig, SimCore, Source, TimerKind};
+pub use sim::{
+    event_class, Ack, Event, PathConf, Sim, SimConfig, SimCore, Source, TimerKind, EVENT_CLASSES,
+};
 pub use source::{OnOffCbrSource, UdpCbrSource};
 pub use trace::{
     CountingSink, CsvSink, FlowCounts, JsonlSink, MemorySink, TraceCounts, TraceEvent, TraceSink,

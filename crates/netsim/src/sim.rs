@@ -19,10 +19,12 @@
 
 use crate::aqm::Action;
 use crate::audit::AuditSink;
+use crate::metrics::SimMetrics;
 use crate::monitor::{Monitor, MonitorConfig};
 use crate::packet::{FlowId, Packet};
 use crate::queue::{BottleneckQueue, Qdisc, QueueConfig};
 use crate::trace::{TraceCounts, TraceEvent, TraceSink};
+use pi2_obs::LoopProfiler;
 use pi2_simcore::{Duration, EventQueue, Rng, Time};
 
 /// One-way delays of a flow's path, excluding the bottleneck queue.
@@ -139,6 +141,7 @@ pub struct SimCore {
     pub counters: TraceCounts,
     sinks: Vec<Box<dyn TraceSink>>,
     audit: Option<Box<AuditSink>>,
+    metrics: Option<Box<SimMetrics>>,
     paths: Vec<PathConf>,
     transmitting: bool,
     timer_seq: u64,
@@ -154,6 +157,7 @@ impl SimCore {
             counters: TraceCounts::new(),
             sinks: Vec::new(),
             audit: None,
+            metrics: None,
             paths: Vec::new(),
             transmitting: false,
             timer_seq: 0,
@@ -207,6 +211,31 @@ impl SimCore {
     /// The attached auditor, if auditing is enabled.
     pub fn audit(&self) -> Option<&AuditSink> {
         self.audit.as_deref()
+    }
+
+    /// Start recording into a fresh [`SimMetrics`] registry. Metrics are
+    /// a pure observer over values the simulator already computes — they
+    /// never read the RNG or touch the queue — so a metrics-on run stays
+    /// bit-identical to a metrics-off run.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::new(SimMetrics::new()));
+        }
+    }
+
+    /// Detach and return the metrics, folding in the event-loop totals
+    /// (events processed/scheduled so far). Returns `None` when metrics
+    /// were never enabled.
+    pub fn take_metrics(&mut self) -> Option<Box<SimMetrics>> {
+        let mut m = self.metrics.take()?;
+        m.note_event_totals(self.events.popped(), self.events.pushed());
+        Some(m)
+    }
+
+    /// The live metrics, if enabled (event-loop totals are only folded in
+    /// by [`take_metrics`](Self::take_metrics)).
+    pub fn metrics(&self) -> Option<&SimMetrics> {
+        self.metrics.as_deref()
     }
 
     /// End-of-run audit: verify packet conservation against the qdisc's
@@ -270,6 +299,16 @@ impl SimCore {
                 self.counters.note_enqueue(flow);
             }
             Action::Pass => self.counters.note_enqueue(flow),
+        }
+        if let Some(m) = &mut self.metrics {
+            match decision.action {
+                Action::Drop => m.note_drop(),
+                Action::Mark => {
+                    m.note_mark();
+                    m.note_enqueue(crate::packet::Ecn::Ce);
+                }
+                Action::Pass => m.note_enqueue(ecn),
+            }
         }
         if self.tracing() {
             match decision.action {
@@ -363,6 +402,9 @@ impl SimCore {
             .expect("Dequeue event fired on an empty queue");
         self.monitor.record_dequeue(pkt.flow, pkt.size, sojourn, now);
         self.counters.note_dequeue(pkt.flow);
+        if let Some(m) = &mut self.metrics {
+            m.note_dequeue(sojourn);
+        }
         if self.tracing() {
             self.emit(TraceEvent::Dequeue {
                 t: now,
@@ -425,11 +467,42 @@ impl Default for SimConfig {
     }
 }
 
+/// Display names of the event classes the self-profiler attributes time
+/// to, indexed by [`event_class`]. One entry per [`Event`] variant.
+pub const EVENT_CLASSES: [&str; 9] = [
+    "dequeue",
+    "deliver",
+    "ack",
+    "timer",
+    "aqm_update",
+    "sample",
+    "set_link_rate",
+    "source_on",
+    "source_off",
+];
+
+/// The profiler class index of an event (an index into
+/// [`EVENT_CLASSES`]).
+pub fn event_class(ev: &Event) -> usize {
+    match ev {
+        Event::Dequeue => 0,
+        Event::Deliver(_) => 1,
+        Event::AckArrive(_) => 2,
+        Event::Timer { .. } => 3,
+        Event::AqmUpdate => 4,
+        Event::Sample => 5,
+        Event::SetLinkRate(_) => 6,
+        Event::SourceOn(_) => 7,
+        Event::SourceOff(_) => 8,
+    }
+}
+
 /// The complete simulator: shared core + traffic sources.
 pub struct Sim {
     /// Shared state (clock, queue, paths, monitor).
     pub core: SimCore,
     sources: Vec<Box<dyn Source>>,
+    profiler: Option<Box<LoopProfiler>>,
 }
 
 impl Sim {
@@ -465,10 +538,41 @@ impl Sim {
         }
         let sample_iv = core.monitor.sample_interval();
         core.events.push(Time::ZERO + sample_iv, Event::Sample);
-        Sim {
+        let mut sim = Sim {
             core,
             sources: Vec::new(),
+            profiler: None,
+        };
+        // PI2_PROFILE=1 turns on the event-loop self-profiler (same as
+        // `pi2sim --profile` / `enable_profiler`). Off is free: without a
+        // profiler the dispatch loop performs no clock reads at all.
+        if matches!(
+            std::env::var("PI2_PROFILE").ok().as_deref(),
+            Some(v) if !matches!(v, "0" | "off" | "false")
+        ) {
+            sim.enable_profiler();
         }
+        sim
+    }
+
+    /// Attach the event-loop self-profiler: every subsequent event's
+    /// handler is timed with two monotonic-clock reads and attributed to
+    /// its class (see [`EVENT_CLASSES`]). Wall-clock readings never feed
+    /// back into simulation state, so profiled runs stay bit-identical.
+    pub fn enable_profiler(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::new(LoopProfiler::new(&EVENT_CLASSES)));
+        }
+    }
+
+    /// Detach and return the profiler, stopping further timing.
+    pub fn take_profiler(&mut self) -> Option<Box<LoopProfiler>> {
+        self.profiler.take()
+    }
+
+    /// The attached profiler, if profiling is enabled.
+    pub fn profiler(&self) -> Option<&LoopProfiler> {
+        self.profiler.as_deref()
     }
 
     /// Add a flow: registers the path, constructs the source via `make`
@@ -512,6 +616,9 @@ impl Sim {
         let Some((_, event)) = self.core.events.pop() else {
             return false;
         };
+        if let Some(p) = &mut self.profiler {
+            p.begin(event_class(&event));
+        }
         match event {
             Event::Dequeue => {
                 self.core.handle_dequeue();
@@ -534,8 +641,13 @@ impl Sim {
                 let p = self.core.queue.control_variable();
                 self.core.monitor.record_control_variable(p, now);
                 self.core.counters.note_aqm_update();
-                if self.core.tracing() {
+                if self.core.tracing() || self.core.metrics.is_some() {
+                    // `probe()` is a pure read of controller state; taking
+                    // it for metrics or observers cannot perturb the run.
                     let state = self.core.queue.probe();
+                    if let Some(m) = &mut self.core.metrics {
+                        m.note_aqm_update(&state);
+                    }
                     if let Some(audit) = &mut self.core.audit {
                         audit.on_aqm_state(now, &state);
                     }
@@ -562,6 +674,9 @@ impl Sim {
             Event::SourceOff(flow) => {
                 self.sources[flow.idx()].on_stop(&mut self.core);
             }
+        }
+        if let Some(p) = &mut self.profiler {
+            p.end();
         }
         true
     }

@@ -1,0 +1,299 @@
+//! Log-linear histograms with fixed, allocation-free storage.
+//!
+//! The bucketing is HdrHistogram-style: values below [`SUB_COUNT`] get an
+//! exact bucket each; above that, every power-of-two octave is split into
+//! [`SUB_COUNT`] linear sub-buckets, so the relative quantization error is
+//! bounded by `1 / SUB_COUNT` (≈ 3 % here) across the full `u64` range.
+//! The count array is allocated once at construction ([`Histogram::new`])
+//! and never grows — `record` is a shift, a subtract and an increment,
+//! cheap enough to sit on the simulator's per-packet hot path.
+//!
+//! Two histograms with the same layout merge by element-wise addition
+//! ([`Histogram::merge`]), which is what lets the parallel sweep runner
+//! combine per-worker registries into a fleet-level view that is
+//! bit-identical to a serial run.
+
+use pi2_stats::variance_from_moments;
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per power-of-two octave (and the linear-range size).
+pub const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64`.
+pub const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB_COUNT as usize;
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_COUNT {
+        v as usize
+    } else {
+        // Highest set bit is ≥ SUB_BITS, so `mag` never underflows.
+        let mag = 63 - v.leading_zeros() - SUB_BITS;
+        let sub = (v >> mag) - SUB_COUNT;
+        ((mag as u64 + 1) * SUB_COUNT + sub) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `i`.
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_COUNT {
+        i
+    } else {
+        let mag = i / SUB_COUNT - 1;
+        let sub = i % SUB_COUNT;
+        (SUB_COUNT + sub) << mag
+    }
+}
+
+/// Largest value mapping to bucket `i`.
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(i + 1) - 1
+    }
+}
+
+/// A fixed-size log-linear histogram of `u64` values (typically
+/// nanoseconds). See the module docs for the bucketing scheme.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    sum_sq: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. This is the only allocation the instrument
+    /// ever performs.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            sum_sq: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        let vf = v as f64;
+        self.sum_sq += vf * vf;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (wrapping on overflow, which a run of
+    /// nanosecond-scale values cannot reach in practice).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation, from the streamed moments (see
+    /// [`pi2_stats::variance_from_moments`]); 0 when empty.
+    pub fn stddev(&self) -> f64 {
+        variance_from_moments(self.count, self.sum as f64, self.sum_sq).sqrt()
+    }
+
+    /// The `q`-quantile (`q` ∈ [0, 1]) as the upper bound of the bucket
+    /// containing the order statistic, clamped to the observed maximum.
+    /// The result is therefore within one bucket width (relative error ≤
+    /// `1 / SUB_COUNT`) above the exact value; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the order statistic, 1-based; q = 0 reads the minimum.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise accumulate `other` into `self`. Layouts are static,
+    /// so any two histograms merge; merging is associative and
+    /// commutative, and the parallel runner applies it in item order to
+    /// keep merged output deterministic.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(low, high, count)` ranges, for exporters.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_low(i), bucket_high(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trips_across_the_range() {
+        // Every probe value must land in a bucket whose [low, high] range
+        // contains it, and the bucket width must respect the log-linear
+        // error bound.
+        let probes = [
+            0,
+            1,
+            2,
+            SUB_COUNT - 1,
+            SUB_COUNT,
+            SUB_COUNT + 1,
+            2 * SUB_COUNT - 1,
+            2 * SUB_COUNT,
+            63,
+            64,
+            65,
+            1000,
+            4095,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_of(v);
+            let (lo, hi) = (bucket_low(i), bucket_high(i));
+            assert!(lo <= v && v <= hi, "v={v} not in bucket {i} [{lo}, {hi}]");
+            if v >= SUB_COUNT && i + 1 < BUCKETS {
+                let width = hi - lo + 1;
+                assert!(
+                    width <= v / SUB_COUNT + 1,
+                    "bucket width {width} too coarse for v={v}"
+                );
+            }
+        }
+        // Buckets tile the axis: each bucket starts right after the last.
+        for i in 0..2000.min(BUCKETS - 1) {
+            assert_eq!(bucket_high(i) + 1, bucket_low(i + 1), "gap after bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        for &(q, exact) in &[(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900), (1.0, 10_000)] {
+            let got = h.quantile(q);
+            let bound = exact / SUB_COUNT + 1;
+            assert!(
+                got >= exact && got <= exact + bound,
+                "q={q}: got {got}, exact {exact}, bound +{bound}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.stddev(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn moments_match_stats_crate() {
+        let samples = [3u64, 7, 7, 20, 41];
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let as_f64: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        assert!((h.mean() - pi2_stats::mean(&as_f64)).abs() < 1e-12);
+        assert!((h.stddev() - pi2_stats::stddev(&as_f64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..500u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

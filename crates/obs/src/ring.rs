@@ -1,0 +1,120 @@
+//! A fixed-capacity ring buffer of `Copy` records.
+//!
+//! This is the storage behind the audit flight recorder: the simulator
+//! pushes every trace event into the ring as it happens, old entries fall
+//! off the back once capacity is reached, and when an invariant violation
+//! fires the auditor dumps the surviving window — the last `capacity`
+//! events leading up to the failure — in arrival order. Pushes never
+//! allocate after construction and never fail.
+
+/// Fixed-capacity overwrite-oldest ring buffer. See the module docs.
+#[derive(Clone, Debug)]
+pub struct RingBuffer<T: Copy> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index the next push writes to (only meaningful once full).
+    head: usize,
+    /// Total pushes over the ring's lifetime (≥ `len()`).
+    pushed: u64,
+}
+
+impl<T: Copy> RingBuffer<T> {
+    /// A ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Append an item, evicting the oldest if the ring is full.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Items currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total pushes over the ring's lifetime, including evicted items.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Iterate the retained items oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (tail, head) = self.buf.split_at(self.head.min(self.buf.len()));
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut r = RingBuffer::new(4);
+        assert!(r.is_empty());
+        for v in 0..4 {
+            r.push(v);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // Two more pushes evict the two oldest.
+        r.push(4);
+        r.push(5);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_pushed(), 6);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_many_times_and_stays_ordered() {
+        let mut r = RingBuffer::new(3);
+        for v in 0..100 {
+            r.push(v);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![97, 98, 99]);
+        assert_eq!(r.total_pushed(), 100);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_push_order() {
+        let mut r = RingBuffer::new(10);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!['a', 'b']);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        RingBuffer::<u8>::new(0);
+    }
+}

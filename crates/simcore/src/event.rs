@@ -110,6 +110,13 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Number of events pushed over the queue's lifetime (the tie-break
+    /// sequence counter doubles as this). `pushed() - popped()` is the
+    /// pending count plus any events dropped with the queue.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -202,6 +209,9 @@ mod tests {
         q.pop();
         assert_eq!(q.now(), Time::from_secs(2));
         assert_eq!(q.popped(), 1);
+        assert_eq!(q.pushed(), 1);
+        q.push(Time::from_secs(3), ());
+        assert_eq!(q.pushed(), 2);
     }
 
     #[test]

@@ -32,13 +32,41 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
     }
 }
 
-/// Population standard deviation; 0 for fewer than two samples.
-pub fn stddev(samples: &[f64]) -> f64 {
-    if samples.len() < 2 {
+/// Population variance; 0 for an empty slice.
+///
+/// A single sample also yields 0 — a one-point distribution genuinely has
+/// no spread around its mean, but callers that need to distinguish "no
+/// spread" from "not enough data to estimate spread" must check `n`
+/// themselves (this is a population statistic, not the `n − 1` sample
+/// estimator, which would be undefined at `n == 1`).
+pub fn variance(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
         return 0.0;
     }
     let m = mean(samples);
-    (samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64).sqrt()
+    samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64
+}
+
+/// Population variance from pre-aggregated moments: the count, the sum of
+/// the values and the sum of their squares. This is what streaming
+/// instruments (e.g. `pi2_obs`'s histograms) keep instead of the raw
+/// samples; it is algebraically `E[x²] − E[x]²`, clamped at 0 to absorb
+/// the catastrophic cancellation that formula suffers for tight
+/// distributions far from zero.
+pub fn variance_from_moments(n: u64, sum: f64, sum_sq: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let m = sum / n as f64;
+    (sum_sq / n as f64 - m * m).max(0.0)
+}
+
+/// Population standard deviation: `variance(samples).sqrt()`.
+///
+/// Returns 0 for an empty slice and — see [`variance`] — also for a
+/// single sample.
+pub fn stddev(samples: &[f64]) -> f64 {
+    variance(samples).sqrt()
 }
 
 /// Jain's fairness index: `(Σx)² / (n·Σx²)`; 1 for equal allocations,
@@ -154,6 +182,23 @@ mod tests {
         assert_eq!(stddev(&[2.0, 2.0, 2.0]), 0.0);
         // Var of {1,3} around mean 2 is 1.
         assert!((stddev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_agrees_with_moment_form() {
+        let samples = [1.0, 3.0, 7.0, 12.0, 12.5];
+        let n = samples.len() as u64;
+        let sum: f64 = samples.iter().sum();
+        let sum_sq: f64 = samples.iter().map(|x| x * x).sum();
+        let direct = variance(&samples);
+        let moments = variance_from_moments(n, sum, sum_sq);
+        assert!((direct - moments).abs() < 1e-9, "{direct} vs {moments}");
+        assert!((stddev(&samples) - direct.sqrt()).abs() < 1e-12);
+        // Degenerate counts are 0, and cancellation never goes negative.
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[4.2]), 0.0);
+        assert_eq!(variance_from_moments(0, 0.0, 0.0), 0.0);
+        assert!(variance_from_moments(3, 3e8, 3e16) >= 0.0);
     }
 
     #[test]

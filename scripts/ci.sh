@@ -21,12 +21,24 @@ echo "== workspace tests (release: some tests simulate minutes of traffic)"
 cargo test --workspace --release -q
 
 echo "== bench smoke run (short sims; history to a scratch file)"
-# PI2_BENCH_OUT keeps CI noise out of the repo's BENCH_pi2.json trajectory.
+# PI2_BENCH_OUT keeps CI noise out of the repo's BENCH_pi2.json
+# trajectory by default. Opt in with PI2_BENCH_HISTORY=1 to append the
+# smoke-run metrics (including the per-event-class profile numbers and
+# the metrics_overhead_ratio) to the committed BENCH_pi2.json instead —
+# useful when a commit should leave a perf data point behind.
 smoke_out="$(mktemp -t pi2_bench_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out"' EXIT
-PI2_SECS=2 PI2_BENCH_OUT="$smoke_out" \
+if [ "${PI2_BENCH_HISTORY:-0}" = "1" ]; then
+    bench_out_env=()  # record into the repo's committed BENCH_pi2.json
+else
+    bench_out_env=(PI2_BENCH_OUT="$smoke_out")
+fi
+# PI2_OVERHEAD_GATE: bench_sim_throughput exits non-zero when the
+# metrics-on run costs more per event than the documented tolerance
+# (15%; see EXPERIMENTS.md "Metrics & profiling", PI2_OVERHEAD_TOL).
+PI2_SECS=2 PI2_OVERHEAD_GATE=1 env "${bench_out_env[@]}" \
     cargo run -q -p pi2-bench --release --bin bench_sim_throughput
-PI2_BENCH_OUT="$smoke_out" \
+env "${bench_out_env[@]}" \
     cargo run -q -p pi2-bench --release --bin bench_aqm_decision
 
 echo "== traced+audited smoke run: JSONL sink parses, invariants hold"
@@ -46,6 +58,25 @@ grep -q '^{"ev":' "$trace_out"
 grep -q '"ev":"aqm"' "$trace_out"
 grep -q 'trace verified:' "$trace_log"
 grep -q 'audit: all invariants held' "$trace_log"
+
+echo "== metrics+profile smoke run: snapshot parses, exposition lints"
+metrics_json="$(mktemp -t pi2_metrics_smoke.XXXXXX.json)"
+metrics_prom="$(mktemp -t pi2_metrics_smoke.XXXXXX.prom)"
+profile_log="$(mktemp -t pi2_profile_smoke.XXXXXX.log)"
+trap 'rm -f "$smoke_out" "$trace_out" "$trace_log" "$metrics_json" "$metrics_prom" "$profile_log"' EXIT
+cargo run -q -p pi2-bench --release --bin pi2sim -- \
+    --aqm pi2 --rate 10M --flows 2xreno --secs 5 --warmup 1 \
+    --profile --metrics-out "$metrics_json" | tee "$profile_log"
+grep -q '# event-loop profile' "$profile_log"
+grep -q 'metrics snapshot:' "$profile_log"
+cargo run -q -p pi2-bench --release --bin pi2sim -- \
+    --aqm pi2 --rate 10M --flows 2xreno --secs 5 --warmup 1 \
+    --metrics-out "$metrics_prom" --metrics-format prom > /dev/null
+# metrics_lint re-parses the JSON snapshot (schema + histogram summary
+# fields) and runs the Prometheus exposition lint (no duplicate
+# HELP/TYPE, valid names, label escaping).
+cargo run -q -p pi2-bench --release --bin metrics_lint -- \
+    "$metrics_json" "$metrics_prom"
 
 echo "== grid determinism smoke: serial vs parallel must match bit-for-bit"
 PI2_SECS=2 PI2_THREADS=1 cargo run -q -p pi2-bench --release --bin grid_all > /tmp/pi2_grid_serial.txt

@@ -13,6 +13,7 @@
 //!   the coupled single-queue Classic/Scalable AQM;
 //! * [`fluid`] — fluid model & Bode stability analysis (Appendix B);
 //! * [`stats`] — CDFs, percentiles, utilization summaries;
+//! * [`obs`] — metrics registry, event-loop profiler, flight-recorder ring;
 //! * [`experiments`] — runnable scenarios reproducing each paper figure.
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@ pub use pi2_aqm as aqm;
 pub use pi2_experiments as experiments;
 pub use pi2_fluid as fluid;
 pub use pi2_netsim as netsim;
+pub use pi2_obs as obs;
 pub use pi2_simcore as simcore;
 pub use pi2_stats as stats;
 pub use pi2_transport as transport;

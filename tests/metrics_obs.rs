@@ -1,0 +1,244 @@
+//! Observability integration tests: the metrics registry and the
+//! event-loop profiler are pure observers (a metered run is bit-identical
+//! to a bare one), per-worker registries merge deterministically for any
+//! thread count, exports pass their own lints, and an invariant
+//! violation dumps the flight recorder next to the replay seed.
+
+use pi2::netsim::aqm::QueueSnapshot;
+use pi2::netsim::AuditSink;
+use pi2::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn build_sim(seed: u64) -> Sim {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 10_000_000,
+                buffer_bytes: 40_000 * 1500,
+            },
+            seed,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(Pi2::new(Pi2Config::default())),
+    );
+    for _ in 0..2 {
+        sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(20)),
+            "reno",
+            Time::ZERO,
+            |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    CcKind::Reno,
+                    EcnSetting::NotEcn,
+                    TcpConfig::default(),
+                ))
+            },
+        );
+    }
+    sim
+}
+
+/// The registry never touches the RNG, the queue, or the event heap, so
+/// a metrics-on run and a metrics-off run of the same seed are the same
+/// run — and the registry's counters must agree with the independent
+/// counting sink.
+#[test]
+fn metrics_do_not_perturb_the_simulation() {
+    let mut plain = build_sim(3);
+    plain.run_until(Time::from_secs(5));
+
+    let mut metered = build_sim(3);
+    metered.core.enable_metrics();
+    metered.run_until(Time::from_secs(5));
+
+    assert_eq!(plain.core.events.popped(), metered.core.events.popped());
+    assert_eq!(plain.core.counters, metered.core.counters);
+    assert_eq!(plain.core.monitor.sojourn_ms, metered.core.monitor.sojourn_ms);
+    for (a, b) in plain
+        .core
+        .monitor
+        .flows
+        .iter()
+        .zip(&metered.core.monitor.flows)
+    {
+        assert_eq!(a.dequeued_bytes, b.dequeued_bytes);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.marked, b.marked);
+    }
+
+    let t = metered.core.counters.totals();
+    let m = metered.core.take_metrics().expect("metrics were enabled");
+    assert_eq!(m.enqueued(), t.enqueued);
+    assert_eq!(m.marked(), t.marked);
+    assert_eq!(m.dropped(), t.dropped);
+    assert_eq!(m.dequeued(), t.dequeued);
+    assert_eq!(m.aqm_updates(), metered.core.counters.aqm_updates);
+    assert_eq!(m.events_processed(), metered.core.events.popped());
+    assert_eq!(m.sojourn().count(), t.dequeued, "one sojourn sample per departure");
+}
+
+/// The self-profiler reads the wall clock but never writes simulation
+/// state: a profiled run is bit-identical too, and its per-class event
+/// counts sum to the dispatch loop's total.
+#[test]
+fn profiler_does_not_perturb_the_simulation() {
+    let mut plain = build_sim(4);
+    plain.run_until(Time::from_secs(5));
+
+    let mut profiled = build_sim(4);
+    profiled.enable_profiler();
+    profiled.run_until(Time::from_secs(5));
+
+    assert_eq!(plain.core.events.popped(), profiled.core.events.popped());
+    assert_eq!(plain.core.counters, profiled.core.counters);
+    assert_eq!(plain.core.monitor.sojourn_ms, profiled.core.monitor.sojourn_ms);
+
+    let prof = profiled.take_profiler().expect("profiler was enabled");
+    assert_eq!(prof.total_events(), profiled.core.events.popped());
+    assert!(!prof.rows().is_empty());
+    assert!(prof.render_table().contains("dequeue"));
+}
+
+/// A real run's exports pass their own validation: the Prometheus text
+/// lints clean and the JSON snapshot carries the registry schema.
+#[test]
+fn exports_from_a_real_run_validate() {
+    let mut sim = build_sim(5);
+    sim.core.enable_metrics();
+    sim.run_until(Time::from_secs(5));
+    let m = sim.core.take_metrics().expect("metrics were enabled");
+
+    let prom = m.registry().to_prometheus();
+    let samples = pi2::obs::prom_lint(&prom).expect("exposition text lints clean");
+    assert!(samples >= 10, "expected a full metric set, got {samples} samples");
+
+    let json = m.registry().to_json();
+    assert!(json.starts_with("{\"schema\":1,"));
+    assert!(json.contains("\"pi2_enqueued_total\""));
+    assert!(json.contains("\"pi2_sojourn_ns\""));
+}
+
+/// Per-worker registries merged in item order are byte-identical for any
+/// thread count — the sweep-level analogue of the runner's determinism
+/// guarantee, exercised through the public experiments API.
+#[test]
+fn merged_snapshot_identical_across_thread_counts() {
+    use pi2::experiments::runner::{merged_metrics, run_all_threads};
+    use pi2::experiments::scenario::{AqmKind, FlowGroup, Scenario};
+    let scenarios: Vec<Scenario> = (0..3)
+        .map(|i| {
+            let mut sc = Scenario::new(AqmKind::pi2_default(), 4_000_000);
+            sc.tcp.push(FlowGroup::new(
+                1,
+                CcKind::Reno,
+                EcnSetting::NotEcn,
+                "reno",
+                Duration::from_millis(20),
+            ));
+            sc.duration = Time::from_secs(3);
+            sc.warmup = Duration::from_secs(1);
+            sc.seed = 700 + i;
+            sc
+        })
+        .collect();
+    let snapshot = |threads: usize| {
+        let results = run_all_threads(threads, &scenarios);
+        merged_metrics(&results)
+            .expect("scenario runs carry metrics")
+            .registry()
+            .to_json()
+    };
+    let serial = snapshot(1);
+    assert_eq!(serial, snapshot(2));
+    assert_eq!(serial, snapshot(4));
+}
+
+/// An AQM that reports an out-of-range drop probability after admitting
+/// some traffic — enough history for the flight recorder to be worth
+/// dumping when the auditor trips over it.
+struct BrokenAqm {
+    decisions: u64,
+}
+
+impl Aqm for BrokenAqm {
+    fn on_enqueue(
+        &mut self,
+        _pkt: &Packet,
+        _snap: &QueueSnapshot,
+        _now: Time,
+        _rng: &mut pi2::simcore::Rng,
+    ) -> Decision {
+        self.decisions += 1;
+        if self.decisions > 50 {
+            // Probability 1.5 violates the auditor's [0, 1] bound.
+            Decision::drop(1.5)
+        } else {
+            Decision::pass(0.0)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "broken"
+    }
+}
+
+/// The acceptance scenario for the flight recorder: a deliberately broken
+/// AQM trips the auditor, the panic names the dump file, and that file
+/// holds the recent trace window as JSONL plus a closing violation record
+/// with the replay seed.
+#[test]
+fn broken_aqm_violation_dumps_the_flight_recorder() {
+    // Unique seed → unique default dump path (no env mutation, which
+    // would race parallel tests).
+    let seed = 0xB20_CE41_u64;
+    let dump = std::env::temp_dir().join(format!("pi2_flight_seed{seed}.jsonl"));
+    let _ = std::fs::remove_file(&dump);
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut sim = Sim::new(
+            SimConfig {
+                queue: QueueConfig {
+                    rate_bps: 10_000_000,
+                    buffer_bytes: 40_000 * 1500,
+                },
+                seed,
+                monitor: MonitorConfig::default(),
+            },
+            Box::new(BrokenAqm { decisions: 0 }),
+        );
+        sim.core.enable_audit(AuditSink::new(seed).with_label("broken"));
+        sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(20)),
+            "reno",
+            Time::ZERO,
+            |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    CcKind::Reno,
+                    EcnSetting::NotEcn,
+                    TcpConfig::default(),
+                ))
+            },
+        );
+        sim.run_until(Time::from_secs(10));
+    }));
+    let err = result.expect_err("the auditor must panic on prob 1.5");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("drop probability"), "unexpected panic: {msg}");
+    assert!(msg.contains("flight recorder"), "panic must name the dump: {msg}");
+
+    let body = std::fs::read_to_string(&dump).expect("flight-recorder dump exists");
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() >= 2, "dump holds the event window: {body}");
+    for line in &lines[..lines.len() - 1] {
+        assert!(line.starts_with("{\"ev\":"), "not a trace line: {line}");
+    }
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"ev\":\"violation\""), "missing closing record: {last}");
+    assert!(last.contains(&format!("\"seed\":{seed}")), "missing seed: {last}");
+    let _ = std::fs::remove_file(&dump);
+}

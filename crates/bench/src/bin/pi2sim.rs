@@ -12,9 +12,10 @@ use pi2_aqm::{
 };
 use pi2_bench::cli::{parse_args, usage, CliArgs, MetricsFormat, TraceFormat};
 use pi2_bench::perf::Json;
+use pi2_experiments::dynamics;
 use pi2_netsim::{
-    Aqm, AuditSink, CsvSink, Ecn, JsonlSink, MemorySink, MonitorConfig, PassAqm, PathConf, Qdisc,
-    QueueConfig, Sim, SimConfig, UdpCbrSource,
+    Aqm, AuditSink, CsvSink, Ecn, ImpairmentConf, JsonlSink, LinkImpairments, MemorySink,
+    MonitorConfig, PassAqm, PathConf, Qdisc, QueueConfig, Sim, SimConfig, UdpCbrSource,
 };
 use pi2_simcore::{Duration, Time};
 use pi2_stats::Summary;
@@ -91,6 +92,70 @@ fn build_sim(a: &CliArgs) -> Sim {
     }
 }
 
+/// Decorrelates the weather layer's RNG stream from the simulator's root
+/// stream when both derive from the same `--seed`.
+const WEATHER_SEED_XOR: u64 = 0x57EA_7AE5_0DD5_EED5;
+
+/// The `--loss/--dup/--jitter` knobs as an impairment layer, applied
+/// symmetrically to both directions. `None` when all are zero.
+fn weather(a: &CliArgs) -> Option<LinkImpairments> {
+    if !a.impaired() {
+        return None;
+    }
+    Some(
+        LinkImpairments::new(a.seed ^ WEATHER_SEED_XOR).symmetric(ImpairmentConf {
+            loss: a.loss,
+            dup: a.dup,
+            jitter: a.jitter,
+        }),
+    )
+}
+
+/// `--scenario dynamics`: the step-response family (rate-step and
+/// flow-churn, PIE vs PI2 vs DualPI2) with its spike/settle table.
+fn run_dynamics(a: &CliArgs) {
+    println!(
+        "# pi2sim: scenario=dynamics seed={} loss={} dup={} jitter={}",
+        a.seed, a.loss, a.dup, a.jitter
+    );
+    let runs = dynamics::dynamics(a.seed, weather(a));
+    print!("{}", dynamics::render_table(&runs));
+    if let Some(path) = &a.trace_out {
+        let mut body = String::new();
+        for r in &runs {
+            let settle = r.settle_s.map_or("null".to_string(), |s| format!("{s}"));
+            let series: Vec<String> = r
+                .qdelay
+                .iter()
+                .map(|(t, v)| format!("[{t},{v}]"))
+                .collect();
+            body.push_str(&format!(
+                "{{\"scenario\":\"dynamics\",\"disturbance\":\"{}\",\"aqm\":\"{}\",\
+                 \"spike_ms\":{},\"settle_s\":{},\"revert_spike_ms\":{},\"qdelay\":[{}]}}\n",
+                r.disturbance.name(),
+                r.aqm,
+                r.spike_ms,
+                settle,
+                r.revert_spike_ms,
+                series.join(",")
+            ));
+        }
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("cannot write dynamics trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("dynamics trace: {} runs written to {path}", runs.len());
+    }
+    if a.csv {
+        println!("disturbance,aqm,t_s,qdelay_ms");
+        for r in &runs {
+            for (t, d) in &r.qdelay {
+                println!("{},{},{t},{d}", r.disturbance.name(), r.aqm);
+            }
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let a = match parse_args(&argv) {
@@ -100,8 +165,15 @@ fn main() {
             std::process::exit(if msg == usage() { 0 } else { 2 });
         }
     };
+    if a.scenario.as_deref() == Some("dynamics") {
+        run_dynamics(&a);
+        return;
+    }
 
     let mut sim = build_sim(&a);
+    if let Some(w) = weather(&a) {
+        sim.core.set_impairments(w);
+    }
     // `--metrics-out`: record the run into a `pi2_obs` registry (a pure
     // observer — the snapshot comes for free, the run's bits don't change).
     if a.metrics_out.is_some() {
@@ -213,6 +285,13 @@ fn main() {
         "counters: enq {} mark {} drop {} deq {}  aqm updates {}",
         tot.enqueued, tot.marked, tot.dropped, tot.dequeued, sim.core.counters.aqm_updates
     );
+    if let Some(imp) = sim.core.impairments() {
+        let s = imp.stats();
+        println!(
+            "weather: fwd {}/{} lost, {} dup; rev {}/{} lost, {} dup",
+            s.fwd_lost, s.fwd_offered, s.fwd_dup, s.rev_lost, s.rev_offered, s.rev_dup
+        );
+    }
     if let Some(audit) = sim.core.audit() {
         println!(
             "audit: all invariants held over {} events, {} state probes",

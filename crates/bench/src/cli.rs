@@ -61,6 +61,19 @@ pub struct CliArgs {
     /// Attach the event-loop self-profiler and print the per-class
     /// breakdown (env `PI2_PROFILE=1` does the same).
     pub profile: bool,
+    /// Named scenario family to run instead of a single dumbbell run
+    /// (currently only `dynamics`: step-response disturbances for
+    /// PIE vs PI2 vs DualPI2).
+    pub scenario: Option<String>,
+    /// Path impairment: per-packet random loss probability, applied
+    /// symmetrically to both directions. 0 (the default) is exact
+    /// identity — no impairment layer is attached at all.
+    pub loss: f64,
+    /// Path impairment: duplication probability for surviving packets.
+    pub dup: f64,
+    /// Path impairment: maximum reordering jitter (uniform extra delay
+    /// in `[0, jitter]` per surviving packet).
+    pub jitter: Duration,
 }
 
 /// On-disk format for `--trace-out`.
@@ -111,8 +124,40 @@ impl Default for CliArgs {
             metrics_out: None,
             metrics_format: MetricsFormat::Json,
             profile: false,
+            scenario: None,
+            loss: 0.0,
+            dup: 0.0,
+            jitter: Duration::ZERO,
         }
     }
+}
+
+impl CliArgs {
+    /// True when any impairment knob is set (a weather layer must be
+    /// attached).
+    pub fn impaired(&self) -> bool {
+        self.loss > 0.0 || self.dup > 0.0 || self.jitter > Duration::ZERO
+    }
+}
+
+/// The scenario families `--scenario` accepts.
+pub const SCENARIOS: &[&str] = &["dynamics"];
+
+/// Parse a probability in `[0, 1]`, accepting a trailing `%`.
+pub fn parse_prob(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    let (num, scale) = match s.strip_suffix('%') {
+        Some(n) => (n, 0.01),
+        None => (s, 1.0),
+    };
+    let v: f64 = num
+        .parse()
+        .map_err(|_| format!("bad probability '{s}' (try 0.01 or 1%)"))?;
+    let p = v * scale;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability '{s}' must be within [0, 1]"));
+    }
+    Ok(p)
 }
 
 /// Parse a rate like `10M`, `2.5G`, `400k`, `9000`.
@@ -259,6 +304,19 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 }
             }
             "--profile" => out.profile = true,
+            "--scenario" => {
+                let v = value("--scenario")?;
+                if !SCENARIOS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown scenario '{v}' (one of {})",
+                        SCENARIOS.join(", ")
+                    ));
+                }
+                out.scenario = Some(v.clone());
+            }
+            "--loss" => out.loss = parse_prob(value("--loss")?)?,
+            "--dup" => out.dup = parse_prob(value("--dup")?)?,
+            "--jitter" => out.jitter = parse_time(value("--jitter")?)?,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -294,8 +352,15 @@ pub fn usage() -> String {
          \x20                   histogram quantiles) to this file\n\
          \x20 --metrics-format <f> json (default) or prom, for --metrics-out\n\
          \x20 --profile         time the event loop per event class and print the\n\
-         \x20                   breakdown (env PI2_PROFILE=1 does the same)",
-        AQMS.join("|")
+         \x20                   breakdown (env PI2_PROFILE=1 does the same)\n\
+         \x20 --scenario <name> run a scenario family instead ({}):\n\
+         \x20                   dynamics = rate-step + flow-churn disturbances\n\
+         \x20                   for PIE vs PI2 vs DualPI2, with spike/settle table\n\
+         \x20 --loss <p>        network weather: random loss probability (0.01 or 1%)\n\
+         \x20 --dup <p>         network weather: duplication probability\n\
+         \x20 --jitter <time>   network weather: max reordering jitter, e.g. 5ms",
+        AQMS.join("|"),
+        SCENARIOS.join(", ")
     )
 }
 
@@ -406,5 +471,35 @@ mod tests {
     fn audit_flag_parses() {
         let a = parse_args(&args("--audit")).unwrap();
         assert!(a.audit);
+    }
+
+    #[test]
+    fn probabilities_parse_with_percent() {
+        assert_eq!(parse_prob("0.01").unwrap(), 0.01);
+        assert_eq!(parse_prob("1%").unwrap(), 0.01);
+        assert_eq!(parse_prob("0").unwrap(), 0.0);
+        assert_eq!(parse_prob("100%").unwrap(), 1.0);
+        assert!(parse_prob("1.5").is_err());
+        assert!(parse_prob("-0.1").is_err());
+        assert!(parse_prob("often").is_err());
+    }
+
+    #[test]
+    fn weather_knobs_parse_and_default_off() {
+        let d = parse_args(&[]).unwrap();
+        assert!(!d.impaired(), "weather must default off");
+        let a = parse_args(&args("--loss 1% --dup 0.005 --jitter 5ms")).unwrap();
+        assert!(a.impaired());
+        assert_eq!(a.loss, 0.01);
+        assert_eq!(a.dup, 0.005);
+        assert_eq!(a.jitter, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn scenario_flag_validates_name() {
+        let a = parse_args(&args("--scenario dynamics --seed 9")).unwrap();
+        assert_eq!(a.scenario.as_deref(), Some("dynamics"));
+        let e = parse_args(&args("--scenario figure99")).unwrap_err();
+        assert!(e.contains("unknown scenario"));
     }
 }

@@ -23,6 +23,7 @@
 pub mod ablation;
 pub mod appendix_a;
 pub mod dualq;
+pub mod dynamics;
 pub mod fig06;
 pub mod fig11;
 pub mod fig12;

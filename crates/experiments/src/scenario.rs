@@ -2,12 +2,12 @@
 //! set-ups, compiled into `pi2-netsim` simulations.
 
 use pi2_aqm::{
-    Codel, CodelConfig, CoupledPi2, CoupledPi2Config, Pi, Pi2, Pi2Config, PiConfig, Pie,
-    PieConfig, Red, RedConfig,
+    Codel, CodelConfig, CoupledPi2, CoupledPi2Config, DualPi2, DualPi2Config, Pi, Pi2, Pi2Config,
+    PiConfig, Pie, PieConfig, Red, RedConfig,
 };
 use pi2_netsim::{
-    Aqm, Ecn, Monitor, MonitorConfig, PassAqm, PathConf, QueueConfig, Sim, SimConfig, SimMetrics,
-    TraceCounts, UdpCbrSource,
+    Aqm, BottleneckQueue, Ecn, ImpairStats, LinkImpairments, Monitor, MonitorConfig, PassAqm,
+    PathConf, Qdisc, QueueConfig, Sim, SimConfig, SimMetrics, TraceCounts, UdpCbrSource,
 };
 use pi2_simcore::{Duration, Time};
 use pi2_stats::Summary;
@@ -30,10 +30,18 @@ pub enum AqmKind {
     Codel(CodelConfig),
     /// No AQM: tail-drop only.
     TailDrop,
+    /// The two-queue DualQ Coupled AQM (Section 7's recommended
+    /// deployment). A full qdisc rather than a FIFO-attached [`Aqm`]:
+    /// only [`AqmKind::build_qdisc`] can instantiate it.
+    DualQ(DualPi2Config),
 }
 
 impl AqmKind {
-    /// Instantiate the AQM.
+    /// Instantiate the AQM for a FIFO bottleneck.
+    ///
+    /// # Panics
+    /// For [`AqmKind::DualQ`], which owns its own queues and cannot sit
+    /// behind a FIFO — use [`AqmKind::build_qdisc`] instead.
     pub fn build(&self) -> Box<dyn Aqm> {
         match self {
             AqmKind::Pie(cfg) => Box::new(Pie::new(*cfg)),
@@ -43,6 +51,24 @@ impl AqmKind {
             AqmKind::Red(cfg) => Box::new(Red::new(*cfg)),
             AqmKind::Codel(cfg) => Box::new(Codel::new(*cfg)),
             AqmKind::TailDrop => Box::new(PassAqm),
+            AqmKind::DualQ(_) => panic!("DualQ is a full qdisc; use AqmKind::build_qdisc"),
+        }
+    }
+
+    /// Instantiate the complete queueing discipline for `queue`. Single-
+    /// queue AQMs are wrapped in the standard FIFO [`BottleneckQueue`];
+    /// the DualQ carries its own internal queues, taking `queue`'s rate
+    /// and buffer in place of whatever its config was built with (so a
+    /// scenario's `rate_bps` is authoritative for every variant).
+    pub fn build_qdisc(&self, queue: QueueConfig) -> Box<dyn Qdisc> {
+        match self {
+            AqmKind::DualQ(cfg) => {
+                let mut cfg = *cfg;
+                cfg.rate_bps = queue.rate_bps;
+                cfg.buffer_bytes = queue.buffer_bytes;
+                Box::new(DualPi2::new(cfg))
+            }
+            other => Box::new(BottleneckQueue::new(queue, other.build())),
         }
     }
 
@@ -56,6 +82,7 @@ impl AqmKind {
             AqmKind::Red(_) => "red",
             AqmKind::Codel(_) => "codel",
             AqmKind::TailDrop => "taildrop",
+            AqmKind::DualQ(_) => "dualpi2",
         }
     }
 
@@ -72,6 +99,12 @@ impl AqmKind {
     /// The paper-default coupled AQM (k = 2).
     pub fn coupled_default() -> AqmKind {
         AqmKind::Coupled(CoupledPi2Config::default())
+    }
+
+    /// The default DualQ Coupled AQM sized for `rate_bps` (the ramp
+    /// floor scales with the serialization time of two MTUs).
+    pub fn dualq_default(rate_bps: u64) -> AqmKind {
+        AqmKind::DualQ(DualPi2Config::for_link(rate_bps))
     }
 }
 
@@ -162,6 +195,15 @@ pub struct Scenario {
     pub rate_bps: u64,
     /// Scheduled rate changes (Figure 12).
     pub rate_changes: Vec<(Time, u64)>,
+    /// Scheduled base-RTT steps applied to every flow: at each `Time`,
+    /// all paths become the symmetric split of the new `Duration`.
+    /// In-flight packets keep their old delay.
+    pub rtt_changes: Vec<(Time, Duration)>,
+    /// Optional path impairment layer ("network weather"): seeded random
+    /// loss, reordering jitter, and duplication per direction. `None`
+    /// (the default) leaves the path ideal and the simulation byte-for-
+    /// byte identical to a build without the layer.
+    pub impairments: Option<LinkImpairments>,
     /// Physical buffer (Table 1: 40 000 packets).
     pub buffer_bytes: usize,
     /// TCP flow groups.
@@ -185,6 +227,8 @@ impl Scenario {
             aqm,
             rate_bps,
             rate_changes: Vec::new(),
+            rtt_changes: Vec::new(),
+            impairments: None,
             buffer_bytes: 40_000 * 1500,
             tcp: Vec::new(),
             udp: Vec::new(),
@@ -197,12 +241,13 @@ impl Scenario {
 
     /// Execute the scenario.
     pub fn run(&self) -> RunResult {
-        let mut sim = Sim::new(
+        let queue = QueueConfig {
+            rate_bps: self.rate_bps,
+            buffer_bytes: self.buffer_bytes,
+        };
+        let mut sim = Sim::with_qdisc(
             SimConfig {
-                queue: QueueConfig {
-                    rate_bps: self.rate_bps,
-                    buffer_bytes: self.buffer_bytes,
-                },
+                queue,
                 seed: self.seed,
                 monitor: MonitorConfig {
                     sample_interval: self.sample_interval,
@@ -210,8 +255,13 @@ impl Scenario {
                     ..MonitorConfig::default()
                 },
             },
-            self.aqm.build(),
+            self.aqm.build_qdisc(queue),
         );
+        if let Some(imp) = self.impairments {
+            if !imp.is_off() {
+                sim.core.set_impairments(imp);
+            }
+        }
         // Metrics are a pure observer (see `pi2_netsim::metrics`), so
         // enabling them unconditionally cannot change any run's outcome —
         // it just gives every sweep cell a registry snapshot for free.
@@ -228,6 +278,7 @@ impl Scenario {
         sim.core
             .monitor
             .reserve(expected_samples, expected_pkts.min(1 << 21));
+        let mut flow_ids = Vec::new();
         for group in &self.tcp {
             for _ in 0..group.count {
                 let cc = group.cc;
@@ -242,6 +293,7 @@ impl Scenario {
                 if let Some(stop) = group.stop {
                     sim.stop_flow_at(id, stop);
                 }
+                flow_ids.push(id);
             }
         }
         for group in &self.udp {
@@ -257,10 +309,16 @@ impl Scenario {
                 if let Some(stop) = group.stop {
                     sim.stop_flow_at(id, stop);
                 }
+                flow_ids.push(id);
             }
         }
         for &(at, rate) in &self.rate_changes {
             sim.set_rate_at(at, rate);
+        }
+        for &(at, rtt) in &self.rtt_changes {
+            for &id in &flow_ids {
+                sim.set_rtt_at(id, at, rtt);
+            }
         }
         sim.run_until(self.duration);
         RunResult {
@@ -268,6 +326,7 @@ impl Scenario {
             monitor: sim.core.monitor.clone(),
             counters: sim.core.counters.clone(),
             rate_bps: sim.core.queue.rate_bps(),
+            impair: sim.core.impairments().map(|i| i.stats()),
             metrics: sim.core.take_metrics(),
         }
     }
@@ -284,6 +343,9 @@ pub struct RunResult {
     pub counters: TraceCounts,
     /// Final link rate (after any changes).
     pub rate_bps: u64,
+    /// Impairment-layer accounting (offered/lost/duplicated per
+    /// direction); `None` when the scenario ran with an ideal path.
+    pub impair: Option<ImpairStats>,
     /// The run's metrics registry (histograms + counters; see
     /// [`pi2_netsim::metrics`]). `Some` for every [`Scenario::run`];
     /// `None` only for hand-built results.

@@ -36,6 +36,7 @@
 //! and the immediate evidence.
 
 use crate::aqm::AqmState;
+use crate::impair::ImpairStats;
 use crate::trace::{TraceCounts, TraceEvent, TraceSink};
 use pi2_obs::RingBuffer;
 use pi2_simcore::{Duration, Time};
@@ -231,6 +232,49 @@ impl AuditSink {
                     );
                 }
             }
+        }
+    }
+
+    /// Path-conservation cross-check for the impairment layer (see
+    /// [`crate::impair`]): every dequeued packet must have received
+    /// exactly one forward verdict, and each direction's internal
+    /// accounting must balance (`lost + passed = offered`). Called by
+    /// `SimCore::finish_audit` when the layer is attached. The dequeue
+    /// cross-check needs both observers attached from the start of the
+    /// run, so it is skipped for mid-run attaches (non-zero baseline).
+    pub fn check_impairments(&self, stats: &ImpairStats, now: Time) {
+        if stats.fwd_lost + stats.fwd_passed() != stats.fwd_offered {
+            self.violation(
+                now,
+                &format!(
+                    "impairment fwd accounting broken: {} lost + {} passed != {} offered",
+                    stats.fwd_lost,
+                    stats.fwd_passed(),
+                    stats.fwd_offered
+                ),
+            );
+        }
+        if stats.rev_lost + stats.rev_passed() != stats.rev_offered {
+            self.violation(
+                now,
+                &format!(
+                    "impairment rev accounting broken: {} lost + {} passed != {} offered",
+                    stats.rev_lost,
+                    stats.rev_passed(),
+                    stats.rev_offered
+                ),
+            );
+        }
+        let dequeued = self.counts.totals().dequeued;
+        if self.baseline_pkts == 0 && stats.fwd_offered != dequeued {
+            self.violation(
+                now,
+                &format!(
+                    "impairment layer saw {} forward packets but {} were dequeued — \
+                     a packet left the bottleneck without a path verdict",
+                    stats.fwd_offered, dequeued
+                ),
+            );
         }
     }
 }

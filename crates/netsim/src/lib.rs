@@ -16,6 +16,7 @@
 
 pub mod aqm;
 pub mod audit;
+pub mod impair;
 pub mod metrics;
 pub mod monitor;
 pub mod packet;
@@ -26,6 +27,7 @@ pub mod trace;
 
 pub use aqm::{Action, Aqm, AqmState, Decision, PassAqm, QueueSnapshot};
 pub use audit::AuditSink;
+pub use impair::{ImpairState, ImpairStats, ImpairmentConf, LinkImpairments, PathFate};
 pub use metrics::SimMetrics;
 pub use monitor::{FlowAccount, Monitor, MonitorConfig};
 pub use packet::{Ecn, FlowId, Packet};

@@ -74,6 +74,10 @@ pub struct Packet {
     pub sent_at: Time,
     /// True for retransmissions (excluded from goodput accounting).
     pub retransmit: bool,
+    /// True when this copy was injected by the path impairment layer's
+    /// duplication knob ([`crate::impair::LinkImpairments`]); the original
+    /// keeps `false`, so receivers and tests can tell the copies apart.
+    pub path_dup: bool,
 }
 
 impl Packet {
@@ -86,6 +90,7 @@ impl Packet {
             ecn,
             sent_at: now,
             retransmit: false,
+            path_dup: false,
         }
     }
 }
@@ -120,6 +125,7 @@ mod tests {
         let p = Packet::data(FlowId(1), 42, 1500, Ecn::Ect0, Time::from_millis(3));
         assert_eq!(p.seq, 42);
         assert!(!p.retransmit);
+        assert!(!p.path_dup);
         assert_eq!(p.sent_at, Time::from_millis(3));
     }
 }

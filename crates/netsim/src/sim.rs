@@ -19,6 +19,7 @@
 
 use crate::aqm::Action;
 use crate::audit::AuditSink;
+use crate::impair::{ImpairState, LinkImpairments};
 use crate::metrics::SimMetrics;
 use crate::monitor::{Monitor, MonitorConfig};
 use crate::packet::{FlowId, Packet};
@@ -124,6 +125,10 @@ pub enum Event {
     SourceOn(FlowId),
     /// Deactivate a source.
     SourceOff(FlowId),
+    /// Reconfigure a flow's path delays (scheduled RTT-step disturbances).
+    /// Packets and ACKs already in flight keep the delay they departed
+    /// with; only subsequent departures see the new path.
+    SetPath(FlowId, PathConf),
 }
 
 /// The shared simulation state handed to sources.
@@ -142,6 +147,7 @@ pub struct SimCore {
     sinks: Vec<Box<dyn TraceSink>>,
     audit: Option<Box<AuditSink>>,
     metrics: Option<Box<SimMetrics>>,
+    impair: Option<Box<ImpairState>>,
     paths: Vec<PathConf>,
     transmitting: bool,
     timer_seq: u64,
@@ -158,6 +164,7 @@ impl SimCore {
             sinks: Vec::new(),
             audit: None,
             metrics: None,
+            impair: None,
             paths: Vec::new(),
             transmitting: false,
             timer_seq: 0,
@@ -238,13 +245,32 @@ impl SimCore {
         self.metrics.as_deref()
     }
 
+    /// Attach the path impairment layer (see [`crate::impair`]). The
+    /// layer owns its own RNG stream seeded from `conf.seed`, so an
+    /// all-zero configuration leaves the run bit-identical to having no
+    /// layer at all, and a non-zero one perturbs only the post-bottleneck
+    /// path, never the AQM's random decisions.
+    pub fn set_impairments(&mut self, conf: LinkImpairments) {
+        self.impair = Some(Box::new(ImpairState::new(conf)));
+    }
+
+    /// The attached impairment layer, if any.
+    pub fn impairments(&self) -> Option<&ImpairState> {
+        self.impair.as_deref()
+    }
+
     /// End-of-run audit: verify packet conservation against the qdisc's
-    /// current occupancy. No-op when auditing is off. [`Sim::run_until`]
-    /// calls this after the event loop; explicit callers stepping the sim
-    /// by hand can invoke it at any event boundary.
+    /// current occupancy, and — when the impairment layer is attached —
+    /// cross-check its per-direction accounting against the dequeue
+    /// stream. No-op when auditing is off. [`Sim::run_until`] calls this
+    /// after the event loop; explicit callers stepping the sim by hand
+    /// can invoke it at any event boundary.
     pub fn finish_audit(&self) {
         if let Some(a) = &self.audit {
             a.check_conservation(self.queue.len_pkts(), self.now());
+            if let Some(imp) = &self.impair {
+                a.check_impairments(&imp.stats(), self.now());
+            }
         }
     }
 
@@ -273,6 +299,12 @@ impl SimCore {
     /// Path configuration of a registered flow.
     pub fn path(&self, flow: FlowId) -> PathConf {
         self.paths[flow.idx()]
+    }
+
+    /// Replace a flow's path delays (the handler behind
+    /// [`Event::SetPath`]). In-flight packets keep their old delay.
+    pub fn set_path(&mut self, flow: FlowId, path: PathConf) {
+        self.paths[flow.idx()] = path;
     }
 
     /// Number of registered flows.
@@ -354,11 +386,23 @@ impl SimCore {
         }
     }
 
-    /// Send an ACK back to the flow's sender over the reverse path.
+    /// Send an ACK back to the flow's sender over the reverse path. With
+    /// the impairment layer attached the ACK may be lost, jittered (and
+    /// thus reordered against its neighbours), or duplicated.
     pub fn send_ack(&mut self, ack: Ack) {
         let rev = self.paths[ack.flow.idx()].rev;
         let at = self.now() + rev;
-        self.events.push(at, Event::AckArrive(ack));
+        let Some(imp) = &mut self.impair else {
+            self.events.push(at, Event::AckArrive(ack));
+            return;
+        };
+        let fate = imp.reverse();
+        if let Some(extra) = fate.delay {
+            self.events.push(at + extra, Event::AckArrive(ack));
+        }
+        if let Some(extra) = fate.dup_delay {
+            self.events.push(at + extra, Event::AckArrive(ack));
+        }
     }
 
     /// Arm a timer for `flow`; returns the arming id. A source should keep
@@ -415,7 +459,23 @@ impl SimCore {
         }
         self.start_transmission();
         let fwd = self.paths[pkt.flow.idx()].fwd;
-        self.events.push(now + fwd, Event::Deliver(pkt));
+        let Some(imp) = &mut self.impair else {
+            self.events.push(now + fwd, Event::Deliver(pkt));
+            return;
+        };
+        // Impairments act past the bottleneck: the AQM verdict, the queue
+        // accounting and the trace stream above are already final, so the
+        // audit's enqueue/dequeue conservation is untouched — a lost
+        // packet here is invisible to everyone but the endpoints.
+        let fate = imp.forward();
+        if let Some(extra) = fate.delay {
+            if let Some(dup_extra) = fate.dup_delay {
+                let mut copy = pkt.clone();
+                copy.path_dup = true;
+                self.events.push(now + fwd + dup_extra, Event::Deliver(copy));
+            }
+            self.events.push(now + fwd + extra, Event::Deliver(pkt));
+        }
     }
 }
 
@@ -469,7 +529,7 @@ impl Default for SimConfig {
 
 /// Display names of the event classes the self-profiler attributes time
 /// to, indexed by [`event_class`]. One entry per [`Event`] variant.
-pub const EVENT_CLASSES: [&str; 9] = [
+pub const EVENT_CLASSES: [&str; 10] = [
     "dequeue",
     "deliver",
     "ack",
@@ -479,6 +539,7 @@ pub const EVENT_CLASSES: [&str; 9] = [
     "set_link_rate",
     "source_on",
     "source_off",
+    "set_path",
 ];
 
 /// The profiler class index of an event (an index into
@@ -494,6 +555,7 @@ pub fn event_class(ev: &Event) -> usize {
         Event::SetLinkRate(_) => 6,
         Event::SourceOn(_) => 7,
         Event::SourceOff(_) => 8,
+        Event::SetPath(..) => 9,
     }
 }
 
@@ -592,9 +654,30 @@ impl Sim {
         self.core.events.push(at, Event::SourceOff(flow));
     }
 
+    /// Schedule an already-registered flow to (re)start at `at` — with
+    /// [`Self::stop_flow_at`], the building block for scripted flow churn.
+    pub fn start_flow_at(&mut self, flow: FlowId, at: Time) {
+        self.core.events.push(at, Event::SourceOn(flow));
+    }
+
     /// Schedule a bottleneck rate change at `at`.
     pub fn set_rate_at(&mut self, at: Time, rate_bps: u64) {
         self.core.events.push(at, Event::SetLinkRate(rate_bps));
+    }
+
+    /// Schedule an RTT step for one flow: from `at`, its path becomes the
+    /// symmetric split of `rtt`. In-flight packets keep their old delay.
+    pub fn set_rtt_at(&mut self, flow: FlowId, at: Time, rtt: Duration) {
+        self.core
+            .events
+            .push(at, Event::SetPath(flow, PathConf::symmetric(rtt)));
+    }
+
+    /// Schedule an arbitrary disturbance event (rate steps, RTT steps,
+    /// flow churn) — the generic form of the helpers above, forwarding to
+    /// [`SimCore::schedule`].
+    pub fn schedule(&mut self, at: Time, event: Event) {
+        self.core.schedule(at, event);
     }
 
     /// Run until the clock reaches `end` (events at exactly `end`
@@ -673,6 +756,9 @@ impl Sim {
             }
             Event::SourceOff(flow) => {
                 self.sources[flow.idx()].on_stop(&mut self.core);
+            }
+            Event::SetPath(flow, path) => {
+                self.core.set_path(flow, path);
             }
         }
         if let Some(p) = &mut self.profiler {

@@ -5,8 +5,9 @@
 #![cfg(feature = "proptests")]
 
 use pi2_netsim::{
-    Action, Aqm, BottleneckQueue, Decision, Ecn, FlowId, Packet, PassAqm, QueueConfig,
-    QueueSnapshot,
+    Action, Aqm, AuditSink, BottleneckQueue, Decision, Ecn, FlowId, ImpairStats, ImpairmentConf,
+    LinkImpairments, MonitorConfig, Packet, PassAqm, PathConf, QueueConfig, QueueSnapshot, Sim,
+    SimConfig, UdpCbrSource,
 };
 use pi2_simcore::{Duration, Rng, Time};
 use proptest::prelude::*;
@@ -159,6 +160,140 @@ proptest! {
             } else {
                 prop_assert_eq!(pkt.ecn, Ecn::NotEct);
             }
+        }
+    }
+}
+
+/// Arbitrary per-direction impairments spanning loss, duplication and
+/// reordering jitter (up to 8 ms ≫ the test link's packet spacing).
+fn arb_impair() -> impl Strategy<Value = ImpairmentConf> {
+    (0.0f64..0.3, 0.0f64..0.2, 0i64..8).prop_map(|(loss, dup, jitter_ms)| ImpairmentConf {
+        loss,
+        dup,
+        jitter: Duration::from_millis(jitter_ms),
+    })
+}
+
+/// Everything observable about a short UDP run, minus the weather
+/// layer's own accounting.
+type RunDigest = (
+    Vec<(u64, u64, u64, u64, u64)>, // per-flow deq pkts/bytes, marked, dropped, delivered
+    usize,                          // sojourn sample count
+    (u64, u64, u64, u64),           // counting-sink totals
+    Vec<(f64, f64)>,                // queue-delay series
+);
+
+/// Run a 2 s, 2-flow CBR dumbbell with the invariant auditor attached
+/// (it panics on any conservation violation) and an optional weather
+/// layer. CBR sources keep the bottleneck saturated so drops, marks and
+/// the impairment paths all see traffic.
+fn run_weather_sim(imp: Option<LinkImpairments>, seed: u64) -> (RunDigest, Option<ImpairStats>) {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 2_000_000,
+                buffer_bytes: 30_000,
+            },
+            seed,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(PassAqm),
+    );
+    sim.core.enable_audit(AuditSink::new(seed));
+    if let Some(i) = imp {
+        sim.core.set_impairments(i);
+    }
+    for _ in 0..2 {
+        sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(20)),
+            "udp",
+            Time::ZERO,
+            |id| Box::new(UdpCbrSource::new(id, 1_500_000, 1000, Ecn::NotEct)),
+        );
+    }
+    sim.run_until(Time::from_secs(2));
+    let t = sim.core.counters.totals();
+    let digest = (
+        sim.core
+            .monitor
+            .flows
+            .iter()
+            .map(|f| {
+                (
+                    f.dequeued_pkts,
+                    f.dequeued_bytes,
+                    f.marked,
+                    f.dropped,
+                    f.delivered_pkts,
+                )
+            })
+            .collect(),
+        sim.core.monitor.sojourn_ms.len(),
+        (t.enqueued, t.marked, t.dropped, t.dequeued),
+        sim.core.monitor.qdelay_series.clone(),
+    );
+    (digest, sim.core.impairments().map(|i| i.stats()))
+}
+
+proptest! {
+    /// The same weather seed gives a bit-identical impaired run —
+    /// including its loss/duplication accounting.
+    #[test]
+    fn same_weather_seed_is_bit_identical(
+        conf in arb_impair(),
+        seed in any::<u64>(),
+        wseed in any::<u64>(),
+    ) {
+        let imp = LinkImpairments::new(wseed).symmetric(conf);
+        prop_assert_eq!(
+            run_weather_sim(Some(imp), seed),
+            run_weather_sim(Some(imp), seed)
+        );
+    }
+
+    /// An attached all-zero weather layer is exact identity: every
+    /// observable matches the run with no layer at all (the layer's
+    /// accounting still counts offered packets, but loses and
+    /// duplicates none).
+    #[test]
+    fn zero_rate_weather_is_exact_identity(seed in any::<u64>(), wseed in any::<u64>()) {
+        let off = LinkImpairments::new(wseed);
+        let (with_layer, stats) = run_weather_sim(Some(off), seed);
+        let (without, none) = run_weather_sim(None, seed);
+        prop_assert_eq!(with_layer, without);
+        prop_assert!(none.is_none());
+        let s = stats.expect("layer was attached");
+        prop_assert_eq!((s.fwd_lost, s.fwd_dup, s.rev_lost, s.rev_dup), (0, 0, 0, 0));
+        prop_assert!(s.fwd_offered > 0, "traffic flowed through the layer");
+    }
+
+    /// Conservation under loss + reordering + duplication, with the
+    /// auditor attached (it panics the run on any enqueue/dequeue or
+    /// impairment-accounting violation): the layer's books balance, its
+    /// offered count equals the bottleneck's dequeues, and deliveries
+    /// never exceed survivors + duplicates (stragglers may still be in
+    /// flight when the clock stops).
+    #[test]
+    fn conservation_holds_under_weather(
+        conf in arb_impair(),
+        seed in any::<u64>(),
+        wseed in any::<u64>(),
+    ) {
+        let imp = LinkImpairments::new(wseed).symmetric(conf);
+        let (digest, stats) = run_weather_sim(Some(imp), seed);
+        let s = stats.expect("layer was attached");
+        prop_assert_eq!(s.fwd_lost + s.fwd_passed(), s.fwd_offered);
+        prop_assert_eq!(s.rev_lost + s.rev_passed(), s.rev_offered);
+        let (flows, _, totals, _) = digest;
+        prop_assert_eq!(s.fwd_offered, totals.3, "offered == dequeued");
+        let delivered: u64 = flows.iter().map(|f| f.4).sum();
+        prop_assert!(
+            delivered <= s.fwd_passed() + s.fwd_dup,
+            "delivered {} > passed {} + dup {}",
+            delivered, s.fwd_passed(), s.fwd_dup
+        );
+        if conf.loss < 0.3 {
+            prop_assert!(delivered > 0, "a sub-30% loss link still delivers");
         }
     }
 }

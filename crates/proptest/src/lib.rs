@@ -11,7 +11,7 @@
 //! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`], [`prop_oneof!`];
 //! - [`strategy::Strategy`] implemented for numeric `Range`s, tuples of
 //!   strategies, [`strategy::Just`], [`prelude::any`] and
-//!   `prop::collection::vec`;
+//!   `prop::collection::vec`, plus the `prop_map` combinator;
 //! - a deterministic runner with `PROPTEST_CASES` / `PROPTEST_RNG_SEED`
 //!   environment overrides and failure-seed persistence to the standard
 //!   `tests/<file>.proptest-regressions` location (real-proptest entries

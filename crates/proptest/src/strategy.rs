@@ -14,6 +14,29 @@ pub trait Strategy {
     /// Produce one value. Must be a pure function of the RNG stream so a
     /// persisted case seed replays the identical inputs.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a pure function, mirroring the
+    /// real crate's combinator of the same name.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 /// A strategy that always yields a clone of one value.

@@ -11,6 +11,6 @@ pub mod summary;
 pub mod table;
 
 pub use cdf::Cdf;
-pub use series::{excursions_above, peak_in, settling_time, time_above};
+pub use series::{excursions_above, peak_in, settle_time, settling_time, time_above};
 pub use summary::{jain_fairness, mean, percentile, stddev, variance, variance_from_moments, Summary};
 pub use table::{format_csv, format_table, Align};

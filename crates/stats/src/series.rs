@@ -17,11 +17,21 @@ pub fn peak_in(series: &[(f64, f64)], from: f64, to: f64) -> Option<(f64, f64)> 
         })
 }
 
-/// First time at or after `from` from which the series stays within
-/// `target ± band` for at least `hold` seconds (or to the end of data,
-/// if the data ends while still inside the band and at least one sample
-/// was seen). `None` if it never settles.
-pub fn settling_time(
+/// Settling time after a disturbance at `from`: the delay until the
+/// series enters `target ± band` and stays there for at least `hold`
+/// seconds. Returns `None` if it never settles (including an empty
+/// series, or one with no samples at or after `from`).
+///
+/// Edge semantics, pinned by tests:
+/// * a value exactly on the band edge (`|v − target| == band`) is
+///   *inside* — the band is closed;
+/// * `from` may be `0.0` (disturbance at the origin) or any sample
+///   time; samples strictly before `from` are ignored;
+/// * if the data ends while still inside the band, the partial hold is
+///   accepted as long as more than one in-band sample was seen — a
+///   series is never penalised for being truncated mid-settle, but a
+///   lone final in-band sample proves nothing and yields `None`.
+pub fn settle_time(
     series: &[(f64, f64)],
     from: f64,
     target: f64,
@@ -43,6 +53,18 @@ pub fn settling_time(
     }
     // Ran out of data while inside the band: accept if we held to the end.
     candidate.filter(|&start| last_t > start).map(|s| s - from)
+}
+
+/// Alias for [`settle_time`], kept for callers written against the
+/// original name.
+pub fn settling_time(
+    series: &[(f64, f64)],
+    from: f64,
+    target: f64,
+    band: f64,
+    hold: f64,
+) -> Option<f64> {
+    settle_time(series, from, target, band, hold)
 }
 
 /// Total time the series spends above `threshold` in `[from, to)`,
@@ -126,6 +148,68 @@ mod tests {
         assert!(settling_time(&s, 10.0, 20.0, 0.1, 5.0).is_some());
         // An impossible target never settles.
         assert!(settling_time(&s, 10.0, 500.0, 1.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn settle_time_handles_disturbance_at_origin() {
+        // Flat series already in band from t=0: settles immediately.
+        let s: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 20.0)).collect();
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), Some(0.0));
+        // Step at t=0 decaying into band at t=5: settle measured from 0.
+        let s: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let t = i as f64;
+                (t, if t < 5.0 { 100.0 } else { 20.0 })
+            })
+            .collect();
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), Some(5.0));
+    }
+
+    #[test]
+    fn settle_time_on_empty_or_exhausted_series() {
+        assert_eq!(settle_time(&[], 0.0, 20.0, 5.0, 5.0), None);
+        // No samples at or after `from`.
+        let s = vec![(0.0, 20.0), (1.0, 20.0)];
+        assert_eq!(settle_time(&s, 10.0, 20.0, 5.0, 5.0), None);
+    }
+
+    #[test]
+    fn settle_time_never_settles() {
+        // Oscillates in and out of band every sample: hold never builds.
+        let s: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64, if i % 2 == 0 { 20.0 } else { 100.0 }))
+            .collect();
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), None);
+        // Ends out of band: the tail acceptance must not fire.
+        let s: Vec<(f64, f64)> = (0..10)
+            .map(|i| (i as f64, if i < 9 { 20.0 } else { 100.0 }))
+            .collect();
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 20.0), None);
+        // A lone final in-band sample proves nothing.
+        let s = vec![(0.0, 100.0), (1.0, 100.0), (2.0, 20.0)];
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), None);
+    }
+
+    #[test]
+    fn settle_time_band_exactly_touched() {
+        // Every sample sits exactly on the band edge: closed band, so the
+        // series counts as inside and settles at once.
+        let s: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 25.0)).collect();
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), Some(0.0));
+        // One ulp outside stays outside.
+        let s: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64, 25.0 + f64::EPSILON * 64.0))
+            .collect();
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), None);
+    }
+
+    #[test]
+    fn settling_time_alias_matches() {
+        let s = series();
+        assert_eq!(
+            settling_time(&s, 10.0, 20.0, 5.0, 5.0),
+            settle_time(&s, 10.0, 20.0, 5.0, 5.0)
+        );
     }
 
     #[test]

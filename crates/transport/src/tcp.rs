@@ -293,15 +293,31 @@ impl TcpSource {
         }
     }
 
-    /// Mark every unsacked sequence below the highest SACKed one as lost.
-    /// Sound on this simulator's FIFO path (no reordering): data above a
-    /// hole can only have arrived if the hole was dropped.
+    /// Mark unsacked sequences as lost per the RFC 6675 `IsLost` rule: a
+    /// hole counts as lost only once `DUP_THRESH` SACKed segments lie
+    /// above it. On an in-order path this converges to "every hole below
+    /// the highest SACK" within two more ACKs; under path reordering
+    /// (the impairment layer's jitter knob) it keeps segments that are
+    /// merely late — fewer than `DUP_THRESH` deep — from being
+    /// retransmitted spuriously.
     fn mark_lost_holes(&mut self) {
-        let Some(high) = self.sacked.max() else {
+        const DUP_THRESH: u64 = 3;
+        // The DUP_THRESH-th-highest SACKed sequence: exactly the holes
+        // strictly below it have >= DUP_THRESH SACKed segments above.
+        let mut need = DUP_THRESH;
+        let mut cutoff = None;
+        for &(s, e) in self.sacked.ranges().iter().rev() {
+            if e - s >= need {
+                cutoff = Some(e - need);
+                break;
+            }
+            need -= e - s;
+        }
+        let Some(cutoff) = cutoff else {
             return;
         };
         let mut seq = self.snd_una;
-        while seq < high {
+        while seq < cutoff {
             if let Some((_, e)) = self.sacked.find(seq) {
                 seq = e;
             } else {
@@ -496,10 +512,15 @@ impl Source for TcpSource {
         let now = core.now();
         let gate_before = self.cong_gate;
         // Mark/receive deltas from the receiver's cumulative counters.
+        // The watermarks must only move forward: a reordered (stale) ACK
+        // carries older totals, and assigning them directly would roll the
+        // watermark back so the next fresh ACK re-counts marks the CC
+        // already saw (inflating DCTCP's α). The saturating_sub already
+        // yields 0 deltas for stale ACKs.
         let marked = ack.ce_total.saturating_sub(self.seen_ce_total);
         let received = ack.pkts_total.saturating_sub(self.seen_pkts_total);
-        self.seen_ce_total = ack.ce_total;
-        self.seen_pkts_total = ack.pkts_total;
+        self.seen_ce_total = self.seen_ce_total.max(ack.ce_total);
+        self.seen_pkts_total = self.seen_pkts_total.max(ack.pkts_total);
 
         if !ack.echo_rtx {
             self.sample_rtt(now.saturating_since(ack.echo_ts));
@@ -1150,5 +1171,165 @@ mod tests {
         let tb = sim.core.monitor.flow(b).dequeued_bytes as f64;
         let ratio = ta.max(tb) / ta.min(tb);
         assert!(ratio < 1.6, "same-CC same-RTT flows diverged: ratio {ratio:.2}");
+    }
+
+    // --- edge cases the impairment layer exposes: reordered, duplicated
+    // --- and lost ACKs, and the Karn/watermark rules that absorb them.
+
+    /// A sender driven by hand-crafted ACKs: the flow is registered with
+    /// the core (for path lookup and event sinks) but the sim is never
+    /// stepped, so the test controls exactly which ACKs arrive in which
+    /// order.
+    fn bench_sender(cc: CcKind) -> (Sim, TcpSource) {
+        let mut sim = sim_with(10_000_000, usize::MAX, Box::new(PassAqm));
+        let id = sim
+            .core
+            .register_flow(PathConf::symmetric(Duration::from_millis(40)), "crafted");
+        let mut src = TcpSource::new(id, cc, EcnSetting::Scalable, TcpConfig::default());
+        src.on_start(&mut sim.core);
+        (sim, src)
+    }
+
+    fn ack(cum_seq: u64, ce_total: u64, pkts_total: u64, echo_rtx: bool) -> Ack {
+        Ack {
+            flow: FlowId(0),
+            cum_seq,
+            ece: false,
+            ce_total,
+            pkts_total,
+            echo_ts: Time::ZERO,
+            echo_rtx,
+            sack: Ack::NO_SACK,
+        }
+    }
+
+    /// Karn's algorithm: an ACK echoing a retransmitted segment must not
+    /// feed the RTT estimator (the echo is ambiguous — it may answer
+    /// either transmission).
+    #[test]
+    fn karn_excludes_retransmit_echoes_from_rtt() {
+        let (mut sim, mut src) = bench_sender(CcKind::Reno);
+        src.on_ack(ack(1, 0, 1, true), &mut sim.core);
+        assert!(src.srtt().is_none(), "retransmit echo produced an RTT sample");
+        src.on_ack(ack(2, 0, 2, false), &mut sim.core);
+        assert!(src.srtt().is_some(), "clean echo must be sampled");
+    }
+
+    /// A reordered (stale) ACK carries older cumulative counters; it must
+    /// not roll the sender's watermarks back, or the next fresh ACK would
+    /// re-count marks the congestion control already consumed.
+    #[test]
+    fn stale_ack_does_not_roll_back_mark_watermarks() {
+        let (mut sim, mut src) = bench_sender(CcKind::Dctcp);
+        src.on_ack(ack(5, 10, 20, false), &mut sim.core);
+        assert_eq!((src.seen_ce_total, src.seen_pkts_total), (10, 20));
+        // A stale ACK from before the previous one: older cum_seq, older
+        // totals. Watermarks must hold.
+        src.on_ack(ack(3, 4, 8, false), &mut sim.core);
+        assert_eq!(
+            (src.seen_ce_total, src.seen_pkts_total),
+            (10, 20),
+            "stale ACK rolled the watermarks back"
+        );
+        // The next fresh ACK advances by exactly its own contribution.
+        src.on_ack(ack(6, 11, 22, false), &mut sim.core);
+        assert_eq!((src.seen_ce_total, src.seen_pkts_total), (11, 22));
+    }
+
+    /// The RFC 6675 IsLost rule: a hole is lost only once DUP_THRESH (3)
+    /// SACKed segments lie above it; shallower holes are presumed
+    /// reordered, not lost.
+    #[test]
+    fn mark_lost_holes_respects_dup_thresh() {
+        let mut src = TcpSource::new(
+            FlowId(0),
+            CcKind::Reno,
+            EcnSetting::NotEcn,
+            TcpConfig::default(),
+        );
+        src.snd_nxt = 10;
+        // Two SACKed segments above the hole at 0: below threshold.
+        src.sacked.insert_range(1, 3);
+        src.mark_lost_holes();
+        assert!(src.lost.is_empty(), "2 SACKed segments must not mark a loss");
+        // A third SACKed segment crosses the threshold for seq 0 only.
+        src.sacked.insert_range(3, 4);
+        src.mark_lost_holes();
+        assert_eq!(src.lost.iter().copied().collect::<Vec<_>>(), vec![0]);
+        // Split scoreboard: {2..4, 6..8} puts 4 SACKed segments above the
+        // low holes but only 2 above the hole at 4..6, which stays unlost.
+        src.lost.clear();
+        src.sacked = RangeSet::new();
+        src.sacked.insert_range(2, 4);
+        src.sacked.insert_range(6, 8);
+        src.mark_lost_holes();
+        assert_eq!(
+            src.lost.iter().copied().collect::<Vec<_>>(),
+            vec![0, 1],
+            "only holes with >= 3 SACKed segments above are lost"
+        );
+    }
+
+    /// SACK loss recovery must deliver exactly-once even when the reverse
+    /// path duplicates and reorders the ACK stream (weather-layer jitter
+    /// and duplication on a lossy bottleneck).
+    #[test]
+    fn sack_recovery_survives_reordered_and_duplicated_acks() {
+        use pi2_netsim::{ImpairmentConf, LinkImpairments};
+        let mut sim = sim_with(10_000_000, 30_000, Box::new(PassAqm));
+        sim.core.set_impairments(LinkImpairments::new(0xACED).reverse(ImpairmentConf {
+            loss: 0.0,
+            dup: 0.05,
+            jitter: Duration::from_millis(3),
+        }));
+        let id = sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(40)),
+            "f",
+            Time::ZERO,
+            |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    CcKind::Reno,
+                    EcnSetting::NotEcn,
+                    TcpConfig {
+                        data_limit: Some(2000),
+                        ..TcpConfig::default()
+                    },
+                ))
+            },
+        );
+        sim.run_until(Time::from_secs(60));
+        let acc = sim.core.monitor.flow(id);
+        let s = sim.core.impairments().expect("weather attached").stats();
+        assert!(s.rev_dup > 0, "duplication never fired: {s:?}");
+        assert!(acc.dropped > 0, "30 kB buffer must overflow");
+        assert_eq!(acc.delivered_pkts, 2000, "exactly-once delivery broken");
+        assert_eq!(sim.core.monitor.completions.len(), 1);
+    }
+
+    /// DCTCP's α derives from cumulative receiver counters, so losing a
+    /// fifth of the ACK stream must neither lose marks nor stall the flow.
+    #[test]
+    fn dctcp_alpha_survives_ack_loss() {
+        use pi2_netsim::{ImpairmentConf, LinkImpairments};
+        let mut sim = sim_with(10_000_000, usize::MAX, Box::new(MarkAll));
+        sim.core.set_impairments(LinkImpairments::new(0xD07).reverse(ImpairmentConf {
+            loss: 0.2,
+            dup: 0.0,
+            jitter: Duration::ZERO,
+        }));
+        let id = add_tcp(&mut sim, CcKind::Dctcp, EcnSetting::Scalable, 40, "dctcp");
+        sim.run_until(Time::from_secs(10));
+        let acc = sim.core.monitor.flow(id);
+        let s = sim.core.impairments().expect("weather attached").stats();
+        assert!(s.rev_lost > 0, "ACK loss never fired: {s:?}");
+        assert!(acc.marked > 0);
+        // Under full marking a healthy DCTCP still delivers; a double-
+        // counting α would collapse cwnd to the floor and starve the flow.
+        assert!(
+            acc.dequeued_pkts > 100,
+            "flow starved under ACK loss: {} pkts",
+            acc.dequeued_pkts
+        );
     }
 }

@@ -84,6 +84,32 @@ PI2_SECS=2 PI2_THREADS=4 cargo run -q -p pi2-bench --release --bin grid_all > /t
 diff /tmp/pi2_grid_serial.txt /tmp/pi2_grid_par.txt
 rm -f /tmp/pi2_grid_serial.txt /tmp/pi2_grid_par.txt
 
+echo "== dynamics scenario smoke: step-response table, weather determinism"
+# The full {rate-step, flow-churn} x {PIE, PI2, DualPI2} family under a
+# seeded weather layer (1% loss, 2 ms reordering jitter). The impaired
+# sweep must be bit-identical — table and JSONL trace — for any
+# PI2_THREADS, like every other sweep.
+dyn_dir="$(mktemp -d -t pi2_dynamics_smoke.XXXXXX)"
+trap 'rm -rf "$smoke_out" "$trace_out" "$trace_log" "$metrics_json" "$metrics_prom" "$profile_log" "$dyn_dir"' EXIT
+for t in 1 2 4; do
+    # The "trace written to <path>" confirmation embeds the per-thread
+    # path; drop it so the table diff compares only scenario output.
+    PI2_THREADS="$t" cargo run -q -p pi2-bench --release --bin pi2sim -- \
+        --scenario dynamics --seed 4 --loss 1% --jitter 2ms \
+        --trace-out "$dyn_dir/trace_$t.jsonl" \
+        | grep -v '^dynamics trace:' > "$dyn_dir/table_$t.txt"
+done
+grep -q 'disturbance' "$dyn_dir/table_1.txt"
+grep -q 'rate-step' "$dyn_dir/table_1.txt"
+grep -q 'lost' "$dyn_dir/table_1.txt"           # weather column populated
+grep -q '"scenario":"dynamics"' "$dyn_dir/trace_1.jsonl"
+test "$(wc -l < "$dyn_dir/trace_1.jsonl")" -eq 6  # 2 disturbances x 3 AQMs
+diff "$dyn_dir/table_1.txt" "$dyn_dir/table_2.txt"
+diff "$dyn_dir/table_1.txt" "$dyn_dir/table_4.txt"
+diff "$dyn_dir/trace_1.jsonl" "$dyn_dir/trace_2.jsonl"
+diff "$dyn_dir/trace_1.jsonl" "$dyn_dir/trace_4.jsonl"
+rm -rf "$dyn_dir"
+
 echo "== differential validation: packet sim vs fluid model (6 configs)"
 # Gates CI: validate_grid exits non-zero if any metric leaves its
 # documented tolerance band (see crates/validate/src/differential.rs).

@@ -1,41 +1,60 @@
 #!/usr/bin/env bash
-# Re-bless the golden trace after an INTENTIONAL behavior change.
+# Re-bless the golden traces after an INTENTIONAL behavior change.
 #
-# The golden test (`tests/trace_streaming.rs::golden_trace_for_small_scenario`)
-# pins a tiny seeded scenario's JSONL trace byte for byte. When a change
-# legitimately moves the trace (new event field, AQM retune), run this
-# script: it saves the old golden, regenerates under PI2_BLESS=1, prints
-# the diff for review, and refuses to commit anything itself — inspect
-# the diff, then `git add` the new golden deliberately.
+# The golden tests (`tests/trace_streaming.rs::golden_trace_for_small_scenario`
+# and `::golden_trace_for_impaired_scenario`) pin a tiny seeded scenario's
+# JSONL trace byte for byte — once on a clean path and once under the
+# seeded fault-injection weather layer. When a change legitimately moves a
+# trace (new event field, AQM retune, impairment draw-order change), run
+# this script: it saves the old goldens, regenerates under PI2_BLESS=1,
+# prints the diffs for review, and refuses to commit anything itself —
+# inspect the diffs, then `git add` the new goldens deliberately.
 #
 # Usage: scripts/refresh_golden.sh   (from anywhere; cd's to the repo root)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-golden="tests/golden/trace_small.jsonl"
-if [[ ! -f "$golden" ]]; then
-    echo "refresh_golden: no $golden yet; creating it fresh" >&2
-    PI2_BLESS=1 cargo test -q --test trace_streaming golden
-    echo "refresh_golden: wrote $(wc -l < "$golden") lines to $golden"
-    exit 0
-fi
+goldens=(
+    tests/golden/trace_small.jsonl
+    tests/golden/trace_small_impaired.jsonl
+)
 
-old="$(mktemp -t pi2_golden_old.XXXXXX.jsonl)"
-trap 'rm -f "$old"' EXIT
-cp "$golden" "$old"
+tmpdir="$(mktemp -d -t pi2_golden_old.XXXXXX)"
+trap 'rm -rf "$tmpdir"' EXIT
+fresh=()
+for golden in "${goldens[@]}"; do
+    if [[ -f "$golden" ]]; then
+        cp "$golden" "$tmpdir/$(basename "$golden")"
+    else
+        echo "refresh_golden: no $golden yet; creating it fresh" >&2
+        fresh+=("$golden")
+    fi
+done
 
 PI2_BLESS=1 cargo test -q --test trace_streaming golden
 
-if diff -q "$old" "$golden" > /dev/null; then
-    echo "refresh_golden: golden unchanged ($(wc -l < "$golden") lines)"
-    exit 0
-fi
+changed=0
+for golden in "${goldens[@]}"; do
+    old="$tmpdir/$(basename "$golden")"
+    if [[ ! -f "$old" ]]; then
+        echo "refresh_golden: wrote $(wc -l < "$golden") lines to $golden (new)"
+        continue
+    fi
+    if diff -q "$old" "$golden" > /dev/null; then
+        echo "refresh_golden: $golden unchanged ($(wc -l < "$golden") lines)"
+        continue
+    fi
+    changed=1
+    echo "refresh_golden: $golden CHANGED — review before committing:"
+    echo "--------------------------------------------------------------"
+    diff -u "$old" "$golden" | head -80 || true
+    n_changed=$(diff "$old" "$golden" | grep -c '^[<>]' || true)
+    echo "--------------------------------------------------------------"
+    echo "refresh_golden: $n_changed changed lines (diff truncated at 80)"
+done
 
-echo "refresh_golden: golden CHANGED — review before committing:"
-echo "--------------------------------------------------------------"
-diff -u "$old" "$golden" | head -80 || true
-n_changed=$(diff "$old" "$golden" | grep -c '^[<>]' || true)
-echo "--------------------------------------------------------------"
-echo "refresh_golden: $n_changed changed lines (diff truncated at 80);"
-echo "if this matches the intended behavior change: git add $golden"
+if [[ "$changed" = 1 ]]; then
+    echo "refresh_golden: if this matches the intended behavior change:"
+    echo "  git add ${goldens[*]}"
+fi

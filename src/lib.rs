@@ -58,8 +58,8 @@ pub mod prelude {
         CoupledPi2, CoupledPi2Config, Pi, Pi2, Pi2Config, PiConfig, Pie, PieConfig, Red, RedConfig,
     };
     pub use pi2_netsim::{
-        Action, Aqm, Decision, Ecn, FlowId, MonitorConfig, Packet, PassAqm, PathConf, QueueConfig,
-        Sim, SimConfig, SimCore, Source, UdpCbrSource,
+        Action, Aqm, Decision, Ecn, FlowId, ImpairmentConf, LinkImpairments, MonitorConfig,
+        Packet, PassAqm, PathConf, QueueConfig, Sim, SimConfig, SimCore, Source, UdpCbrSource,
     };
     pub use pi2_simcore::{Duration, Rng, Time};
     pub use pi2_transport::{CcKind, EcnSetting, TcpConfig, TcpSource};

@@ -1,0 +1,127 @@
+//! Packet-level step-response dynamics (paper §5): after a disturbance,
+//! the PI2 controller must bring queue delay back into the target band,
+//! and no slower than PIE — including when the path itself is degraded
+//! by the fault-injection "network weather" layer.
+
+use pi2::experiments::dynamics::{
+    run_one, Disturbance, BAND_MS, HOLD_S, STEP_DOWN_S, STEP_UP_S, TARGET_MS,
+};
+use pi2::experiments::scenario::{AqmKind, FlowGroup, Scenario};
+use pi2::prelude::*;
+use pi2::transport::{CcKind, EcnSetting};
+
+/// After the 4× link-rate drop (40 → 10 Mb/s), PI2's queue delay spikes
+/// out of band and then re-settles into target ± tolerance.
+#[test]
+fn pi2_resettles_into_target_band_after_capacity_drop() {
+    let r = run_one(AqmKind::pi2_default(), Disturbance::RateStep, None, 12);
+    assert!(
+        r.spike_ms > TARGET_MS + BAND_MS,
+        "the drop must push delay out of band, got {:.1} ms",
+        r.spike_ms
+    );
+    let settle = r
+        .settle_s
+        .expect("PI2 must re-settle within the low-rate window");
+    assert!(
+        settle + HOLD_S <= (STEP_UP_S - STEP_DOWN_S) as f64,
+        "settled (and held) only after {settle:.1} s"
+    );
+    // Once settled, it stays put: the tail of the low-rate window sits
+    // inside the band.
+    let tail: Vec<f64> = r
+        .qdelay
+        .iter()
+        .filter(|(t, _)| (STEP_UP_S as f64 - 10.0..STEP_UP_S as f64).contains(t))
+        .map(|&(_, v)| v)
+        .collect();
+    let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+    assert!(
+        (mean - TARGET_MS).abs() <= BAND_MS,
+        "tail mean {mean:.1} ms escaped target ± band"
+    );
+}
+
+/// The paper's §5 comparison: PI2's settling time is no worse than
+/// PIE's, for both disturbance kinds.
+#[test]
+fn pi2_settles_no_slower_than_pie() {
+    for d in [Disturbance::RateStep, Disturbance::FlowChurn] {
+        let pie = run_one(AqmKind::pie_default(), d, None, 12);
+        let pi2 = run_one(AqmKind::pi2_default(), d, None, 12);
+        let (ps, qs) = (
+            pie.settle_s.expect("PIE settles on a clean path"),
+            pi2.settle_s.expect("PI2 settles on a clean path"),
+        );
+        assert!(
+            qs <= ps,
+            "{}: PI2 settled in {qs:.1} s, PIE in {ps:.1} s",
+            d.name()
+        );
+    }
+}
+
+/// The dynamics claims survive weather: with 1 % random loss and enough
+/// jitter to reorder, PI2 still re-settles after the capacity drop.
+#[test]
+fn pi2_resettles_under_loss_and_reordering() {
+    let weather = LinkImpairments::new(0x5701_11).symmetric(ImpairmentConf {
+        loss: 0.01,
+        dup: 0.001,
+        jitter: Duration::from_millis(2),
+    });
+    let r = run_one(
+        AqmKind::pi2_default(),
+        Disturbance::RateStep,
+        Some(weather),
+        12,
+    );
+    let s = r.impair.expect("weather accounting present");
+    assert!(s.fwd_lost > 0 && s.rev_lost > 0, "loss applied: {s:?}");
+    assert!(
+        r.settle_s.is_some(),
+        "PI2 must absorb the drop even on a degraded path"
+    );
+}
+
+/// DCTCP/Cubic coexistence under the coupled AQM holds its throughput-
+/// ratio band when the path runs 1 % random loss with reordering jitter
+/// in both directions.
+#[test]
+fn coexistence_ratio_band_survives_weather() {
+    let mut sc = Scenario::new(AqmKind::coupled_default(), 40_000_000);
+    let rtt = Duration::from_millis(10);
+    sc.tcp.push(FlowGroup::new(
+        1,
+        CcKind::Cubic,
+        EcnSetting::NotEcn,
+        "cubic",
+        rtt,
+    ));
+    sc.tcp.push(FlowGroup::new(
+        1,
+        CcKind::Dctcp,
+        EcnSetting::Scalable,
+        "dctcp",
+        rtt,
+    ));
+    sc.duration = Time::from_secs(40);
+    sc.warmup = Duration::from_secs(10);
+    sc.seed = 21;
+    sc.impairments = Some(LinkImpairments::new(0xC0E1).symmetric(ImpairmentConf {
+        loss: 0.01,
+        dup: 0.0,
+        jitter: Duration::from_millis(2),
+    }));
+    let r = sc.run();
+    let s = r.impair.expect("weather accounting present");
+    assert!(s.fwd_lost > 0, "forward loss applied: {s:?}");
+    let (c, d) = (r.per_flow_tput_mbps("cubic"), r.per_flow_tput_mbps("dctcp"));
+    let ratio = c / d;
+    assert!(
+        (0.25..=4.0).contains(&ratio),
+        "coexistence band broken under weather: cubic {c:.1} / dctcp {d:.1} = {ratio:.2}"
+    );
+    // The link still does useful work despite the weather.
+    assert!(c + d > 20.0, "total {:.1} Mb/s under 1 % loss", c + d);
+}

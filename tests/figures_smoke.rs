@@ -130,6 +130,33 @@ fn appendix_a_runner_smoke() {
 }
 
 #[test]
+fn dynamics_runner_smoke() {
+    use pi2::experiments::dynamics::{render_table, run_one, Disturbance};
+    use pi2::netsim::{ImpairmentConf, LinkImpairments};
+    // DualPI2 under churn with light weather: the one family cell the
+    // repo-level dynamics tests don't already cover end to end.
+    let w = LinkImpairments::new(9).symmetric(ImpairmentConf {
+        loss: 0.005,
+        dup: 0.0,
+        jitter: Duration::from_millis(1),
+    });
+    let r = run_one(
+        AqmKind::dualq_default(40_000_000),
+        Disturbance::FlowChurn,
+        Some(w),
+        9,
+    );
+    assert_eq!(r.aqm, "dualpi2");
+    assert!(!r.qdelay.is_empty());
+    assert!(r.spike_ms >= 0.0 && r.revert_spike_ms >= 0.0);
+    let s = r.impair.expect("weather accounting attached");
+    assert!(s.fwd_offered > 0 && s.fwd_lost > 0, "{s:?}");
+    let t = render_table(std::slice::from_ref(&r));
+    assert!(t.contains("flow-churn") && t.contains("dualpi2"), "{t}");
+    assert!(t.contains("lost"), "weather column missing: {t}");
+}
+
+#[test]
 fn ablation_runners_smoke() {
     use pi2::experiments::ablation::{gain_sweep, k_sweep, square_mode};
     let ks = k_sweep(&[2.0], 10);

@@ -247,3 +247,77 @@ fn golden_trace_for_small_scenario() {
     let want = std::fs::read_to_string(path).expect("golden file (PI2_BLESS=1 to create)");
     assert_eq!(got, want, "trace diverged from golden file {path}");
 }
+
+/// Golden-file regression for the fault-injection layer: a tiny seeded
+/// TCP scenario under a seeded weather layer (loss + duplication +
+/// jitter) is stable byte for byte. TCP is closed-loop, so lost and
+/// reordered packets change the ACK clock and the retransmission
+/// pattern — the impaired trace genuinely diverges from a clean run,
+/// and the golden pins the layer's draw order and its accounting (the
+/// trailing `impair` line). Regenerate with
+/// `PI2_BLESS=1 cargo test --test trace_streaming golden`.
+#[test]
+fn golden_trace_for_impaired_scenario() {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 1_000_000,
+                buffer_bytes: 20 * 1500,
+            },
+            seed: 11,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(Pi2::new(Pi2Config::default())),
+    );
+    sim.core
+        .set_impairments(LinkImpairments::new(0x7EA7).symmetric(ImpairmentConf {
+            loss: 0.05,
+            dup: 0.02,
+            jitter: Duration::from_millis(1),
+        }));
+    let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&jsonl)));
+    sim.add_flow(
+        PathConf::symmetric(Duration::from_millis(20)),
+        "reno",
+        Time::ZERO,
+        |id| {
+            Box::new(TcpSource::new(
+                id,
+                CcKind::Reno,
+                EcnSetting::NotEcn,
+                TcpConfig::default(),
+            ))
+        },
+    );
+    sim.run_until(Time::from_secs(1));
+    sim.core.flush_trace_sinks().expect("flush");
+    let s = sim.core.impairments().expect("weather attached").stats();
+    assert!(
+        s.fwd_lost > 0 && s.rev_lost > 0,
+        "the golden must capture an actually-impaired run: {s:?}"
+    );
+    drop(sim.core.take_trace_sinks());
+    let trace = String::from_utf8(
+        Rc::try_unwrap(jsonl).expect("sole owner").into_inner().into_inner(),
+    )
+    .expect("utf8");
+    assert!(!trace.is_empty(), "scenario produced no events");
+    // Pin the layer's books alongside the event stream.
+    let got = format!(
+        "{trace}{{\"impair\":{{\"fwd_offered\":{},\"fwd_lost\":{},\"fwd_dup\":{},\
+         \"rev_offered\":{},\"rev_lost\":{},\"rev_dup\":{}}}}}\n",
+        s.fwd_offered, s.fwd_lost, s.fwd_dup, s.rev_offered, s.rev_lost, s.rev_dup
+    );
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/trace_small_impaired.jsonl"
+    );
+    if std::env::var_os("PI2_BLESS").is_some() {
+        std::fs::write(path, &got).expect("bless golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file (PI2_BLESS=1 to create)");
+    assert_eq!(got, want, "impaired trace diverged from golden file {path}");
+}

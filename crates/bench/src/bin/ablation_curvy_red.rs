@@ -50,8 +50,9 @@ fn run(curvy: bool, flows: usize) -> (f64, f64) {
         sim.run_until(Time::from_secs(80));
         let m = &sim.core.monitor;
         let s: Vec<f64> = m.sojourn_ms.iter().map(|&x| x as f64).collect();
-        let util: f64 = m.util_samples.iter().map(|&x| x as f64).sum::<f64>()
-            / m.util_samples.len() as f64;
+        let util_samples = m.util_samples();
+        let util: f64 = util_samples.iter().map(|&x| x as f64).sum::<f64>()
+            / util_samples.len() as f64;
         (pi2_stats::mean(&s), util * 100.0)
     } else {
         let mut sc = Scenario::new(AqmKind::pi2_default(), 10_000_000);

@@ -253,10 +253,11 @@ fn main() {
         "queue delay [ms]: mean {:.2}  p50 {:.2}  p99 {:.2}  max {:.2}",
         delay.mean, delay.p50, delay.p99, delay.max
     );
-    let util: f64 = if m.util_samples.is_empty() {
+    let util_samples = m.util_samples();
+    let util: f64 = if util_samples.is_empty() {
         0.0
     } else {
-        m.util_samples.iter().map(|&x| x as f64).sum::<f64>() / m.util_samples.len() as f64
+        util_samples.iter().map(|&x| x as f64).sum::<f64>() / util_samples.len() as f64
     };
     println!("utilization: {:.1} %", 100.0 * util);
     // Per-label rows.
@@ -333,7 +334,7 @@ fn main() {
     }
     if a.csv {
         println!("t_s,qdelay_ms");
-        for (t, d) in &m.qdelay_series {
+        for (t, d) in m.qdelay_series() {
             println!("{t},{d}");
         }
     }

@@ -113,6 +113,7 @@ mod tests {
     }
 }
 
+pub mod alloc_count;
 pub mod cli;
 pub mod gridview;
 pub mod perf;

@@ -79,11 +79,12 @@ pub fn run(
             m.pooled_mean_tput_mbps(label) / n as f64
         }
     };
-    let util: f64 = if m.util_samples.is_empty() {
+    let util_samples = m.util_samples();
+    let util: f64 = if util_samples.is_empty() {
         0.0
     } else {
-        100.0 * m.util_samples.iter().map(|&x| x as f64).sum::<f64>()
-            / m.util_samples.len() as f64
+        100.0 * util_samples.iter().map(|&x| x as f64).sum::<f64>()
+            / util_samples.len() as f64
     };
     let _ = span;
     DualQResult {

@@ -388,7 +388,7 @@ impl RunResult {
     pub fn util_summary(&self) -> Summary {
         let samples: Vec<f64> = self
             .monitor
-            .util_samples
+            .util_samples()
             .iter()
             .map(|&u| (u as f64 * 100.0).min(100.0))
             .collect();
@@ -396,13 +396,13 @@ impl RunResult {
     }
 
     /// The `(t, queue delay ms)` series.
-    pub fn qdelay_series(&self) -> &[(f64, f64)] {
-        &self.monitor.qdelay_series
+    pub fn qdelay_series(&self) -> Vec<(f64, f64)> {
+        self.monitor.qdelay_series()
     }
 
     /// The `(t, total Mb/s)` series.
-    pub fn tput_series(&self) -> &[(f64, f64)] {
-        &self.monitor.total_tput_series
+    pub fn tput_series(&self) -> Vec<(f64, f64)> {
+        self.monitor.total_tput_series()
     }
 
     /// One-line metrics summary for sweep/grid output: sojourn P50/P99

@@ -72,7 +72,7 @@ proptest! {
             prop_assert!(f.marked + f.dropped <= f.sent_pkts);
         }
         // No physically impossible utilization samples.
-        for &(_, u) in &r.monitor.util_series {
+        for (_, u) in r.monitor.util_series() {
             prop_assert!((0.0..=1.05).contains(&u), "utilization {u}");
         }
         // Sojourns are non-negative and finite.
@@ -114,7 +114,7 @@ proptest! {
         let r = sc.run();
         // The 40000-packet buffer would be 48 seconds of delay; any
         // sample beyond 2 s means the controller lost the queue.
-        for &(t, d) in r.qdelay_series() {
+        for (t, d) in r.qdelay_series() {
             prop_assert!(d < 2_000.0, "queue delay {d:.0} ms at t={t:.0}");
         }
     }

@@ -20,6 +20,7 @@ pub mod impair;
 pub mod metrics;
 pub mod monitor;
 pub mod packet;
+pub mod pool;
 pub mod queue;
 pub mod sim;
 pub mod source;
@@ -31,6 +32,7 @@ pub use impair::{ImpairState, ImpairStats, ImpairmentConf, LinkImpairments, Path
 pub use metrics::SimMetrics;
 pub use monitor::{FlowAccount, Monitor, MonitorConfig};
 pub use packet::{Ecn, FlowId, Packet};
+pub use pool::Pool;
 pub use queue::{BottleneckQueue, Qdisc, QueueConfig, QueueStats};
 pub use sim::{
     event_class, Ack, Event, PathConf, Sim, SimConfig, SimCore, Source, TimerKind, EVENT_CLASSES,

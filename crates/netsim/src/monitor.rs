@@ -27,6 +27,10 @@ pub struct MonitorConfig {
     /// Additionally record sojourns per flow (needed for per-class delay
     /// distributions, e.g. the DualQ L-vs-C comparison).
     pub record_flow_sojourns: bool,
+    /// Record the per-flow throughput column store at each sample tick
+    /// (needed for per-flow/pooled rate series; engine microbenches turn
+    /// it off along with the other recording flags).
+    pub record_flow_tput: bool,
 }
 
 impl Default for MonitorConfig {
@@ -37,6 +41,7 @@ impl Default for MonitorConfig {
             record_sojourns: true,
             record_probs: true,
             record_flow_sojourns: false,
+            record_flow_tput: true,
         }
     }
 }
@@ -76,12 +81,9 @@ pub struct FlowAccount {
     /// Applied probability per offered packet, after warm-up
     /// (only if [`MonitorConfig::record_probs`]).
     pub prob_samples: Vec<f32>,
-    /// Per-interval throughput at the bottleneck egress, in Mb/s.
-    pub tput_series: Vec<(f64, f64)>,
     /// Per-packet sojourn samples for this flow, post warm-up (only if
     /// [`MonitorConfig::record_flow_sojourns`]).
     pub sojourn_ms: Vec<f32>,
-    last_sample_bytes: u64,
 }
 
 impl FlowAccount {
@@ -102,9 +104,7 @@ impl FlowAccount {
             delivered_bytes: 0,
             delivered_bytes_postwarm: 0,
             prob_samples: Vec::new(),
-            tput_series: Vec::new(),
             sojourn_ms: Vec::new(),
-            last_sample_bytes: 0,
         }
     }
 
@@ -133,32 +133,74 @@ impl FlowAccount {
     }
 }
 
+/// One periodic measurement tick, stored row-wise.
+///
+/// The monitor used to push each sampled quantity onto its own series
+/// `Vec`, which meant the (rare, hence cache-cold) sample path touched one
+/// tail line per series. One row per tick keeps the whole tick on a single
+/// line; the familiar `(t, value)` series are materialized on demand by
+/// the accessors below.
+#[derive(Clone, Copy, Debug)]
+struct SampleRow {
+    /// Sample instant, seconds.
+    t: f64,
+    /// Instantaneous queue delay, ms.
+    qdelay_ms: f64,
+    /// Total bottleneck egress rate over the interval, Mb/s (valid only
+    /// if `has_rate`).
+    tput_mbps: f64,
+    /// Fraction of link capacity used over the interval (valid only if
+    /// `has_rate`).
+    util: f64,
+    /// Interval length, seconds — kept so per-flow throughput can be
+    /// recomputed from cumulative byte counts with the exact same
+    /// floating-point operations the eager path used.
+    dt: f64,
+    /// False for a zero-length interval (no rate quantities that tick).
+    has_rate: bool,
+    /// Whether the tick fell after the warm-up period.
+    postwarm: bool,
+}
+
 /// Run-wide measurement state.
 #[derive(Clone, Debug)]
+/// `repr(C)` pins the field order so the state the rare sample tick
+/// reads shares cache lines with state the per-packet record paths keep
+/// warm: line one holds `warm_at` (read on every record) plus the
+/// sample-tick scalars and the `samples` header; line two holds the
+/// `flow_deq_now` header (written on every dequeue) plus the
+/// `flow_deq_bytes` header. Sample ticks run ~10^4 events apart, so
+/// without this co-location every scalar they touch is a cold miss.
+#[repr(C)]
 pub struct Monitor {
+    /// `Time::ZERO + cfg.warmup`, precomputed for the per-record warm-up
+    /// comparison.
+    warm_at: Time,
+    last_sample_at: Time,
+    last_total_bytes: u64,
+    /// Periodic samples, one row per tick (see [`SampleRow`]).
+    samples: Vec<SampleRow>,
+    /// Dense mirror of each flow's current `dequeued_bytes`, updated by
+    /// the (cache-warm) dequeue path so the rare sample tick reads one or
+    /// two lines instead of walking every `FlowAccount`.
+    flow_deq_now: Vec<u64>,
+    /// Cumulative `dequeued_bytes` of every flow at each rate-bearing
+    /// sample row, as a flat column store (stride = `flows.len()`).
+    /// [`Monitor::flow_tput_series`] differences consecutive rows to
+    /// recover the per-interval series.
+    flow_deq_bytes: Vec<u64>,
     cfg: MonitorConfig,
     /// Per-flow accounts, indexed by [`FlowId`].
     pub flows: Vec<FlowAccount>,
-    /// `(t s, instantaneous queue delay ms)` at each sample tick.
-    pub qdelay_series: Vec<(f64, f64)>,
-    /// `(t s, total bottleneck egress rate Mb/s)` per interval.
-    pub total_tput_series: Vec<(f64, f64)>,
-    /// `(t s, fraction of link capacity used)` per interval.
-    pub util_series: Vec<(f64, f64)>,
     /// `(t s, AQM control variable)` at each AQM update.
     pub control_series: Vec<(f64, f64)>,
     /// Per-packet queue delay in ms, post warm-up
     /// (only if [`MonitorConfig::record_sojourns`]).
     pub sojourn_ms: Vec<f32>,
-    /// Post-warm-up utilization samples (same values as in `util_series`
-    /// but excluding warm-up), for P1/mean/P99 summaries (Figure 18).
-    pub util_samples: Vec<f32>,
     /// Completed size-limited flows: `(flow, start, completion)` — the
     /// raw material for flow-completion-time distributions (the paper's
     /// short-flow experiments).
     pub completions: Vec<(FlowId, Time, Time)>,
-    last_sample_at: Time,
-    last_total_bytes: u64,
     end_of_last_run: Time,
     /// Expected per-flow packet count, set by [`Monitor::reserve`]; flows
     /// registered afterwards pre-size their sample vectors with it.
@@ -171,16 +213,16 @@ impl Monitor {
         Monitor {
             cfg,
             flows: Vec::new(),
-            qdelay_series: Vec::new(),
-            total_tput_series: Vec::new(),
-            util_series: Vec::new(),
             control_series: Vec::new(),
             sojourn_ms: Vec::new(),
-            util_samples: Vec::new(),
             completions: Vec::new(),
+            samples: Vec::new(),
+            flow_deq_bytes: Vec::new(),
+            flow_deq_now: Vec::new(),
             last_sample_at: Time::ZERO,
             last_total_bytes: 0,
             end_of_last_run: Time::ZERO,
+            warm_at: Time::ZERO + cfg.warmup,
             flow_pkts_hint: 0,
         }
     }
@@ -188,26 +230,24 @@ impl Monitor {
     /// Pre-size the sample vectors for an expected run shape so the
     /// per-packet recording paths never reallocate mid-run.
     ///
-    /// `expected_samples` is the number of periodic sample ticks
-    /// (≈ duration / sample interval); `expected_pkts` the total packets
-    /// expected through the bottleneck (≈ rate × duration / packet size).
+    /// `expected_samples` is the number of periodic recording ticks —
+    /// size it for the *densest* periodic series, which is usually the
+    /// AQM control-variable record at every update interval
+    /// (≈ duration / Tupdate), not the coarser sample tick;
+    /// `expected_pkts` is the total packets expected through the
+    /// bottleneck (≈ rate × duration / packet size).
     /// Flows registered after this call pre-size their per-flow vectors
     /// from the same hints. Over-estimates only cost address space;
     /// callers should still cap `expected_pkts` to something sane.
     pub fn reserve(&mut self, expected_samples: usize, expected_pkts: usize) {
-        self.qdelay_series.reserve(expected_samples);
-        self.total_tput_series.reserve(expected_samples);
-        self.util_series.reserve(expected_samples);
-        self.util_samples.reserve(expected_samples);
+        self.samples.reserve(expected_samples);
         self.control_series.reserve(expected_samples);
         if self.cfg.record_sojourns {
             self.sojourn_ms.reserve(expected_pkts);
         }
         self.flow_pkts_hint = expected_pkts;
-        let samples_hint = expected_samples;
-        for acc in &mut self.flows {
-            acc.tput_series.reserve(samples_hint);
-        }
+        self.flow_deq_bytes
+            .reserve(expected_samples * self.flows.len().max(1));
     }
 
     /// The configured sampling interval.
@@ -236,6 +276,7 @@ impl Monitor {
             }
         }
         self.flows.push(acc);
+        self.flow_deq_now.push(0);
     }
 
     /// Access a flow's account.
@@ -244,7 +285,7 @@ impl Monitor {
     }
 
     fn postwarm(&self, now: Time) -> bool {
-        now >= Time::ZERO + self.cfg.warmup
+        now >= self.warm_at
     }
 
     /// Record a packet being offered to the bottleneck.
@@ -255,6 +296,38 @@ impl Monitor {
         acc.sent_bytes += bytes as u64;
         if postwarm {
             acc.sent_pkts_postwarm += 1;
+        }
+    }
+
+    /// Record a packet being offered to the bottleneck together with the
+    /// AQM's verdict on it — the fused form of
+    /// [`Monitor::record_sent`] + [`Monitor::record_decision`] the send
+    /// path uses, so the warm-up check and account lookup happen once.
+    pub fn record_send(&mut self, flow: FlowId, bytes: usize, decision: Decision, now: Time) {
+        let postwarm = self.postwarm(now);
+        let acc = &mut self.flows[flow.idx()];
+        acc.sent_pkts += 1;
+        acc.sent_bytes += bytes as u64;
+        if postwarm {
+            acc.sent_pkts_postwarm += 1;
+        }
+        match decision.action {
+            Action::Drop => {
+                acc.dropped += 1;
+                if postwarm {
+                    acc.dropped_postwarm += 1;
+                }
+            }
+            Action::Mark => {
+                acc.marked += 1;
+                if postwarm {
+                    acc.marked_postwarm += 1;
+                }
+            }
+            Action::Pass => {}
+        }
+        if self.cfg.record_probs && postwarm {
+            acc.prob_samples.push(decision.prob as f32);
         }
     }
 
@@ -285,6 +358,7 @@ impl Monitor {
     /// Record a departure from the bottleneck.
     pub fn record_dequeue(&mut self, flow: FlowId, bytes: usize, sojourn: Duration, now: Time) {
         let postwarm = self.postwarm(now);
+        self.flow_deq_now[flow.idx()] += bytes as u64;
         let acc = &mut self.flows[flow.idx()];
         acc.dequeued_pkts += 1;
         acc.dequeued_bytes += bytes as u64;
@@ -337,27 +411,91 @@ impl Monitor {
         let t = now.as_secs_f64();
         let dt = now.saturating_since(self.last_sample_at).as_secs_f64();
         let qdelay_ms = queue.monitor_delay().as_millis_f64();
-        self.qdelay_series.push((t, qdelay_ms));
-
         let total = queue.stats().dequeued_bytes;
-        if dt > 0.0 {
+        let has_rate = dt > 0.0;
+        let mut tput_mbps = 0.0;
+        let mut util = 0.0;
+        if has_rate {
             let bits = (total - self.last_total_bytes) as f64 * 8.0;
-            let mbps = bits / dt / 1e6;
-            self.total_tput_series.push((t, mbps));
-            let util = bits / dt / queue.rate_bps() as f64;
-            self.util_series.push((t, util));
-            if self.postwarm(now) {
-                self.util_samples.push(util as f32);
-            }
-            for acc in &mut self.flows {
-                let fbits = (acc.dequeued_bytes - acc.last_sample_bytes) as f64 * 8.0;
-                acc.tput_series.push((t, fbits / dt / 1e6));
-                acc.last_sample_bytes = acc.dequeued_bytes;
+            tput_mbps = bits / dt / 1e6;
+            util = bits / dt / queue.rate_bps() as f64;
+            // Snapshot cumulative per-flow egress; the per-interval series
+            // is differenced out lazily by `flow_tput_series`.
+            if self.cfg.record_flow_tput {
+                self.flow_deq_bytes.extend_from_slice(&self.flow_deq_now);
             }
         }
+        self.samples.push(SampleRow {
+            t,
+            qdelay_ms,
+            tput_mbps,
+            util,
+            dt,
+            has_rate,
+            postwarm: now >= self.warm_at,
+        });
         self.last_total_bytes = total;
         self.last_sample_at = now;
         self.end_of_last_run = now;
+    }
+
+    /// `(t s, instantaneous queue delay ms)` at each sample tick.
+    pub fn qdelay_series(&self) -> Vec<(f64, f64)> {
+        self.samples.iter().map(|r| (r.t, r.qdelay_ms)).collect()
+    }
+
+    /// `(t s, total bottleneck egress rate Mb/s)` per interval.
+    pub fn total_tput_series(&self) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .filter(|r| r.has_rate)
+            .map(|r| (r.t, r.tput_mbps))
+            .collect()
+    }
+
+    /// `(t s, fraction of link capacity used)` per interval.
+    pub fn util_series(&self) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .filter(|r| r.has_rate)
+            .map(|r| (r.t, r.util))
+            .collect()
+    }
+
+    /// Post-warm-up utilization samples (the values of
+    /// [`Monitor::util_series`] excluding warm-up), for P1/mean/P99
+    /// summaries (Figure 18).
+    pub fn util_samples(&self) -> Vec<f32> {
+        self.samples
+            .iter()
+            .filter(|r| r.has_rate && r.postwarm)
+            .map(|r| r.util as f32)
+            .collect()
+    }
+
+    /// Per-interval egress throughput of flow `idx` in Mb/s, materialized
+    /// as a `(t s, Mb/s)` series by differencing the cumulative byte
+    /// snapshots. The time axis is shared with
+    /// [`Monitor::total_tput_series`]. Assumes all flows were registered
+    /// before the first sample tick (true of every scenario driver:
+    /// registration happens at setup).
+    pub fn flow_tput_series(&self, idx: usize) -> Vec<(f64, f64)> {
+        if !self.cfg.record_flow_tput {
+            return Vec::new();
+        }
+        let n = self.flows.len();
+        let mut prev = 0u64;
+        self.samples
+            .iter()
+            .filter(|r| r.has_rate)
+            .enumerate()
+            .map(|(row, r)| {
+                let cur = self.flow_deq_bytes[row * n + idx];
+                let fbits = (cur - prev) as f64 * 8.0;
+                prev = cur;
+                (r.t, fbits / r.dt / 1e6)
+            })
+            .collect()
     }
 
     /// Post-warm-up measurement span (warm-up end to the last sample).
@@ -423,8 +561,7 @@ mod tests {
         m.register_flow("before");
         m.reserve(1000, 50_000);
         m.register_flow("after");
-        assert!(m.qdelay_series.capacity() >= 1000);
-        assert!(m.util_samples.capacity() >= 1000);
+        assert!(m.samples.capacity() >= 1000);
         assert!(m.sojourn_ms.capacity() >= 50_000);
         // Flows registered after the hint pre-size their prob vector.
         assert!(m.flows[1].prob_samples.capacity() >= 50_000.min(1 << 16));
@@ -533,11 +670,21 @@ mod tests {
         for _ in 0..1000 {
             q.pop(Time::from_millis(1));
         }
+        // Mirror the departures into the per-flow accounting.
+        for _ in 0..1000 {
+            m.record_dequeue(FlowId(0), 1500, Duration::from_millis(1), Time::from_millis(1));
+        }
         m.sample(&q, Time::from_secs(1));
         // 1000*1500*8 bits over 1 s = 12 Mb/s on a 12 Mb/s link -> util 1.0.
-        assert_eq!(m.total_tput_series.len(), 1);
-        assert!((m.total_tput_series[0].1 - 12.0).abs() < 1e-9);
-        assert!((m.util_series[0].1 - 1.0).abs() < 1e-9);
+        assert_eq!(m.total_tput_series().len(), 1);
+        assert!((m.total_tput_series()[0].1 - 12.0).abs() < 1e-9);
+        assert!((m.util_series()[0].1 - 1.0).abs() < 1e-9);
+        // The per-flow series shares the time axis and reconstructs the
+        // same interval rate from the cumulative snapshots.
+        let per_flow = m.flow_tput_series(0);
+        assert_eq!(per_flow.len(), 1);
+        assert!((per_flow[0].1 - 12.0).abs() < 1e-9);
+        assert_eq!(m.qdelay_series().len(), 1);
     }
 
     #[test]

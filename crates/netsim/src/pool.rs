@@ -1,0 +1,175 @@
+//! Slab pools for event payloads.
+//!
+//! The event queue used to carry [`Packet`](crate::packet::Packet) and
+//! [`Ack`](crate::sim::Ack) payloads *inside* the `Event` enum, which
+//! inflated every queue entry to the size of the largest variant (an `Ack`
+//! with three SACK blocks is ~112 bytes). Every push, pop and slot-sort in
+//! the timing wheel then moved that much memory per event — several times
+//! the cost of the AQM decision itself.
+//!
+//! [`Pool`] fixes this by parking the payload in a slab and threading a
+//! 4-byte handle through the event queue instead. The hot path becomes
+//! index recycling:
+//!
+//! * `insert` pops a free slot (or extends the slab while warming up),
+//! * `take` moves the payload out and pushes the slot back on the free
+//!   list,
+//!
+//! so after warm-up the enqueue→dequeue→deliver cycle performs **zero**
+//! heap allocations — the property the bench harness asserts with its
+//! counting allocator.
+//!
+//! ## Determinism
+//!
+//! Free slots are recycled LIFO, so slab layout is a pure function of the
+//! insert/take sequence, and handles never feed back into simulation
+//! logic (they are resolved before any handler runs). Pooled runs are
+//! therefore bit-identical to the old by-value representation.
+
+/// Handle into a [`Pool`]. Only meaningful to the pool that issued it.
+pub type Handle = u32;
+
+/// A slab allocator with LIFO free-slot recycling and occupancy
+/// accounting.
+#[derive(Debug, Default)]
+pub struct Pool<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<Handle>,
+    /// Peak number of simultaneously live payloads.
+    high_water: usize,
+}
+
+impl<T> Pool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Pool {
+            slots: Vec::new(),
+            free: Vec::new(),
+            high_water: 0,
+        }
+    }
+
+    /// Pre-size for `n` simultaneously live payloads so the warm-up phase
+    /// itself stays off the allocator.
+    pub fn reserve(&mut self, n: usize) {
+        self.slots.reserve(n.saturating_sub(self.slots.len()));
+        self.free.reserve(n.saturating_sub(self.free.len()));
+    }
+
+    /// Park `val` and return its handle.
+    #[inline]
+    pub fn insert(&mut self, val: T) -> Handle {
+        match self.free.pop() {
+            Some(h) => {
+                debug_assert!(self.slots[h as usize].is_none(), "free list points at a live slot");
+                self.slots[h as usize] = Some(val);
+                h
+            }
+            None => {
+                let h = self.slots.len() as Handle;
+                self.slots.push(Some(val));
+                let live = self.slots.len() - self.free.len();
+                if live > self.high_water {
+                    self.high_water = live;
+                }
+                h
+            }
+        }
+    }
+
+    /// Move the payload out of `h` and recycle the slot.
+    ///
+    /// Panics if `h` is not a live handle of this pool — that would mean
+    /// an event was duplicated or resolved twice, which the simulator
+    /// never does.
+    #[inline]
+    pub fn take(&mut self, h: Handle) -> T {
+        let val = self.slots[h as usize]
+            .take()
+            .expect("pool handle resolved twice (or never issued)");
+        self.free.push(h);
+        val
+    }
+
+    /// Borrow the payload behind a live handle.
+    pub fn get(&self, h: Handle) -> &T {
+        self.slots[h as usize]
+            .as_ref()
+            .expect("pool handle is not live")
+    }
+
+    /// Number of currently live payloads.
+    pub fn in_use(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Peak number of simultaneously live payloads since construction.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total slots ever created (live + recycled).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrips() {
+        let mut p = Pool::new();
+        let a = p.insert("a");
+        let b = p.insert("b");
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.take(a), "a");
+        assert_eq!(p.take(b), "b");
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn slots_recycle_lifo() {
+        let mut p = Pool::new();
+        let a = p.insert(1);
+        let b = p.insert(2);
+        p.take(a);
+        p.take(b);
+        // LIFO: the most recently freed slot (b's) is reused first.
+        assert_eq!(p.insert(3), b);
+        assert_eq!(p.insert(4), a);
+        // No slab growth happened on reuse.
+        assert_eq!(p.capacity(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut p = Pool::new();
+        let h: Vec<_> = (0..5).map(|i| p.insert(i)).collect();
+        assert_eq!(p.high_water(), 5);
+        for x in h {
+            p.take(x);
+        }
+        let _ = p.insert(9);
+        assert_eq!(p.high_water(), 5, "recycling must not move the peak");
+    }
+
+    #[test]
+    fn get_borrows_without_freeing() {
+        let mut p = Pool::new();
+        let h = p.insert(42);
+        assert_eq!(*p.get(h), 42);
+        assert_eq!(p.in_use(), 1);
+        assert_eq!(p.take(h), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved twice")]
+    fn double_take_panics() {
+        let mut p = Pool::new();
+        let h = p.insert(1);
+        p.take(h);
+        p.take(h);
+    }
+}

@@ -23,6 +23,7 @@ use crate::impair::{ImpairState, LinkImpairments};
 use crate::metrics::SimMetrics;
 use crate::monitor::{Monitor, MonitorConfig};
 use crate::packet::{FlowId, Packet};
+use crate::pool::{Handle, Pool};
 use crate::queue::{BottleneckQueue, Qdisc, QueueConfig};
 use crate::trace::{TraceCounts, TraceEvent, TraceSink};
 use pi2_obs::LoopProfiler;
@@ -98,14 +99,22 @@ pub enum TimerKind {
 }
 
 /// Everything that can happen in the simulated world.
+///
+/// `Deliver` and `AckArrive` carry 4-byte [`Pool`] handles rather than
+/// their payloads: parking the `Packet`/`Ack` in a slab keeps every
+/// event-queue entry small (the largest variant is `SetPath`), which is
+/// what makes the timing wheel's per-event moves cheap. The dispatch loop
+/// resolves a handle exactly once, immediately before invoking the
+/// handler, so no handle outlives its event.
 #[derive(Debug)]
 pub enum Event {
     /// The bottleneck link finished serializing the head packet.
     Dequeue,
-    /// A data packet reaches its receiver.
-    Deliver(Packet),
-    /// An ACK reaches its sender.
-    AckArrive(Ack),
+    /// A data packet reaches its receiver (handle into
+    /// [`SimCore::packets`]).
+    Deliver(Handle),
+    /// An ACK reaches its sender (handle into [`SimCore::acks`]).
+    AckArrive(Handle),
     /// A timer armed by a source fires.
     Timer {
         /// Owning flow.
@@ -144,6 +153,12 @@ pub struct SimCore {
     /// Always-on per-flow event counters (plain integer increments; kept
     /// regardless of whether any sink is attached).
     pub counters: TraceCounts,
+    /// Slab of in-flight data packets (between dequeue and delivery);
+    /// [`Event::Deliver`] carries handles into it.
+    pub packets: Pool<Packet>,
+    /// Slab of in-flight ACKs; [`Event::AckArrive`] carries handles into
+    /// it.
+    pub acks: Pool<Ack>,
     sinks: Vec<Box<dyn TraceSink>>,
     audit: Option<Box<AuditSink>>,
     metrics: Option<Box<SimMetrics>>,
@@ -151,6 +166,10 @@ pub struct SimCore {
     paths: Vec<PathConf>,
     transmitting: bool,
     timer_seq: u64,
+    /// One-entry `(size, rate) -> serialization time` cache. Almost every
+    /// transmission is an MSS-sized packet on an unchanged link rate, so
+    /// this removes a u128 division from the per-dequeue path.
+    ser_cache: (usize, u64, Duration),
 }
 
 impl SimCore {
@@ -161,6 +180,8 @@ impl SimCore {
             queue,
             monitor: Monitor::new(monitor_cfg),
             counters: TraceCounts::new(),
+            packets: Pool::new(),
+            acks: Pool::new(),
             sinks: Vec::new(),
             audit: None,
             metrics: None,
@@ -168,6 +189,7 @@ impl SimCore {
             paths: Vec::new(),
             transmitting: false,
             timer_seq: 0,
+            ser_cache: (0, 0, Duration::ZERO),
         }
     }
 
@@ -319,11 +341,10 @@ impl SimCore {
         let now = self.now();
         let flow = pkt.flow;
         let size = pkt.size;
-        self.monitor.record_sent(flow, size, now);
         let seq = pkt.seq;
         let ecn = pkt.ecn;
         let decision = self.queue.offer(pkt, now, &mut self.rng);
-        self.monitor.record_decision(flow, decision, now);
+        self.monitor.record_send(flow, size, decision, now);
         match decision.action {
             Action::Drop => self.counters.note_drop(flow),
             Action::Mark => {
@@ -393,15 +414,20 @@ impl SimCore {
         let rev = self.paths[ack.flow.idx()].rev;
         let at = self.now() + rev;
         let Some(imp) = &mut self.impair else {
-            self.events.push(at, Event::AckArrive(ack));
+            let h = self.acks.insert(ack);
+            self.events.push(at, Event::AckArrive(h));
             return;
         };
         let fate = imp.reverse();
+        // A duplicated ACK gets its own pool slot: each in-flight copy is
+        // resolved (and its slot recycled) independently.
         if let Some(extra) = fate.delay {
-            self.events.push(at + extra, Event::AckArrive(ack));
+            let h = self.acks.insert(ack);
+            self.events.push(at + extra, Event::AckArrive(h));
         }
         if let Some(extra) = fate.dup_delay {
-            self.events.push(at + extra, Event::AckArrive(ack));
+            let h = self.acks.insert(ack);
+            self.events.push(at + extra, Event::AckArrive(h));
         }
     }
 
@@ -425,7 +451,14 @@ impl SimCore {
     fn start_transmission(&mut self) {
         if let Some(size) = self.queue.head_size() {
             self.transmitting = true;
-            let tx = Duration::serialization(size, self.queue.rate_bps());
+            let rate = self.queue.rate_bps();
+            let tx = if self.ser_cache.0 == size && self.ser_cache.1 == rate {
+                self.ser_cache.2
+            } else {
+                let tx = Duration::serialization(size, rate);
+                self.ser_cache = (size, rate, tx);
+                tx
+            };
             let at = self.now() + tx;
             self.events.push(at, Event::Dequeue);
         } else {
@@ -460,7 +493,8 @@ impl SimCore {
         self.start_transmission();
         let fwd = self.paths[pkt.flow.idx()].fwd;
         let Some(imp) = &mut self.impair else {
-            self.events.push(now + fwd, Event::Deliver(pkt));
+            let h = self.packets.insert(pkt);
+            self.events.push(now + fwd, Event::Deliver(h));
             return;
         };
         // Impairments act past the bottleneck: the AQM verdict, the queue
@@ -472,9 +506,11 @@ impl SimCore {
             if let Some(dup_extra) = fate.dup_delay {
                 let mut copy = pkt.clone();
                 copy.path_dup = true;
-                self.events.push(now + fwd + dup_extra, Event::Deliver(copy));
+                let h = self.packets.insert(copy);
+                self.events.push(now + fwd + dup_extra, Event::Deliver(h));
             }
-            self.events.push(now + fwd + extra, Event::Deliver(pkt));
+            let h = self.packets.insert(pkt);
+            self.events.push(now + fwd + extra, Event::Deliver(h));
         }
     }
 }
@@ -595,6 +631,10 @@ impl Sim {
         // timers, not run length; one up-front reservation keeps the heap
         // from regrowing on the per-event hot path.
         core.events.reserve(4096);
+        // Pool occupancy is bounded the same way (packets in forward
+        // flight, ACKs in reverse flight), so size the slabs alongside.
+        core.packets.reserve(2048);
+        core.acks.reserve(2048);
         if let Some(iv) = core.queue.update_interval() {
             core.events.push(Time::ZERO + iv, Event::AqmUpdate);
         }
@@ -706,13 +746,15 @@ impl Sim {
             Event::Dequeue => {
                 self.core.handle_dequeue();
             }
-            Event::Deliver(pkt) => {
+            Event::Deliver(h) => {
+                let pkt = self.core.packets.take(h);
                 let now = self.core.now();
                 self.core.monitor.record_delivered(pkt.flow, pkt.size, now);
                 let idx = pkt.flow.idx();
                 self.sources[idx].on_deliver(pkt, &mut self.core);
             }
-            Event::AckArrive(ack) => {
+            Event::AckArrive(h) => {
+                let ack = self.core.acks.take(h);
                 self.sources[ack.flow.idx()].on_ack(ack, &mut self.core);
             }
             Event::Timer { flow, kind, id } => {

@@ -230,7 +230,7 @@ fn run_weather_sim(imp: Option<LinkImpairments>, seed: u64) -> (RunDigest, Optio
             .collect(),
         sim.core.monitor.sojourn_ms.len(),
         (t.enqueued, t.marked, t.dropped, t.dequeued),
-        sim.core.monitor.qdelay_series.clone(),
+        sim.core.monitor.qdelay_series(),
     );
     (digest, sim.core.impairments().map(|i| i.stats()))
 }

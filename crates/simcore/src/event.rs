@@ -6,6 +6,12 @@
 //! monotonically increasing sequence number breaks ties), which keeps runs
 //! bit-identical across platforms — `BinaryHeap` alone would not guarantee
 //! that.
+//!
+//! [`HeapEventQueue`] is the original `BinaryHeap`-backed implementation.
+//! The simulator now runs on the hierarchical timing wheel in
+//! [`crate::wheel`] (same API, same `(time, seq)` contract, `O(1)` ops);
+//! the heap survives as the obviously-correct reference model that the
+//! cross-implementation property tests diff the wheel against.
 
 use crate::time::Time;
 use std::cmp::Ordering;
@@ -45,31 +51,31 @@ impl<E> PartialOrd for EventEntry<E> {
     }
 }
 
-/// A deterministic min-priority queue of timestamped events.
+/// The reference `BinaryHeap`-backed deterministic min-priority queue.
 ///
 /// ```
-/// use pi2_simcore::{EventQueue, Time};
-/// let mut q = EventQueue::new();
+/// use pi2_simcore::{HeapEventQueue, Time};
+/// let mut q = HeapEventQueue::new();
 /// q.push(Time::from_millis(20), "later");
 /// q.push(Time::from_millis(10), "sooner");
 /// assert_eq!(q.pop(), Some((Time::from_millis(10), "sooner")));
 /// assert_eq!(q.now(), Time::from_millis(10)); // the clock follows pops
 /// ```
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<EventEntry<E>>,
     next_seq: u64,
     now: Time,
     popped: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Create an empty queue positioned at `Time::ZERO`.
     pub fn new() -> Self {
         Self::with_capacity(0)
@@ -80,7 +86,7 @@ impl<E> EventQueue<E> {
     /// by run length, so a modest capacity removes heap regrowth from the
     /// per-event hot path entirely.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             now: Time::ZERO,
@@ -166,7 +172,7 @@ mod tests {
 
     #[test]
     fn with_capacity_preallocates() {
-        let mut q: EventQueue<u32> = EventQueue::with_capacity(128);
+        let mut q: HeapEventQueue<u32> = HeapEventQueue::with_capacity(128);
         assert!(q.capacity() >= 128);
         let cap = q.capacity();
         for i in 0..128 {
@@ -179,7 +185,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(Time::from_millis(30), "c");
         q.push(Time::from_millis(10), "a");
         q.push(Time::from_millis(20), "b");
@@ -191,7 +197,7 @@ mod tests {
 
     #[test]
     fn equal_times_pop_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         let t = Time::from_millis(5);
         for i in 0..100 {
             q.push(t, i);
@@ -203,7 +209,7 @@ mod tests {
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(Time::from_secs(2), ());
         assert_eq!(q.now(), Time::ZERO);
         q.pop();
@@ -217,7 +223,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "in the past")]
     fn scheduling_in_the_past_panics() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(Time::from_secs(2), ());
         q.pop();
         q.push(Time::from_secs(1), ());
@@ -225,7 +231,7 @@ mod tests {
 
     #[test]
     fn push_at_now_is_allowed() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(Time::from_secs(1), 1);
         q.pop();
         q.push(q.now(), 2); // immediate follow-up event
@@ -234,7 +240,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_advance() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(Time::from_millis(7) + Duration::ZERO, ());
         assert_eq!(q.peek_time(), Some(Time::from_millis(7)));
         assert_eq!(q.now(), Time::ZERO);
@@ -244,7 +250,7 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(Time::from_millis(1), 1);
         q.push(Time::from_millis(5), 5);
         assert_eq!(q.pop().unwrap().1, 1);

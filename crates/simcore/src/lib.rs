@@ -6,7 +6,9 @@
 //! * [`Time`] / [`Duration`] — virtual time as integer nanoseconds, so the
 //!   event queue never compares floats and runs are bit-reproducible;
 //! * [`EventQueue`] — a monotonic priority queue of timestamped events with
-//!   deterministic FIFO tie-breaking;
+//!   deterministic FIFO tie-breaking, implemented as a hierarchical
+//!   timing wheel (`O(1)` push/pop; see [`wheel`]) and cross-checked
+//!   against the reference [`HeapEventQueue`];
 //! * [`Rng`] — a self-contained xoshiro256++ PRNG seeded from a single
 //!   `u64`, so every experiment is exactly reproducible from its seed
 //!   regardless of external crate versions.
@@ -18,7 +20,9 @@
 pub mod event;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
-pub use event::{EventEntry, EventQueue};
+pub use event::{EventEntry, HeapEventQueue};
+pub use wheel::EventQueue;
 pub use rng::Rng;
 pub use time::{Duration, Time};

@@ -195,6 +195,15 @@ impl Duration {
     /// Panics if `rate_bps` is zero.
     pub fn serialization(bytes: usize, rate_bps: u64) -> Duration {
         assert!(rate_bps > 0, "link rate must be positive");
+        // u64 fast path: `bits * 1e9` fits u64 for anything under ~2 GB
+        // (every packet and any realistic queue backlog), and u64
+        // division is a single instruction where u128 division is a
+        // library call. Same ceiling division, so the result is
+        // bit-identical to the wide path.
+        if bytes < (1 << 31) {
+            let ns = (bytes as u64 * 8 * NANOS_PER_SEC as u64).div_ceil(rate_bps);
+            return Duration(ns.min(i64::MAX as u64) as i64);
+        }
         let bits = bytes as u128 * 8;
         let ns = (bits * NANOS_PER_SEC as u128).div_ceil(rate_bps as u128);
         Duration(ns.min(i64::MAX as u128) as i64)

@@ -1,0 +1,563 @@
+//! Hierarchical timing-wheel event scheduler.
+//!
+//! Drop-in replacement for the original `BinaryHeap`-backed queue (kept as
+//! [`crate::event::HeapEventQueue`], the reference model for differential
+//! tests). The binary heap pays `O(log n)` sifts over ~100-byte entries on
+//! *every* push and pop; with hundreds of pending timers that dominated the
+//! simulator's hot path. The wheel makes both operations `O(1)` amortized:
+//!
+//! * **Near wheel (L0)** — 1024 slots of 2^15 ns (≈ 32.8 µs) each, spanning
+//!   ≈ 33.6 ms: sub-RTT granularity, so the packet-lifecycle events
+//!   (dequeue/deliver/ACK) that make up the bulk of the load index straight
+//!   into a slot.
+//! * **Overflow wheel (L1)** — 1024 slots of 2^25 ns (≈ 33.6 ms) each,
+//!   spanning ≈ 34.4 s: RTO timers, delayed-ACK timers and sample ticks
+//!   land here and cascade into L0 as the clock approaches them.
+//! * **Far list** — a sorted spillover for anything beyond ≈ 34.4 s
+//!   (heavily backed-off RTOs, scripted scenario disturbances).
+//!
+//! ## Determinism contract
+//!
+//! Identical to the documented heap contract: events pop in `(time, seq)`
+//! order, where `seq` is the monotonic insertion counter — earliest first,
+//! FIFO on timestamp ties. The wheel buckets events by time *tick* only;
+//! whenever a slot is promoted to the ready buffer it is sorted by the full
+//! `(time, seq)` key, so bucketing can never reorder observable pops. The
+//! cross-implementation property suite (`tests/proptests.rs`) checks pop
+//! streams against [`crate::event::HeapEventQueue`] on random schedules.
+//!
+//! ## Internal invariants
+//!
+//! Let `ready_tick` be the L0 tick the queue has drained up to. Then:
+//!
+//! 1. every pending event with `tick0 <= ready_tick` sits in `ready`,
+//!    sorted descending by `(time, seq)` (minimum at the back, `O(1)` pop);
+//! 2. every L0 event has `tick0 - ready_tick` in `[1, 1024]`, so ticks map
+//!    to distinct slots and a circular bitmap scan finds the minimum;
+//! 3. every L1 event has `tick1 > cur1` (where `cur1 = ready_tick >> 10`)
+//!    and `tick1 - cur1 <= 1024`;
+//! 4. the far list holds everything else, sorted descending by
+//!    `(time, seq)`;
+//! 5. `ready` is non-empty whenever the queue is non-empty, which keeps
+//!    [`EventQueue::peek_time`] a borrow-only `O(1)` read.
+//!
+//! Invariant 1 is what makes the jump-ahead pop safe: a handler that runs
+//! after a pop may push an event *earlier* than anything buffered (but not
+//! earlier than `now`); such a push binary-inserts into `ready` instead of
+//! a slot behind the cursor.
+//!
+//! Slot vectors recycle their capacity: promoting an L0 slot swaps it with
+//! the spent `ready` buffer, and cascading an L1 slot drains it in place so
+//! the slot keeps its own high-water capacity. After warm-up (optionally
+//! accelerated with [`EventQueue::equalize_slot_capacities`]) steady-state
+//! operation performs no heap allocation at all (verified by the
+//! allocation-counting harness in `pi2-bench`).
+
+use crate::event::EventEntry;
+use crate::time::Time;
+
+/// log2 of the L0 tick in nanoseconds (2^15 ns ≈ 32.8 µs).
+const L0_SHIFT: u32 = 15;
+/// log2 of the L1 tick in nanoseconds (2^25 ns ≈ 33.6 ms).
+const L1_SHIFT: u32 = 25;
+/// log2 of the slot count per wheel.
+const SLOT_BITS: u32 = L1_SHIFT - L0_SHIFT;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Occupancy-bitmap words per wheel level.
+const BITMAP_WORDS: usize = SLOTS / 64;
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// ```
+/// use pi2_simcore::{EventQueue, Time};
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_millis(20), "later");
+/// q.push(Time::from_millis(10), "sooner");
+/// assert_eq!(q.pop(), Some((Time::from_millis(10), "sooner")));
+/// assert_eq!(q.now(), Time::from_millis(10)); // the clock follows pops
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// Promoted events, sorted descending by `(time, seq)`; min at back.
+    ready: Vec<EventEntry<E>>,
+    /// Near wheel: one bucket per L0 tick within ≈ 33.6 ms.
+    l0: Vec<Vec<EventEntry<E>>>,
+    l0_bits: [u64; BITMAP_WORDS],
+    /// Overflow wheel: one bucket per L1 tick within ≈ 34.4 s.
+    l1: Vec<Vec<EventEntry<E>>>,
+    l1_bits: [u64; BITMAP_WORDS],
+    /// Beyond the overflow wheel, sorted descending by `(time, seq)`.
+    far: Vec<EventEntry<E>>,
+    /// The L0 tick `ready` has been filled up to (invariants above).
+    ready_tick: u64,
+    /// Total pending events across `ready`, both wheels and `far`.
+    pending: usize,
+    next_seq: u64,
+    now: Time,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn tick0(t: Time) -> u64 {
+    t.as_nanos() >> L0_SHIFT
+}
+
+#[inline]
+fn tick1(t: Time) -> u64 {
+    t.as_nanos() >> L1_SHIFT
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue positioned at `Time::ZERO`.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Create an empty queue with a pre-allocated ready buffer. Wheel
+    /// slots start empty and grow on first use, but they recycle their
+    /// capacity thereafter, so a warmed-up queue never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            ready: Vec::with_capacity(capacity),
+            l0: (0..SLOTS).map(|_| Vec::new()).collect(),
+            l0_bits: [0; BITMAP_WORDS],
+            l1: (0..SLOTS).map(|_| Vec::new()).collect(),
+            l1_bits: [0; BITMAP_WORDS],
+            far: Vec::new(),
+            ready_tick: 0,
+            pending: 0,
+            next_seq: 0,
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Grow the ready buffer so at least `additional` more promoted events
+    /// fit without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.ready.reserve(additional);
+    }
+
+    /// Current ready-buffer capacity (diagnostics for allocation-free
+    /// operation; wheel slots manage their own recycled capacity).
+    pub fn capacity(&self) -> usize {
+        self.ready.capacity()
+    }
+
+    /// Raise every wheel slot's capacity to the largest capacity any
+    /// slot has reached so far.
+    ///
+    /// Slot vectors grow organically and keep their high-water capacity,
+    /// but each slot discovers its own peak load separately — under a
+    /// bursty timer pattern a handful of slots per wheel rotation keep
+    /// crossing a power-of-two boundary for the first time, so sporadic
+    /// reallocations continue long after the load is stationary. Calling
+    /// this once after a warm-up period front-loads those allocations:
+    /// every slot is levelled up to the observed global peak (with the
+    /// usual amortized headroom), after which a steady workload never
+    /// touches the allocator. The allocation-accounting harness in
+    /// `pi2-bench` relies on this, mirroring `Monitor::reserve`.
+    pub fn equalize_slot_capacities(&mut self) {
+        let cap = self
+            .l0
+            .iter()
+            .chain(self.l1.iter())
+            .map(Vec::capacity)
+            .max()
+            .unwrap_or(0);
+        for v in self.l0.iter_mut().chain(self.l1.iter_mut()) {
+            v.reserve(cap.saturating_sub(v.len()));
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events popped so far; useful for run statistics and
+    /// runaway-simulation guards.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events pushed over the queue's lifetime (the tie-break
+    /// sequence counter doubles as this). `pushed() - popped()` is the
+    /// pending count plus any events dropped with the queue.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock — scheduling into
+    /// the past is always a bug in the caller.
+    pub fn push(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past: {:?} < {:?}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending += 1;
+        let entry = EventEntry { time: at, seq, event };
+        let t0 = tick0(at);
+        if t0 <= self.ready_tick {
+            // Behind (or at) the drain cursor: binary-insert into the
+            // sorted ready buffer. This is the jump-ahead case — the
+            // cursor may sit past `now` after a pop skipped empty ticks.
+            let key = (at, seq);
+            let idx = self.ready.partition_point(|e| (e.time, e.seq) > key);
+            self.ready.insert(idx, entry);
+            return;
+        }
+        let d0 = t0 - self.ready_tick;
+        if d0 < SLOTS as u64 {
+            let slot = (t0 & (SLOTS as u64 - 1)) as usize;
+            self.l0[slot].push(entry);
+            self.l0_bits[slot >> 6] |= 1 << (slot & 63);
+        } else {
+            let t1 = tick1(at);
+            let cur1 = self.ready_tick >> SLOT_BITS;
+            if t1 - cur1 < SLOTS as u64 {
+                let slot = (t1 & (SLOTS as u64 - 1)) as usize;
+                self.l1[slot].push(entry);
+                self.l1_bits[slot >> 6] |= 1 << (slot & 63);
+            } else {
+                let key = (at, seq);
+                let idx = self.far.partition_point(|e| (e.time, e.seq) > key);
+                self.far.insert(idx, entry);
+            }
+        }
+        if self.ready.is_empty() {
+            // The queue was empty before this push: re-establish the
+            // "ready non-empty" invariant so peek stays borrow-only.
+            self.advance();
+        }
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let entry = self.ready.pop()?;
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        self.popped += 1;
+        self.pending -= 1;
+        if self.ready.is_empty() && self.pending > 0 {
+            self.advance();
+        }
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.ready.last().map(|e| e.time)
+    }
+
+    /// Smallest occupied L0 tick in `(ready_tick, ready_tick + SLOTS]`,
+    /// via a circular occupancy-bitmap scan.
+    fn scan_l0(&self) -> Option<u64> {
+        Self::scan(&self.l0_bits, self.ready_tick).map(|off| self.ready_tick + off)
+    }
+
+    /// Smallest occupied L1 tick in `(cur1, cur1 + SLOTS]`.
+    fn scan_l1(&self, cur1: u64) -> Option<u64> {
+        Self::scan(&self.l1_bits, cur1).map(|off| cur1 + off)
+    }
+
+    /// Distance (in ticks, 1-based) from `from` to the first set bit in a
+    /// full circular sweep of the slots. The window `(from, from + SLOTS]`
+    /// visits each of the SLOTS slots exactly once, starting at
+    /// `(from + 1) % SLOTS`.
+    fn scan(bits: &[u64; BITMAP_WORDS], from: u64) -> Option<u64> {
+        let start = ((from + 1) & (SLOTS as u64 - 1)) as usize;
+        let mut word = start >> 6;
+        // First word: mask off bits below the start position.
+        let mut w = bits[word] & (!0u64 << (start & 63));
+        for step in 0..=BITMAP_WORDS {
+            if w != 0 {
+                let slot = (word << 6) + w.trailing_zeros() as usize;
+                let off = (slot + SLOTS - start) & (SLOTS - 1);
+                return Some(off as u64 + 1);
+            }
+            if step == BITMAP_WORDS {
+                break;
+            }
+            word = (word + 1) % BITMAP_WORDS;
+            w = bits[word];
+            if word == start >> 6 {
+                // Wrapped: only the bits below the start position remain.
+                w &= !(!0u64 << (start & 63));
+            }
+        }
+        None
+    }
+
+    /// Promote the slot at L0 tick `t0` into the (empty) ready buffer.
+    fn drain_l0(&mut self, t0: u64) {
+        debug_assert!(self.ready.is_empty());
+        let slot = (t0 & (SLOTS as u64 - 1)) as usize;
+        self.l0_bits[slot >> 6] &= !(1 << (slot & 63));
+        // Swap rather than drain: the spent ready buffer's capacity moves
+        // into the slot for its next use — no allocation either way.
+        std::mem::swap(&mut self.ready, &mut self.l0[slot]);
+        // All entries in a slot share `tick0`, but their full timestamps
+        // differ within the tick; sort by the determinism key. Keys are
+        // unique (`seq` is), so an unstable sort is exact.
+        self.ready
+            .sort_unstable_by(|a, b| (b.time, b.seq).cmp(&(a.time, a.seq)));
+        self.ready_tick = t0;
+    }
+
+    /// Refill `ready` with the earliest pending slot. Caller guarantees
+    /// `ready` is empty and `pending > 0`.
+    fn advance(&mut self) {
+        loop {
+            let cur1 = self.ready_tick >> SLOT_BITS;
+            // First L0 tick belonging to the next L1 slot.
+            let boundary = (cur1 + 1) << SLOT_BITS;
+            let next0 = self.scan_l0();
+            if let Some(t0) = next0 {
+                if t0 < boundary {
+                    // Nothing in L1/far can precede an event within the
+                    // current L1 tick (their tick1 is strictly greater).
+                    self.drain_l0(t0);
+                    return;
+                }
+            }
+            // Compare candidates at L1 granularity; the minimum tick1 wins.
+            let next1 = self.scan_l1(cur1);
+            let far1 = self.far.last().map(|e| tick1(e.time));
+            let l0t1 = next0.map(|t0| t0 >> SLOT_BITS);
+            let m = [next1, far1, l0t1]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("advance() on an empty queue");
+            if next1 == Some(m) {
+                // Cascade the L1 slot into L0. Moving the cursor to the
+                // last tick before the slot keeps every migrated tick0
+                // within L0's [1, SLOTS] indexing window.
+                self.ready_tick = (m << SLOT_BITS) - 1;
+                let slot = (m & (SLOTS as u64 - 1)) as usize;
+                self.l1_bits[slot >> 6] &= !(1 << (slot & 63));
+                // Drain in place (split field borrows) so the slot keeps
+                // its own high-water capacity: once every L1 slot has
+                // seen one fill/drain cycle (~34 s of simulated time),
+                // cascades and re-fills never allocate again.
+                let (l0, l0_bits, l1) = (&mut self.l0, &mut self.l0_bits, &mut self.l1);
+                for entry in l1[slot].drain(..) {
+                    let t0 = tick0(entry.time);
+                    let s0 = (t0 & (SLOTS as u64 - 1)) as usize;
+                    l0[s0].push(entry);
+                    l0_bits[s0 >> 6] |= 1 << (s0 & 63);
+                }
+                continue;
+            }
+            if far1 == Some(m) {
+                // Migrate the far events of L1 tick `m` straight into L0.
+                self.ready_tick = (m << SLOT_BITS) - 1;
+                while let Some(e) = self.far.last() {
+                    if tick1(e.time) != m {
+                        break;
+                    }
+                    let entry = self.far.pop().expect("checked non-empty");
+                    let t0 = tick0(entry.time);
+                    let s0 = (t0 & (SLOTS as u64 - 1)) as usize;
+                    self.l0[s0].push(entry);
+                    self.l0_bits[s0 >> 6] |= 1 << (s0 & 63);
+                }
+                continue;
+            }
+            // Only L0 holds tick1 == m: safe to jump the cursor to it.
+            self.drain_l0(next0.expect("l0 candidate vanished"));
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(128);
+        assert!(q.capacity() >= 128);
+        let cap = q.capacity();
+        for i in 0..128 {
+            q.push(Time::from_millis(u64::from(i)), i);
+        }
+        assert_eq!(q.capacity(), cap, "no regrowth within the reservation");
+        q.reserve(256);
+        assert!(q.capacity() >= 256);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(30), "c");
+        q.push(Time::from_millis(10), "a");
+        q.push(Time::from_millis(20), "b");
+        assert_eq!(q.pop(), Some((Time::from_millis(10), "a")));
+        assert_eq!(q.pop(), Some((Time::from_millis(20), "b")));
+        assert_eq!(q.pop(), Some((Time::from_millis(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(2), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_secs(2));
+        assert_eq!(q.popped(), 1);
+        assert_eq!(q.pushed(), 1);
+        q.push(Time::from_secs(3), ());
+        assert_eq!(q.pushed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(2), ());
+        q.pop();
+        q.push(Time::from_secs(1), ());
+    }
+
+    #[test]
+    fn push_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(1), 1);
+        q.pop();
+        q.push(q.now(), 2); // immediate follow-up event
+        assert_eq!(q.pop(), Some((Time::from_secs(1), 2)));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(7) + Duration::ZERO, ());
+        assert_eq!(q.peek_time(), Some(Time::from_millis(7)));
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(1), 1);
+        q.push(Time::from_millis(5), 5);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Time::from_millis(3), 3);
+        q.push(Time::from_millis(4), 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 5);
+    }
+
+    /// The jump-ahead hazard: after popping (which may advance the drain
+    /// cursor far beyond `now`), a handler pushes an event earlier than
+    /// everything still buffered. It must pop first regardless.
+    #[test]
+    fn push_below_cursor_after_jump() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(1), "first");
+        q.push(Time::from_millis(100), "far");
+        assert_eq!(q.pop().unwrap().1, "first");
+        // The cursor has jumped to the 100 ms tick to keep peek O(1);
+        // a push at 2 ms lands behind it and must still win.
+        q.push(Time::from_millis(2), "soon");
+        assert_eq!(q.peek_time(), Some(Time::from_millis(2)));
+        assert_eq!(q.pop().unwrap().1, "soon");
+        assert_eq!(q.pop().unwrap().1, "far");
+    }
+
+    /// Events beyond each level's span: overflow wheel and far list, with
+    /// pushes that straddle all three levels and a cascade back down.
+    #[test]
+    fn levels_cascade_in_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(100), "far"); // beyond L1 span (~34 s)
+        q.push(Time::from_secs(1), "l1"); // beyond L0 span (~34 ms)
+        q.push(Time::from_millis(1), "l0");
+        q.push(Time::from_nanos(10), "ready");
+        assert_eq!(q.pop().unwrap().1, "ready");
+        assert_eq!(q.pop().unwrap().1, "l0");
+        assert_eq!(q.pop().unwrap().1, "l1");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Same-tick events arriving while the tick is being drained keep
+    /// FIFO order relative to their push sequence.
+    #[test]
+    fn same_tick_insert_during_drain_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(3);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(t, 2); // tick already promoted: lands in ready directly
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    /// An L1-boundary hazard: an overflow-wheel event must not be
+    /// overtaken by a near-wheel event that lies just past the boundary.
+    #[test]
+    fn l1_event_beats_later_l0_event_across_boundary() {
+        let mut q = EventQueue::new();
+        // Park the cursor near the end of an L1 tick.
+        let base = (1u64 << L1_SHIFT) - (5 << L0_SHIFT);
+        q.push(Time::from_nanos(1), "warm");
+        q.push(Time::from_nanos(base), "park");
+        // From cursor ~0: this is > 1024 L0 ticks away — lands in L1.
+        let early = (1u64 << L1_SHIFT) + (2 << L0_SHIFT);
+        q.push(Time::from_nanos(early), "l1-early");
+        assert_eq!(q.pop().unwrap().1, "warm");
+        assert_eq!(q.pop().unwrap().1, "park");
+        // From the parked cursor this is < 1024 ticks away — lands in L0,
+        // but *after* the L1 resident in absolute time.
+        let late = (1u64 << L1_SHIFT) + (700 << L0_SHIFT);
+        q.push(Time::from_nanos(late), "l0-late");
+        assert_eq!(q.pop().unwrap().1, "l1-early");
+        assert_eq!(q.pop().unwrap().1, "l0-late");
+    }
+}

@@ -4,10 +4,70 @@
 // the offline build cannot fetch. See the `proptests` feature in Cargo.toml.
 #![cfg(feature = "proptests")]
 
-use pi2_simcore::{Duration, EventQueue, Rng, Time};
+use pi2_simcore::{Duration, EventQueue, HeapEventQueue, Rng, Time};
 use proptest::prelude::*;
 
 proptest! {
+    /// Cross-implementation equivalence: the timing wheel must produce the
+    /// exact pop stream of the reference binary heap on random schedules
+    /// spanning all three levels (near wheel, overflow wheel, far list).
+    #[test]
+    fn wheel_matches_heap_on_random_schedules(
+        times in prop::collection::vec(0u64..200_000_000_000, 1..300),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            wheel.push(Time::from_nanos(t), i);
+            heap.push(Time::from_nanos(t), i);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(wheel.now(), heap.now());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same equivalence under interleaved push/pop: after every pop, new
+    /// events are scheduled relative to the advanced clock (the simulator's
+    /// actual access pattern), including sub-tick follow-ups, RTO-scale
+    /// offsets into the overflow wheel, and far-future timers.
+    #[test]
+    fn wheel_matches_heap_interleaved(seed in any::<u64>(), steps in 1usize..400) {
+        let mut rng = Rng::new(seed);
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut next_id = 0usize;
+        for _ in 0..steps {
+            let burst = rng.range_u64(0, 4);
+            for _ in 0..burst {
+                // Mix of offsets: same-instant, sub-tick, in-window,
+                // overflow-wheel and far-list distances.
+                let offset = match rng.range_u64(0, 5) {
+                    0 => 0,
+                    1 => rng.range_u64(0, 1 << 15),
+                    2 => rng.range_u64(0, 1 << 25),
+                    3 => rng.range_u64(0, 40_000_000_000),
+                    _ => rng.range_u64(0, 100_000_000_000),
+                };
+                let at = Time::from_nanos(wheel.now().as_nanos() + offset);
+                wheel.push(at, next_id);
+                heap.push(at, next_id);
+                next_id += 1;
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            prop_assert_eq!(wheel.pop(), heap.pop());
+        }
+        while let Some(popped) = heap.pop() {
+            prop_assert_eq!(wheel.pop(), Some(popped));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
     /// Popped timestamps are a non-decreasing sequence, whatever the push order.
     #[test]
     fn event_queue_pops_monotonically(times in prop::collection::vec(0u64..1_000_000, 1..200)) {

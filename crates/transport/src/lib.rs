@@ -15,6 +15,7 @@
 
 pub mod cc;
 pub mod rangeset;
+pub mod seqset;
 pub mod tcp;
 
 pub use cc::{CcKind, CongestionControl, Cubic, Dctcp, Reno, ScalableHalfPkt};

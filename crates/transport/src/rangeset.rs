@@ -18,12 +18,18 @@
 #[derive(Clone, Debug, Default)]
 pub struct RangeSet {
     ranges: Vec<(u64, u64)>,
+    /// Cached total of contained sequence numbers, so [`RangeSet::len`] is
+    /// O(1) — it sits on TCP's per-ACK `pipe()` estimate.
+    total: u64,
 }
 
 impl RangeSet {
     /// An empty set.
     pub fn new() -> Self {
-        RangeSet { ranges: Vec::new() }
+        RangeSet {
+            ranges: Vec::new(),
+            total: 0,
+        }
     }
 
     /// Number of disjoint ranges.
@@ -31,9 +37,15 @@ impl RangeSet {
         self.ranges.len()
     }
 
-    /// Total sequence numbers contained.
+    /// Total sequence numbers contained. O(1).
     pub fn len(&self) -> u64 {
-        self.ranges.iter().map(|(s, e)| e - s).sum()
+        self.total
+    }
+
+    /// Remove everything, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+        self.total = 0;
     }
 
     /// True if no sequence numbers are contained.
@@ -84,15 +96,18 @@ impl RangeSet {
                     self.ranges.remove(i);
                 }
                 let _ = ps;
+                self.total += 1;
                 return true;
             }
         }
         // Prepend to the next range?
         if i < self.ranges.len() && self.ranges[i].0 == seq + 1 {
             self.ranges[i].0 = seq;
+            self.total += 1;
             return true;
         }
         self.ranges.insert(i, (seq, seq + 1));
+        self.total += 1;
         true
     }
 
@@ -114,11 +129,14 @@ impl RangeSet {
         let mut hi = lo;
         let mut new_start = start;
         let mut new_end = end;
+        let mut absorbed = 0;
         while hi < self.ranges.len() && self.ranges[hi].0 <= end {
             new_start = new_start.min(self.ranges[hi].0);
             new_end = new_end.max(self.ranges[hi].1);
+            absorbed += self.ranges[hi].1 - self.ranges[hi].0;
             hi += 1;
         }
+        self.total += (new_end - new_start) - absorbed;
         self.ranges.splice(lo..hi, [(new_start, new_end)]);
     }
 
@@ -138,6 +156,7 @@ impl RangeSet {
                 true
             }
         });
+        self.total -= removed;
         removed
     }
 
@@ -147,6 +166,7 @@ impl RangeSet {
         if let Some(&(s, e)) = self.ranges.first() {
             if s == start {
                 self.ranges.remove(0);
+                self.total -= e - s;
                 return Some((s, e));
             }
         }
@@ -346,6 +366,19 @@ mod tests {
         assert_eq!(r.ranges(), &[(0, 6), (9, 15)]);
         r.insert_range(6, 9); // exactly fills the gap: one range left
         assert_eq!(r.ranges(), &[(0, 15)]);
+    }
+
+    #[test]
+    fn clear_resets_cached_len() {
+        let mut r = RangeSet::new();
+        r.insert_range(0, 100);
+        r.insert_range(200, 250);
+        assert_eq!(r.len(), 150);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        r.insert(5);
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

@@ -17,9 +17,9 @@
 
 use crate::cc::{CcKind, CongestionControl};
 use crate::rangeset::RangeSet;
+use crate::seqset::SeqSet;
 use pi2_netsim::{Ack, Ecn, FlowId, Packet, SimCore, Source, TimerKind};
 use pi2_simcore::{Duration, Time};
-use std::collections::BTreeSet;
 
 /// How the flow uses ECN.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -118,9 +118,17 @@ pub struct TcpSource {
     sacked: RangeSet,
     /// Sequences deemed lost (unsacked holes below the highest SACK; valid
     /// because the simulated path never reorders).
-    lost: BTreeSet<u64>,
+    lost: SeqSet,
     /// Lost sequences whose retransmission is currently in flight.
-    rtx_out: BTreeSet<u64>,
+    rtx_out: SeqSet,
+    /// Everything below this was already classified by `mark_lost_holes`,
+    /// so each call scans only the newly-eligible window instead of
+    /// re-walking the scoreboard from `snd_una`. Reset when the scoreboard
+    /// restarts (RTO, recovery entry).
+    lost_below: u64,
+    /// `next_repair` cursor: every lost sequence below this is already in
+    /// `rtx_out`, and nothing at or above it is. Reset with `lost_below`.
+    repair_from: u64,
     /// Classic congestion events are ignored until `snd_una` passes this
     /// sequence (one reaction per window in flight — the RFC 5681 /
     /// RFC 3168 rule).
@@ -185,8 +193,10 @@ impl TcpSource {
             recover: 0,
             recovery_inflation: 0,
             sacked: RangeSet::new(),
-            lost: BTreeSet::new(),
-            rtx_out: BTreeSet::new(),
+            lost: SeqSet::new(),
+            rtx_out: SeqSet::new(),
+            lost_below: 0,
+            repair_from: 0,
             cong_gate: 0,
             rto_timer: None,
             rto_backoff: 0,
@@ -278,6 +288,10 @@ impl TcpSource {
 
     /// Fold a SACK-block update into the scoreboard.
     fn apply_sack(&mut self, ack: &Ack) {
+        // Steady-state ACKs carry no blocks; nothing below can change.
+        if ack.sack.iter().all(Option::is_none) {
+            return;
+        }
         for block in ack.sack.iter().flatten() {
             let (s, e) = *block;
             let s = s.max(self.snd_una);
@@ -316,29 +330,53 @@ impl TcpSource {
         let Some(cutoff) = cutoff else {
             return;
         };
-        let mut seq = self.snd_una;
-        while seq < cutoff {
-            if let Some((_, e)) = self.sacked.find(seq) {
-                seq = e;
-            } else {
-                self.lost.insert(seq);
-                seq += 1;
+        // Everything below `lost_below` was classified on a previous call
+        // (and holes that got SACKed since were pulled out of `lost` by
+        // `apply_sack` — they must not return). Only the newly-eligible
+        // window needs scanning, as whole hole runs between SACK ranges.
+        let mut cur = self.snd_una.max(self.lost_below);
+        if cur >= cutoff {
+            return;
+        }
+        for &(s, e) in self.sacked.ranges() {
+            if e <= cur {
+                continue;
+            }
+            if s >= cutoff {
+                break;
+            }
+            if s > cur {
+                self.lost.insert_run(cur, s.min(cutoff));
+            }
+            cur = e;
+            if cur >= cutoff {
+                break;
             }
         }
+        if cur < cutoff {
+            self.lost.insert_run(cur, cutoff);
+        }
+        self.lost_below = cutoff;
     }
 
     /// The lowest lost sequence whose retransmission is not in flight.
+    ///
+    /// Cursor invariant: `try_send` repairs losses in ascending order and
+    /// bumps `repair_from` past each, so everything below the cursor is in
+    /// `rtx_out` and nothing at or above it is — no membership probing.
     fn next_repair(&self) -> Option<u64> {
-        self.lost
-            .iter()
-            .copied()
-            .find(|seq| !self.rtx_out.contains(seq))
+        self.lost.first_at_or_after(self.repair_from)
     }
 
     fn drop_scoreboard_below(&mut self, cutoff: u64) {
+        // Steady state (no loss episode in flight) keeps all three sets
+        // empty; skip the per-set calls on the every-ACK path.
+        if self.sacked.is_empty() && self.lost.is_empty() && self.rtx_out.is_empty() {
+            return;
+        }
         self.sacked.remove_below(cutoff);
-        self.lost.retain(|&s| s >= cutoff);
-        self.rtx_out.retain(|&s| s >= cutoff);
+        self.lost.remove_below(cutoff);
+        self.rtx_out.remove_below(cutoff);
     }
 
     fn data_exhausted(&self) -> bool {
@@ -361,6 +399,7 @@ impl TcpSource {
             while self.pipe() < cwnd {
                 if let Some(seq) = self.next_repair() {
                     self.rtx_out.insert(seq);
+                    self.repair_from = seq + 1;
                     self.send_segment(core, seq, true);
                 } else if !self.data_exhausted() {
                     let seq = self.snd_nxt;
@@ -593,6 +632,11 @@ impl Source for TcpSource {
                 }
                 self.in_recovery = true;
                 self.recover = self.snd_nxt;
+                // Fresh episode: the scoreboard sets are empty here (the
+                // previous episode's entries were all cumulatively acked),
+                // so the scan cursors restart.
+                self.lost_below = 0;
+                self.repair_from = 0;
                 if self.cfg.sack {
                     self.mark_lost_holes();
                     // If nothing is SACKed yet (pure dupack entry), the
@@ -640,9 +684,11 @@ impl Source for TcpSource {
         self.recovery_inflation = 0;
         // The scoreboard may be stale (e.g. the retransmission itself was
         // lost); RFC 6582/6675 restart from scratch after a timeout.
-        self.sacked = RangeSet::new();
+        self.sacked.clear();
         self.lost.clear();
         self.rtx_out.clear();
+        self.lost_below = 0;
+        self.repair_from = 0;
         self.cong_gate = self.snd_nxt;
         self.send_segment(core, self.snd_una, true);
         self.arm_rto(core);
@@ -1258,7 +1304,10 @@ mod tests {
         assert_eq!(src.lost.iter().copied().collect::<Vec<_>>(), vec![0]);
         // Split scoreboard: {2..4, 6..8} puts 4 SACKed segments above the
         // low holes but only 2 above the hole at 4..6, which stays unlost.
+        // Resetting the scoreboard by hand means resetting its scan cursor
+        // too (in real runs only the RTO/recovery-entry paths do this).
         src.lost.clear();
+        src.lost_below = 0;
         src.sacked = RangeSet::new();
         src.sacked.insert_range(2, 4);
         src.sacked.insert_range(6, 8);

@@ -46,7 +46,7 @@ fn main() {
 
     let m = &sim.core.monitor;
     println!("t[s]  queue delay [ms]   total throughput [Mb/s]");
-    for ((t, d), (_, r)) in m.qdelay_series.iter().zip(&m.total_tput_series) {
+    for ((t, d), (_, r)) in m.qdelay_series().iter().zip(&m.total_tput_series()) {
         if *t as u64 % 5 == 0 {
             println!("{t:>4.0}  {d:>16.1}   {r:>22.2}");
         }

@@ -41,6 +41,25 @@ PI2_SECS=2 PI2_OVERHEAD_GATE=1 env "${bench_out_env[@]}" \
 env "${bench_out_env[@]}" \
     cargo run -q -p pi2-bench --release --bin bench_aqm_decision
 
+echo "== perf gate: fresh sim_throughput vs the committed trajectory"
+# bench_compare diffs the smoke run above against the committed
+# BENCH_pi2.json baseline (trailing-min of the last 5 runs) and, with
+# PI2_PERF_GATE=1, fails on regressions. Two checks (see the binary's
+# module docs): ns/event within PI2_PERF_TOL of baseline, and the
+# PIE/PI2 per-event cost ratio inside [0.9, 2.0]. The default tolerance
+# here is deliberately loose: this host's clock throttles bimodally and
+# same-code runs in the committed trajectory differ by up to ~2.8x, so a
+# tight absolute gate would flake — the ratio check is the
+# machine-mode-independent regression pin.
+if [ "${PI2_BENCH_HISTORY:-0}" = "1" ]; then
+    PI2_PERF_GATE=1 PI2_PERF_TOL="${PI2_PERF_TOL:-2.0}" \
+        cargo run -q -p pi2-bench --release --bin bench_compare -- --bench sim_throughput
+else
+    PI2_PERF_GATE=1 PI2_PERF_TOL="${PI2_PERF_TOL:-2.0}" \
+        cargo run -q -p pi2-bench --release --bin bench_compare -- \
+        --bench sim_throughput --baseline BENCH_pi2.json --candidate "$smoke_out"
+fi
+
 echo "== traced+audited smoke run: JSONL sink parses, invariants hold"
 trace_out="$(mktemp -t pi2_trace_smoke.XXXXXX.jsonl)"
 trace_log="$(mktemp -t pi2_trace_smoke.XXXXXX.log)"

@@ -64,8 +64,9 @@ fn pi2_holds_reno_queue_near_target() {
         "PI2 mean queue delay {mean:.1} ms vs 20 ms target"
     );
     // Utilization must not be sacrificed.
-    let util: f64 = m.util_samples.iter().map(|&x| x as f64).sum::<f64>()
-        / m.util_samples.len() as f64;
+    let util_samples = m.util_samples();
+    let util: f64 = util_samples.iter().map(|&x| x as f64).sum::<f64>()
+        / util_samples.len() as f64;
     assert!(util > 0.85, "utilization {util:.2}");
 }
 
@@ -131,8 +132,9 @@ fn codel_controls_reno_near_its_target() {
         (1.0..60.0).contains(&mean),
         "CoDel mean queue delay {mean:.1} ms"
     );
-    let util: f64 = m.util_samples.iter().map(|&x| x as f64).sum::<f64>()
-        / m.util_samples.len() as f64;
+    let util_samples = m.util_samples();
+    let util: f64 = util_samples.iter().map(|&x| x as f64).sum::<f64>()
+        / util_samples.len() as f64;
     assert!(util > 0.75, "utilization {util:.2}");
 }
 

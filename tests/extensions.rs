@@ -120,8 +120,9 @@ fn alternative_aqms_remain_stable_on_mixed_traffic() {
             (0.5..80.0).contains(&mean),
             "{name}: mean delay {mean:.1} ms"
         );
-        let util: f64 = m.util_samples.iter().map(|&x| x as f64).sum::<f64>()
-            / m.util_samples.len() as f64;
+        let util_samples = m.util_samples();
+        let util: f64 = util_samples.iter().map(|&x| x as f64).sum::<f64>()
+            / util_samples.len() as f64;
         assert!(util > 0.85, "{name}: utilization {util:.2}");
     }
 }

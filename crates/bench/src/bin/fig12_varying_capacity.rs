@@ -21,13 +21,16 @@ fn main() {
         ">=100ms excursions 55-100s".into(),
         "peak after 100s restore (ms)".into(),
     ]];
+    // A missing peak means the sampling window held no data (mis-scheduled
+    // disturbance / truncated run) — print it as such, never as 0.
+    let peak = |p: Option<f64>| p.map(f).unwrap_or_else(|| "no samples".into());
     for r in &runs {
         rows.push(vec![
             r.aqm.to_string(),
-            f(r.drop_peak_ms),
+            peak(r.drop_peak_ms),
             r.settle_s.map(f).unwrap_or_else(|| "-".into()),
             r.late_excursions.to_string(),
-            f(r.restore_peak_ms),
+            peak(r.restore_peak_ms),
         ]);
     }
     table(&rows);

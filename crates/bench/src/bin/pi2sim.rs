@@ -230,7 +230,34 @@ fn main() {
             Box::new(UdpCbrSource::new(id, bps, 1500, Ecn::NotEct))
         });
     }
-    sim.run_until(Time::from_secs(a.secs));
+    // `--restore`: replace the freshly built state with the checkpoint's.
+    // Must come after every flow is added — the blob's schema hash covers
+    // the flow set, and per-source state lands in the matching sources.
+    if let Some(path) = &a.restore {
+        let blob = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("cannot read checkpoint {path}: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = sim.restore(&blob) {
+            eprintln!("checkpoint restore from {path} failed: {e:?}");
+            std::process::exit(1);
+        }
+        println!("# restored {path} at t={}", sim.core.now());
+    }
+    let end = Time::from_secs(a.secs);
+    // `--checkpoint-out`: pause mid-run (default: at the end), snapshot,
+    // then keep running — saving is read-only, the run's bits don't change.
+    if let Some(path) = &a.checkpoint_out {
+        let at = a.checkpoint_at.map_or(end, |d| Time::ZERO + d).min(end);
+        sim.run_until(at);
+        let blob = sim.save();
+        if let Err(e) = std::fs::write(path, &blob) {
+            eprintln!("cannot write checkpoint {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("# checkpoint: {} bytes written to {path} at t={}", blob.len(), sim.core.now());
+    }
+    sim.run_until(end);
     if let Err(e) = sim.core.flush_trace_sinks() {
         eprintln!("trace sink error: {e}");
         std::process::exit(1);

@@ -74,6 +74,15 @@ pub struct CliArgs {
     /// Path impairment: maximum reordering jitter (uniform extra delay
     /// in `[0, jitter]` per surviving packet).
     pub jitter: Duration,
+    /// Write a checkpoint of the full simulator state to this file.
+    pub checkpoint_out: Option<String>,
+    /// Simulation time at which the checkpoint is taken (default: end of
+    /// run). Only meaningful with `--checkpoint-out`.
+    pub checkpoint_at: Option<Duration>,
+    /// Restore simulator state from this checkpoint before running. The
+    /// scenario arguments (AQM, rate, flows, seed, ...) must match the
+    /// run that produced the checkpoint.
+    pub restore: Option<String>,
 }
 
 /// On-disk format for `--trace-out`.
@@ -128,6 +137,9 @@ impl Default for CliArgs {
             loss: 0.0,
             dup: 0.0,
             jitter: Duration::ZERO,
+            checkpoint_out: None,
+            checkpoint_at: None,
+            restore: None,
         }
     }
 }
@@ -317,12 +329,18 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--loss" => out.loss = parse_prob(value("--loss")?)?,
             "--dup" => out.dup = parse_prob(value("--dup")?)?,
             "--jitter" => out.jitter = parse_time(value("--jitter")?)?,
+            "--checkpoint-out" => out.checkpoint_out = Some(value("--checkpoint-out")?.clone()),
+            "--checkpoint-at" => out.checkpoint_at = Some(parse_time(value("--checkpoint-at")?)?),
+            "--restore" => out.restore = Some(value("--restore")?.clone()),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
     }
     if out.warmup_secs >= out.secs {
         return Err("--warmup must be smaller than --secs".to_string());
+    }
+    if out.checkpoint_at.is_some() && out.checkpoint_out.is_none() {
+        return Err("--checkpoint-at needs --checkpoint-out".to_string());
     }
     Ok(out)
 }
@@ -358,7 +376,11 @@ pub fn usage() -> String {
          \x20                   for PIE vs PI2 vs DualPI2, with spike/settle table\n\
          \x20 --loss <p>        network weather: random loss probability (0.01 or 1%)\n\
          \x20 --dup <p>         network weather: duplication probability\n\
-         \x20 --jitter <time>   network weather: max reordering jitter, e.g. 5ms",
+         \x20 --jitter <time>   network weather: max reordering jitter, e.g. 5ms\n\
+         \x20 --checkpoint-out <p> write a full simulator checkpoint to this file\n\
+         \x20 --checkpoint-at <time> when to snapshot (default: end of run)\n\
+         \x20 --restore <p>     resume from a checkpoint; pass the same scenario\n\
+         \x20                   arguments as the run that produced it",
         AQMS.join("|"),
         SCENARIOS.join(", ")
     )
@@ -493,6 +515,22 @@ mod tests {
         assert_eq!(a.loss, 0.01);
         assert_eq!(a.dup, 0.005);
         assert_eq!(a.jitter, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let a = parse_args(&args(
+            "--checkpoint-out /tmp/c.ckpt --checkpoint-at 30s --restore /tmp/old.ckpt",
+        ))
+        .unwrap();
+        assert_eq!(a.checkpoint_out.as_deref(), Some("/tmp/c.ckpt"));
+        assert_eq!(a.checkpoint_at, Some(Duration::from_secs(30)));
+        assert_eq!(a.restore.as_deref(), Some("/tmp/old.ckpt"));
+        let d = parse_args(&[]).unwrap();
+        assert_eq!(d.checkpoint_out, None);
+        assert_eq!(d.restore, None);
+        let e = parse_args(&args("--checkpoint-at 10s")).unwrap_err();
+        assert!(e.contains("--checkpoint-out"));
     }
 
     #[test]

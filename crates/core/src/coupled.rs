@@ -22,7 +22,7 @@ use crate::estimator::DelayEstimator;
 use crate::pi::PiCore;
 use crate::pi2::{Pi2, SquareMode};
 use pi2_netsim::{Aqm, AqmState, Decision, Packet, QueueSnapshot};
-use pi2_simcore::{Duration, Rng, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Rng, Time};
 
 /// Configuration of the coupled AQM (defaults: paper Table 1, k = 2).
 #[derive(Clone, Copy, Debug)]
@@ -169,6 +169,17 @@ impl Aqm for CoupledPi2 {
 
     fn name(&self) -> &'static str {
         "coupled-pi2"
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        // cfg, pp_cap and inv_k are construction-time constants.
+        self.core.save_ckpt(w);
+        self.estimator.save_ckpt(w);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.core.restore_ckpt(r)?;
+        self.estimator.restore_ckpt(r)
     }
 }
 

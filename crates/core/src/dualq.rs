@@ -23,8 +23,9 @@
 
 use crate::pi::PiCore;
 use crate::pi2::{Pi2, SquareMode};
+use pi2_netsim::ckpt::{read_packet, write_packet};
 use pi2_netsim::{AqmState, Decision, Ecn, Packet, Qdisc, QueueStats};
-use pi2_simcore::{Duration, Rng, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Rng, Time};
 use std::collections::VecDeque;
 
 /// DualPI2 configuration.
@@ -346,6 +347,58 @@ impl Qdisc for DualPi2 {
         // per-packet delays are recorded at dequeue). The head-age measure
         // needs `now`, which this monitoring hook does not receive.
         Duration::serialization(self.c_bytes, self.rate_bps)
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        self.core.save_ckpt(w);
+        for q in [&self.l, &self.c] {
+            w.usize(q.len());
+            for (pkt, enq_at) in q {
+                write_packet(w, pkt);
+                w.time(*enq_at);
+            }
+        }
+        w.u64(self.rate_bps);
+        w.u64(self.stats.enqueued);
+        w.u64(self.stats.dequeued);
+        w.u64(self.stats.dequeued_bytes);
+        w.u64(self.stats.aqm_dropped);
+        w.u64(self.stats.aqm_marked);
+        w.u64(self.stats.overflowed);
+        w.u64(self.l_dequeued_bytes);
+        w.u64(self.c_dequeued_bytes);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.core.restore_ckpt(r)?;
+        // Byte totals are derived from the queue contents, not trusted
+        // from the blob.
+        let mut bytes = [0usize; 2];
+        for (q, b) in [&mut self.l, &mut self.c].into_iter().zip(bytes.iter_mut()) {
+            let n = r.usize()?;
+            q.clear();
+            for _ in 0..n {
+                let pkt = read_packet(r)?;
+                let enq_at = r.time()?;
+                *b += pkt.size;
+                q.push_back((pkt, enq_at));
+            }
+        }
+        self.l_bytes = bytes[0];
+        self.c_bytes = bytes[1];
+        self.rate_bps = r.u64()?;
+        if self.rate_bps == 0 {
+            return Err(CkptError::Corrupt("zero link rate"));
+        }
+        self.stats.enqueued = r.u64()?;
+        self.stats.dequeued = r.u64()?;
+        self.stats.dequeued_bytes = r.u64()?;
+        self.stats.aqm_dropped = r.u64()?;
+        self.stats.aqm_marked = r.u64()?;
+        self.stats.overflowed = r.u64()?;
+        self.l_dequeued_bytes = r.u64()?;
+        self.c_dequeued_bytes = r.u64()?;
+        Ok(())
     }
 }
 

@@ -13,7 +13,7 @@
 //!   link rate, exact in simulation when the rate is known.
 
 use pi2_netsim::QueueSnapshot;
-use pi2_simcore::{Duration, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Time};
 
 /// Measurement threshold: a rate sample is taken once this many bytes have
 /// departed (RFC 8033 `DQ_THRESHOLD`).
@@ -83,6 +83,23 @@ impl RateEstimator {
         }
     }
 
+    /// Serialize the measurement-cycle state (checkpointing).
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.bool(self.in_measurement);
+        w.time(self.start);
+        w.u64(self.dq_count);
+        w.f64(self.avg_dq_rate);
+    }
+
+    /// Restore state captured by [`RateEstimator::save_ckpt`].
+    pub fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.in_measurement = r.bool()?;
+        self.start = r.time()?;
+        self.dq_count = r.u64()?;
+        self.avg_dq_rate = r.f64()?;
+        Ok(())
+    }
+
     /// Little's-law delay estimate for the given backlog.
     pub fn delay_of(&self, qlen_bytes: usize, link_rate_bps: u64) -> Duration {
         if self.avg_dq_rate > 0.0 {
@@ -130,6 +147,37 @@ impl DelayEstimator {
             DelayEstimator::RateEstimate(re) if re.avg_dq_rate > 0.0 => Some(re.avg_dq_rate),
             _ => None,
         }
+    }
+
+    /// The checkpoint variant tag — part of the binary format, so the
+    /// order is fixed: 0 = RateEstimate, 1 = Sojourn, 2 = QlenOverRate.
+    fn ckpt_tag(&self) -> u8 {
+        match self {
+            DelayEstimator::RateEstimate(_) => 0,
+            DelayEstimator::Sojourn => 1,
+            DelayEstimator::QlenOverRate => 2,
+        }
+    }
+
+    /// Serialize the estimator variant and any mutable state.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.u8(self.ckpt_tag());
+        if let DelayEstimator::RateEstimate(re) = self {
+            re.save_ckpt(w);
+        }
+    }
+
+    /// Restore state captured by [`DelayEstimator::save_ckpt`]. The
+    /// checkpointed variant must match the configured one — a checkpoint
+    /// cannot change the estimation strategy.
+    pub fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        if r.u8()? != self.ckpt_tag() {
+            return Err(CkptError::Corrupt("delay estimator variant mismatch"));
+        }
+        if let DelayEstimator::RateEstimate(re) = self {
+            re.restore_ckpt(r)?;
+        }
+        Ok(())
     }
 
     /// Estimate the current queuing delay.

@@ -11,8 +11,9 @@
 //! coexistence by scheduling (at per-flow state cost) where PI2 solves it
 //! by coupled signalling in one queue.
 
+use pi2_netsim::ckpt::{read_packet, write_packet};
 use pi2_netsim::{Decision, FlowId, Packet, Qdisc, QueueStats};
-use pi2_simcore::{Duration, Rng, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Rng, Time};
 use std::collections::{HashMap, VecDeque};
 
 /// FQ configuration.
@@ -214,6 +215,71 @@ impl Qdisc for FqDrr {
 
     fn stats(&self) -> &QueueStats {
         &self.stats
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        // Serialize flows in round-robin order — the `round` deque, not
+        // the HashMap's iteration order, which is nondeterministic. Flows
+        // with an empty FIFO carry no state (deficit resets to 0 on
+        // leaving the round), so the round covers everything that matters.
+        w.usize(self.round.len());
+        for flow in &self.round {
+            let q = &self.queues[flow];
+            w.u32(flow.0);
+            w.i64(q.deficit);
+            w.usize(q.fifo.len());
+            for (pkt, enq_at) in &q.fifo {
+                write_packet(w, pkt);
+                w.time(*enq_at);
+            }
+        }
+        w.u64(self.rate_bps);
+        w.u64(self.stats.enqueued);
+        w.u64(self.stats.dequeued);
+        w.u64(self.stats.dequeued_bytes);
+        w.u64(self.stats.aqm_dropped);
+        w.u64(self.stats.aqm_marked);
+        w.u64(self.stats.overflowed);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.queues.clear();
+        self.round.clear();
+        self.total_bytes = 0;
+        let flows = r.usize()?;
+        for _ in 0..flows {
+            let flow = FlowId(r.u32()?);
+            let deficit = r.i64()?;
+            let pkts = r.usize()?;
+            if pkts == 0 {
+                return Err(CkptError::Corrupt("backlogged flow with empty queue"));
+            }
+            let mut fifo = VecDeque::with_capacity(pkts.max(64));
+            let mut bytes = 0;
+            for _ in 0..pkts {
+                let pkt = read_packet(r)?;
+                let enq_at = r.time()?;
+                bytes += pkt.size;
+                fifo.push_back((pkt, enq_at));
+            }
+            self.total_bytes += bytes;
+            let prev = self.queues.insert(flow, FlowQueue { fifo, bytes, deficit });
+            if prev.is_some() {
+                return Err(CkptError::Corrupt("duplicate flow in DRR round"));
+            }
+            self.round.push_back(flow);
+        }
+        self.rate_bps = r.u64()?;
+        if self.rate_bps == 0 {
+            return Err(CkptError::Corrupt("zero link rate"));
+        }
+        self.stats.enqueued = r.u64()?;
+        self.stats.dequeued = r.u64()?;
+        self.stats.dequeued_bytes = r.u64()?;
+        self.stats.aqm_dropped = r.u64()?;
+        self.stats.aqm_marked = r.u64()?;
+        self.stats.overflowed = r.u64()?;
+        Ok(())
     }
 }
 

@@ -15,7 +15,7 @@
 
 use crate::estimator::DelayEstimator;
 use pi2_netsim::{Aqm, AqmState, Decision, Packet, QueueSnapshot};
-use pi2_simcore::{Duration, Rng, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Rng, Time};
 
 /// The shared PI state machine.
 ///
@@ -106,6 +106,27 @@ impl PiCore {
     /// Previous update's queue delay (PIE's `qdelay_old`).
     pub fn prev_qdelay(&self) -> Duration {
         self.prev_qdelay
+    }
+
+    /// Serialize the mutable controller state (checkpointing). Gains,
+    /// target and interval are configuration and stay with the instance.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.duration(self.prev_qdelay);
+        w.f64(self.p);
+        w.f64(self.last_alpha_term);
+        w.f64(self.last_beta_term);
+    }
+
+    /// Restore state captured by [`PiCore::save_ckpt`].
+    pub fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.prev_qdelay = r.duration()?;
+        self.p = r.f64()?;
+        self.last_alpha_term = r.f64()?;
+        self.last_beta_term = r.f64()?;
+        if !(0.0..=1.0).contains(&self.p) {
+            return Err(CkptError::Corrupt("PI probability outside [0, 1]"));
+        }
+        Ok(())
     }
 }
 
@@ -234,6 +255,16 @@ impl Aqm for Pi {
 
     fn name(&self) -> &'static str {
         "pi"
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        self.core.save_ckpt(w);
+        self.estimator.save_ckpt(w);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.core.restore_ckpt(r)?;
+        self.estimator.restore_ckpt(r)
     }
 }
 

@@ -19,7 +19,7 @@
 use crate::estimator::DelayEstimator;
 use crate::pi::PiCore;
 use pi2_netsim::{Aqm, AqmState, Decision, Packet, QueueSnapshot};
-use pi2_simcore::{Duration, Rng, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Rng, Time};
 
 /// How the squared decision is evaluated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -199,6 +199,18 @@ impl Aqm for Pi2 {
 
     fn name(&self) -> &'static str {
         "pi2"
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        // cfg and pp_cap are construction-time constants; only the
+        // controller and estimator carry run state.
+        self.core.save_ckpt(w);
+        self.estimator.save_ckpt(w);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.core.restore_ckpt(r)?;
+        self.estimator.restore_ckpt(r)
     }
 }
 

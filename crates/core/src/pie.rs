@@ -16,7 +16,7 @@
 use crate::estimator::DelayEstimator;
 use crate::pi::PiCore;
 use pi2_netsim::{Aqm, AqmState, Decision, Packet, QueueSnapshot};
-use pi2_simcore::{Duration, Rng, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Rng, Time};
 
 /// The stepwise Δp scaling of RFC 8033 §4.2 (extended during IETF review
 /// down to 0.0001 % — the paper's Figure 5). Rows are
@@ -275,6 +275,21 @@ impl Aqm for Pie {
 
     fn name(&self) -> &'static str {
         "pie"
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        self.core.save_ckpt(w);
+        self.estimator.save_ckpt(w);
+        w.duration(self.burst_allowance);
+        w.duration(self.qdelay);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.core.restore_ckpt(r)?;
+        self.estimator.restore_ckpt(r)?;
+        self.burst_allowance = r.duration()?;
+        self.qdelay = r.duration()?;
+        Ok(())
     }
 }
 

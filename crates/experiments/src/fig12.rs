@@ -17,13 +17,17 @@ pub struct Fig12Run {
     /// `(t, queue delay ms)` at 100 ms sampling.
     pub qdelay: Vec<(f64, f64)>,
     /// Peak queue delay in the window following the 50 s rate drop.
-    pub drop_peak_ms: f64,
+    /// `None` means the window held no samples at all — a mis-scheduled
+    /// disturbance or truncated run, *not* a perfectly flat queue.
+    pub drop_peak_ms: Option<f64>,
     /// Number of ≥100 ms excursions after the initial drop peak has
     /// passed (55 s .. 100 s) — the paper counts 2 for PIE, 0 for PI2.
     pub late_excursions: usize,
     /// Peak after capacity is restored at 100 s (PIE overshoots when the
     /// flows ramp up to fill the new capacity; PI2 shows no visible one).
-    pub restore_peak_ms: f64,
+    /// `None` again means "no samples in the 100–110 s window", which
+    /// must stay distinguishable from a true zero peak.
+    pub restore_peak_ms: Option<f64>,
     /// Time (s) from the 50 s rate drop until the queue re-enters and
     /// holds the target ± 20 ms band.
     pub settle_s: Option<f64>,
@@ -49,9 +53,9 @@ pub fn run_one(aqm: AqmKind, seed: u64) -> Fig12Run {
     sc.seed = seed;
     let r = sc.run();
     let series = r.qdelay_series().to_vec();
-    let drop_peak_ms = pi2_stats::peak_in(&series, 50.0, 55.0).map_or(0.0, |(_, v)| v);
+    let drop_peak_ms = pi2_stats::peak_in(&series, 50.0, 55.0).map(|(_, v)| v);
     let late_excursions = pi2_stats::excursions_above(&series, 55.0, 100.0, 100.0);
-    let restore_peak_ms = pi2_stats::peak_in(&series, 100.0, 110.0).map_or(0.0, |(_, v)| v);
+    let restore_peak_ms = pi2_stats::peak_in(&series, 100.0, 110.0).map(|(_, v)| v);
     // Settling after the 50 s capacity collapse: back inside target ± 20 ms
     // and holding for 5 s.
     let settle_s = pi2_stats::settling_time(&series, 50.0, 20.0, 20.0, 5.0);
@@ -81,11 +85,13 @@ mod tests {
     fn capacity_drop_produces_a_transient_peak() {
         let run = run_one(AqmKind::pi2_default(), 2);
         // A 5× rate cut with 20 flows must spike the queue well above the
-        // 20 ms target before the controller recovers.
+        // 20 ms target before the controller recovers. A `None` peak would
+        // mean the disturbance window saw no samples at all.
+        let peak = run.drop_peak_ms.expect("samples in the 50-55 s window");
+        assert!(peak > 50.0, "expected a transient spike, got {peak:.0} ms");
         assert!(
-            run.drop_peak_ms > 50.0,
-            "expected a transient spike, got {:.0} ms",
-            run.drop_peak_ms
+            run.restore_peak_ms.is_some(),
+            "the 100-110 s restore window must contain samples"
         );
         // ... and the controller must bring it back down: the last 20 s at
         // 20 Mb/s should sit near target again.

@@ -10,7 +10,7 @@
 //!   core recomputes its probability.
 
 use crate::packet::Packet;
-use pi2_simcore::{Duration, Rng, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Rng, Time};
 
 /// What to do with a packet at enqueue time.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -153,6 +153,21 @@ pub trait Aqm {
 
     /// Human-readable name used in experiment output tables.
     fn name(&self) -> &'static str;
+
+    /// Serialize all mutable controller state in a fixed field order
+    /// (checkpointing). The default writes nothing, which is correct only
+    /// for stateless policies ([`PassAqm`], test stubs) — every stateful
+    /// AQM overrides this.
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        let _ = w;
+    }
+
+    /// Restore state captured by [`Aqm::save_ckpt`] into a freshly
+    /// constructed instance of the same policy and configuration.
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// The trivial AQM: admit everything (tail-drop behaviour comes from the

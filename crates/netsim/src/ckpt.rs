@@ -1,0 +1,166 @@
+//! Checkpoint codecs for the substrate's payload types.
+//!
+//! The simulator's checkpoint format (see [`pi2_simcore::ckpt`]) is a
+//! flat, explicitly-ordered field stream; this module holds the encoders
+//! and decoders for the two payload types that cross the event queue —
+//! [`Packet`] and [`Ack`] — so every component that snapshots in-flight
+//! traffic ([`crate::pool::Pool`] slabs, qdisc FIFOs) serializes them
+//! byte-identically.
+
+use crate::packet::{Ecn, FlowId, Packet};
+use crate::sim::Ack;
+use pi2_simcore::{CkptError, CkptReader, CkptWriter};
+
+/// Write `ecn` as a one-byte tag.
+pub fn write_ecn(w: &mut CkptWriter, ecn: Ecn) {
+    w.u8(match ecn {
+        Ecn::NotEct => 0,
+        Ecn::Ect0 => 1,
+        Ecn::Ect1 => 2,
+        Ecn::Ce => 3,
+    });
+}
+
+/// Read an ECN tag written by [`write_ecn`].
+pub fn read_ecn(r: &mut CkptReader) -> Result<Ecn, CkptError> {
+    Ok(match r.u8()? {
+        0 => Ecn::NotEct,
+        1 => Ecn::Ect0,
+        2 => Ecn::Ect1,
+        3 => Ecn::Ce,
+        _ => return Err(CkptError::Corrupt("unknown ECN tag")),
+    })
+}
+
+/// Write every field of a data packet, in declaration order.
+pub fn write_packet(w: &mut CkptWriter, pkt: &Packet) {
+    w.u32(pkt.flow.0);
+    w.u64(pkt.seq);
+    w.usize(pkt.size);
+    write_ecn(w, pkt.ecn);
+    w.time(pkt.sent_at);
+    w.bool(pkt.retransmit);
+    w.bool(pkt.path_dup);
+}
+
+/// Read a packet written by [`write_packet`].
+pub fn read_packet(r: &mut CkptReader) -> Result<Packet, CkptError> {
+    Ok(Packet {
+        flow: FlowId(r.u32()?),
+        seq: r.u64()?,
+        size: r.usize()?,
+        ecn: read_ecn(r)?,
+        sent_at: r.time()?,
+        retransmit: r.bool()?,
+        path_dup: r.bool()?,
+    })
+}
+
+/// Write every field of an ACK, in declaration order. Each SACK slot is
+/// a presence flag plus the `[start, end)` pair (zeros when absent).
+pub fn write_ack(w: &mut CkptWriter, ack: &Ack) {
+    w.u32(ack.flow.0);
+    w.u64(ack.cum_seq);
+    w.bool(ack.ece);
+    w.u64(ack.ce_total);
+    w.u64(ack.pkts_total);
+    w.time(ack.echo_ts);
+    w.bool(ack.echo_rtx);
+    for slot in &ack.sack {
+        w.bool(slot.is_some());
+        let (s, e) = slot.unwrap_or((0, 0));
+        w.u64(s);
+        w.u64(e);
+    }
+}
+
+/// Read an ACK written by [`write_ack`].
+pub fn read_ack(r: &mut CkptReader) -> Result<Ack, CkptError> {
+    let flow = FlowId(r.u32()?);
+    let cum_seq = r.u64()?;
+    let ece = r.bool()?;
+    let ce_total = r.u64()?;
+    let pkts_total = r.u64()?;
+    let echo_ts = r.time()?;
+    let echo_rtx = r.bool()?;
+    let mut sack = Ack::NO_SACK;
+    for slot in &mut sack {
+        let present = r.bool()?;
+        let s = r.u64()?;
+        let e = r.u64()?;
+        *slot = present.then_some((s, e));
+    }
+    Ok(Ack {
+        flow,
+        cum_seq,
+        ece,
+        ce_total,
+        pkts_total,
+        echo_ts,
+        echo_rtx,
+        sack,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_simcore::Time;
+
+    #[test]
+    fn packet_round_trips_every_field() {
+        let mut pkt = Packet::data(FlowId(7), 42, 1500, Ecn::Ect1, Time::from_millis(3));
+        pkt.retransmit = true;
+        pkt.path_dup = true;
+        let mut w = CkptWriter::new();
+        write_packet(&mut w, &pkt);
+        let bytes = w.into_bytes();
+        let mut r = CkptReader::new(&bytes);
+        let back = read_packet(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.flow, pkt.flow);
+        assert_eq!(back.seq, pkt.seq);
+        assert_eq!(back.size, pkt.size);
+        assert_eq!(back.ecn, pkt.ecn);
+        assert_eq!(back.sent_at, pkt.sent_at);
+        assert_eq!(back.retransmit, pkt.retransmit);
+        assert_eq!(back.path_dup, pkt.path_dup);
+    }
+
+    #[test]
+    fn ack_round_trips_sack_blocks() {
+        let ack = Ack {
+            flow: FlowId(2),
+            cum_seq: 100,
+            ece: true,
+            ce_total: 5,
+            pkts_total: 90,
+            echo_ts: Time::from_millis(17),
+            echo_rtx: true,
+            sack: [Some((120, 130)), None, Some((140, 145))],
+        };
+        let mut w = CkptWriter::new();
+        write_ack(&mut w, &ack);
+        let bytes = w.into_bytes();
+        let mut r = CkptReader::new(&bytes);
+        let back = read_ack(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.flow, ack.flow);
+        assert_eq!(back.cum_seq, ack.cum_seq);
+        assert_eq!(back.ece, ack.ece);
+        assert_eq!(back.ce_total, ack.ce_total);
+        assert_eq!(back.pkts_total, ack.pkts_total);
+        assert_eq!(back.echo_ts, ack.echo_ts);
+        assert_eq!(back.echo_rtx, ack.echo_rtx);
+        assert_eq!(back.sack, ack.sack);
+    }
+
+    #[test]
+    fn bad_ecn_tag_is_corrupt() {
+        let mut w = CkptWriter::new();
+        w.u8(9);
+        let bytes = w.into_bytes();
+        let mut r = CkptReader::new(&bytes);
+        assert!(matches!(read_ecn(&mut r), Err(CkptError::Corrupt(_))));
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod aqm;
 pub mod audit;
+pub mod ckpt;
 pub mod impair;
 pub mod metrics;
 pub mod monitor;

@@ -26,6 +26,8 @@
 //! logic (they are resolved before any handler runs). Pooled runs are
 //! therefore bit-identical to the old by-value representation.
 
+use pi2_simcore::{CkptError, CkptReader, CkptWriter};
+
 /// Handle into a [`Pool`]. Only meaningful to the pool that issued it.
 pub type Handle = u32;
 
@@ -66,7 +68,11 @@ impl<T> Pool<T> {
                 h
             }
             None => {
-                let h = self.slots.len() as Handle;
+                // Handles are u32 by design (they ride inside `Event`);
+                // a slab past 2^32 slots would silently alias handle 0
+                // under an unchecked `as` cast, so fail loudly instead.
+                let h = Handle::try_from(self.slots.len())
+                    .expect("pool exceeded the u32 handle space");
                 self.slots.push(Some(val));
                 let live = self.slots.len() - self.free.len();
                 if live > self.high_water {
@@ -111,6 +117,69 @@ impl<T> Pool<T> {
     /// Total slots ever created (live + recycled).
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Serialize the pool slot-positionally: every slot in index order
+    /// (occupancy flag + payload via `f`), then the free list, then the
+    /// high-water mark. The positional layout is what keeps every handle
+    /// already threaded through the event queue valid after a restore.
+    pub fn save_ckpt<F>(&self, w: &mut CkptWriter, mut f: F)
+    where
+        F: FnMut(&mut CkptWriter, &T),
+    {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            w.bool(slot.is_some());
+            if let Some(val) = slot {
+                f(w, val);
+            }
+        }
+        w.usize(self.free.len());
+        for &h in &self.free {
+            w.u32(h);
+        }
+        w.usize(self.high_water);
+    }
+
+    /// Rebuild a pool from [`Pool::save_ckpt`] bytes, decoding payloads
+    /// with `f`. Validates that the free list exactly covers the vacant
+    /// slots (in order), so a corrupt stream cannot produce a pool whose
+    /// recycling diverges from the saved run.
+    pub fn restore_ckpt<F>(r: &mut CkptReader, mut f: F) -> Result<Pool<T>, CkptError>
+    where
+        F: FnMut(&mut CkptReader) -> Result<T, CkptError>,
+    {
+        let n = r.usize()?;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            if r.bool()? {
+                slots.push(Some(f(r)?));
+            } else {
+                slots.push(None);
+            }
+        }
+        let free_n = r.usize()?;
+        let mut free = Vec::with_capacity(free_n);
+        for _ in 0..free_n {
+            let h = r.u32()?;
+            match slots.get(h as usize) {
+                Some(None) => free.push(h),
+                _ => return Err(CkptError::Corrupt("pool free list points at a live slot")),
+            }
+        }
+        let vacant = slots.iter().filter(|s| s.is_none()).count();
+        if vacant != free.len() {
+            return Err(CkptError::Corrupt("pool free list does not cover vacant slots"));
+        }
+        let high_water = r.usize()?;
+        if high_water > n {
+            return Err(CkptError::Corrupt("pool high-water exceeds slot count"));
+        }
+        Ok(Pool {
+            slots,
+            free,
+            high_water,
+        })
     }
 }
 
@@ -171,5 +240,43 @@ mod tests {
         let h = p.insert(1);
         p.take(h);
         p.take(h);
+    }
+
+    #[test]
+    fn ckpt_round_trip_preserves_handles_and_recycling() {
+        let mut p = Pool::new();
+        let a = p.insert(10u64);
+        let b = p.insert(20u64);
+        let c = p.insert(30u64);
+        p.take(b);
+        let mut w = CkptWriter::new();
+        p.save_ckpt(&mut w, |w, v| w.u64(*v));
+        let bytes = w.into_bytes();
+        let mut r = CkptReader::new(&bytes);
+        let mut q: Pool<u64> = Pool::restore_ckpt(&mut r, |r| r.u64()).unwrap();
+        r.finish().unwrap();
+        assert_eq!(*q.get(a), 10);
+        assert_eq!(*q.get(c), 30);
+        assert_eq!(q.in_use(), 2);
+        assert_eq!(q.high_water(), 3);
+        // The recycled slot comes back first, exactly as in the original.
+        assert_eq!(q.insert(99), b);
+        assert_eq!(q.capacity(), p.capacity());
+    }
+
+    #[test]
+    fn ckpt_rejects_free_list_aliasing_a_live_slot() {
+        let mut w = CkptWriter::new();
+        // One live slot, but a free list claiming it is vacant.
+        w.usize(1);
+        w.bool(true);
+        w.u64(7);
+        w.usize(1);
+        w.u32(0);
+        w.usize(1);
+        let bytes = w.into_bytes();
+        let mut r = CkptReader::new(&bytes);
+        let res: Result<Pool<u64>, _> = Pool::restore_ckpt(&mut r, |r| r.u64());
+        assert!(matches!(res, Err(CkptError::Corrupt(_))));
     }
 }

@@ -7,8 +7,9 @@
 //! describes ("if needed, tail-drop will control non-responsive traffic").
 
 use crate::aqm::{Action, Aqm, AqmState, Decision, QueueSnapshot};
+use crate::ckpt::{read_packet, write_packet};
 use crate::packet::{Ecn, Packet};
-use pi2_simcore::{Duration, Rng, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Rng, Time};
 use std::collections::VecDeque;
 
 /// Static configuration of the bottleneck queue + link.
@@ -113,6 +114,22 @@ pub trait Qdisc {
     /// the spirit of the paper's plots (`qlen·8/C` for a FIFO).
     fn monitor_delay(&self) -> Duration {
         Duration::serialization(self.len_bytes(), self.rate_bps())
+    }
+
+    /// Serialize all mutable qdisc state — queued packets, link rate,
+    /// counters and the embedded AQM's controller state — in a fixed
+    /// field order (checkpointing). The default writes nothing, which is
+    /// correct only for stateless test stubs; every real qdisc overrides
+    /// this.
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        let _ = w;
+    }
+
+    /// Restore state captured by [`Qdisc::save_ckpt`] into a freshly
+    /// constructed qdisc of the same type and configuration.
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let _ = r;
+        Ok(())
     }
 }
 
@@ -290,6 +307,48 @@ impl Qdisc for BottleneckQueue {
     }
     fn stats(&self) -> &QueueStats {
         &self.stats
+    }
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.usize(self.fifo.len());
+        for (pkt, enq_at) in &self.fifo {
+            write_packet(w, pkt);
+            w.time(*enq_at);
+        }
+        w.u64(self.rate_bps);
+        w.bool(self.last_sojourn.is_some());
+        w.duration(self.last_sojourn.unwrap_or(Duration::ZERO));
+        w.u64(self.stats.enqueued);
+        w.u64(self.stats.dequeued);
+        w.u64(self.stats.dequeued_bytes);
+        w.u64(self.stats.aqm_dropped);
+        w.u64(self.stats.aqm_marked);
+        w.u64(self.stats.overflowed);
+        self.aqm.save_ckpt(w);
+    }
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.usize()?;
+        self.fifo.clear();
+        self.qlen_bytes = 0;
+        for _ in 0..n {
+            let pkt = read_packet(r)?;
+            let enq_at = r.time()?;
+            self.qlen_bytes += pkt.size;
+            self.fifo.push_back((pkt, enq_at));
+        }
+        self.rate_bps = r.u64()?;
+        if self.rate_bps == 0 {
+            return Err(CkptError::Corrupt("restored link rate is zero"));
+        }
+        let has_sojourn = r.bool()?;
+        let sojourn = r.duration()?;
+        self.last_sojourn = has_sojourn.then_some(sojourn);
+        self.stats.enqueued = r.u64()?;
+        self.stats.dequeued = r.u64()?;
+        self.stats.dequeued_bytes = r.u64()?;
+        self.stats.aqm_dropped = r.u64()?;
+        self.stats.aqm_marked = r.u64()?;
+        self.stats.overflowed = r.u64()?;
+        self.aqm.restore_ckpt(r)
     }
 }
 

@@ -19,6 +19,7 @@
 
 use crate::aqm::Action;
 use crate::audit::AuditSink;
+use crate::ckpt::{read_ack, read_packet, write_ack, write_packet};
 use crate::impair::{ImpairState, LinkImpairments};
 use crate::metrics::SimMetrics;
 use crate::monitor::{Monitor, MonitorConfig};
@@ -27,7 +28,9 @@ use crate::pool::{Handle, Pool};
 use crate::queue::{BottleneckQueue, Qdisc, QueueConfig};
 use crate::trace::{TraceCounts, TraceEvent, TraceSink};
 use pi2_obs::LoopProfiler;
-use pi2_simcore::{Duration, EventQueue, Rng, Time};
+use pi2_simcore::{
+    CkptError, CkptReader, CkptWriter, Duration, EventEntry, EventQueue, Rng, SchemaHasher, Time,
+};
 
 /// One-way delays of a flow's path, excluding the bottleneck queue.
 #[derive(Clone, Copy, Debug)]
@@ -513,6 +516,202 @@ impl SimCore {
             self.events.push(now + fwd + extra, Event::Deliver(h));
         }
     }
+
+    /// Serialize every piece of live core state in a fixed order: the
+    /// event queue (canonical `(time, seq)`-sorted pending list plus
+    /// clock and lifetime counters), the RNG stream, the qdisc, the
+    /// monitor, the per-flow counters, both in-flight pools
+    /// (slot-positional, so `Deliver`/`AckArrive` handles inside pending
+    /// events stay valid), optional metrics and impairment state, the
+    /// link-busy flag, the timer arming counter, and the per-flow paths.
+    ///
+    /// Trace sinks, the auditor and the profiler are pure observers and
+    /// are not checkpointed; the one-entry serialization cache is pure
+    /// (a hit and a recompute agree) and restores cold.
+    pub fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.time(self.events.now());
+        w.u64(self.events.pushed());
+        w.u64(self.events.popped());
+        let entries = self.events.entries_sorted();
+        w.usize(entries.len());
+        for e in entries {
+            w.time(e.time);
+            w.u64(e.seq);
+            write_event(w, &e.event);
+        }
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        self.queue.save_ckpt(w);
+        self.monitor.save_ckpt(w);
+        self.counters.save_ckpt(w);
+        self.packets.save_ckpt(w, write_packet);
+        self.acks.save_ckpt(w, write_ack);
+        match &self.metrics {
+            Some(m) => {
+                w.bool(true);
+                m.save_ckpt(w);
+            }
+            None => w.bool(false),
+        }
+        match &self.impair {
+            Some(i) => {
+                w.bool(true);
+                i.save_ckpt(w);
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.transmitting);
+        w.u64(self.timer_seq);
+        w.usize(self.paths.len());
+        for p in &self.paths {
+            w.duration(p.fwd);
+            w.duration(p.rev);
+        }
+    }
+
+    /// Restore state captured by [`SimCore::save_ckpt`] into a core built
+    /// with the same structural configuration (same qdisc family, same
+    /// registered flows, impairment layer attached iff the snapshot had
+    /// one). Replay from the restored state is bit-identical to the run
+    /// the snapshot was taken from.
+    pub fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let now = r.time()?;
+        let pushed = r.u64()?;
+        let popped = r.u64()?;
+        let n = r.usize()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let time = r.time()?;
+            let seq = r.u64()?;
+            let event = read_event(r)?;
+            if time < now {
+                return Err(CkptError::Corrupt("pending event precedes restored clock"));
+            }
+            if seq >= pushed {
+                return Err(CkptError::Corrupt("pending event seq exceeds push counter"));
+            }
+            entries.push(EventEntry { time, seq, event });
+        }
+        self.events = EventQueue::from_parts(now, pushed, popped, entries);
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        self.rng = Rng::from_state(state);
+        self.queue.restore_ckpt(r)?;
+        self.monitor.restore_ckpt(r)?;
+        self.counters.restore_ckpt(r)?;
+        self.packets = Pool::restore_ckpt(r, read_packet)?;
+        self.acks = Pool::restore_ckpt(r, read_ack)?;
+        if r.bool()? {
+            self.enable_metrics();
+            self.metrics
+                .as_mut()
+                .expect("metrics just enabled")
+                .restore_ckpt(r)?;
+        } else {
+            self.metrics = None;
+        }
+        let impair_present = r.bool()?;
+        match (&mut self.impair, impair_present) {
+            (Some(imp), true) => imp.restore_ckpt(r)?,
+            (None, false) => {}
+            // The impairment layer's configuration (rates, jitter bounds)
+            // is not in the blob; the caller must rebuild the sim with the
+            // same `LinkImpairments` before restoring.
+            _ => return Err(CkptError::Corrupt("impairment layer presence mismatch")),
+        }
+        self.transmitting = r.bool()?;
+        self.timer_seq = r.u64()?;
+        if r.usize()? != self.paths.len() {
+            return Err(CkptError::Corrupt("flow path count mismatch"));
+        }
+        for p in &mut self.paths {
+            p.fwd = r.duration()?;
+            p.rev = r.duration()?;
+        }
+        self.ser_cache = (0, 0, Duration::ZERO);
+        Ok(())
+    }
+}
+
+/// Encode one pending event (checkpointing). Tags are append-only: new
+/// variants must take fresh numbers so old blobs keep decoding.
+fn write_event(w: &mut CkptWriter, ev: &Event) {
+    match ev {
+        Event::Dequeue => w.u8(0),
+        Event::Deliver(h) => {
+            w.u8(1);
+            w.u32(*h);
+        }
+        Event::AckArrive(h) => {
+            w.u8(2);
+            w.u32(*h);
+        }
+        Event::Timer { flow, kind, id } => {
+            w.u8(3);
+            w.u32(flow.0);
+            match kind {
+                TimerKind::Rto => w.u8(0),
+                TimerKind::Send => w.u8(1),
+                TimerKind::User(k) => {
+                    w.u8(2);
+                    w.u32(*k);
+                }
+            }
+            w.u64(*id);
+        }
+        Event::AqmUpdate => w.u8(4),
+        Event::Sample => w.u8(5),
+        Event::SetLinkRate(rate) => {
+            w.u8(6);
+            w.u64(*rate);
+        }
+        Event::SourceOn(f) => {
+            w.u8(7);
+            w.u32(f.0);
+        }
+        Event::SourceOff(f) => {
+            w.u8(8);
+            w.u32(f.0);
+        }
+        Event::SetPath(f, p) => {
+            w.u8(9);
+            w.u32(f.0);
+            w.duration(p.fwd);
+            w.duration(p.rev);
+        }
+    }
+}
+
+/// Decode one pending event written by [`write_event`].
+fn read_event(r: &mut CkptReader) -> Result<Event, CkptError> {
+    Ok(match r.u8()? {
+        0 => Event::Dequeue,
+        1 => Event::Deliver(r.u32()?),
+        2 => Event::AckArrive(r.u32()?),
+        3 => {
+            let flow = FlowId(r.u32()?);
+            let kind = match r.u8()? {
+                0 => TimerKind::Rto,
+                1 => TimerKind::Send,
+                2 => TimerKind::User(r.u32()?),
+                _ => return Err(CkptError::Corrupt("unknown timer kind tag")),
+            };
+            let id = r.u64()?;
+            Event::Timer { flow, kind, id }
+        }
+        4 => Event::AqmUpdate,
+        5 => Event::Sample,
+        6 => Event::SetLinkRate(r.u64()?),
+        7 => Event::SourceOn(FlowId(r.u32()?)),
+        8 => Event::SourceOff(FlowId(r.u32()?)),
+        9 => {
+            let f = FlowId(r.u32()?);
+            let fwd = r.duration()?;
+            let rev = r.duration()?;
+            Event::SetPath(f, PathConf { fwd, rev })
+        }
+        _ => return Err(CkptError::Corrupt("unknown event tag")),
+    })
 }
 
 /// A traffic source/sink pair for one flow. The same object holds both the
@@ -539,6 +738,23 @@ pub trait Source {
     /// A timer armed via [`SimCore::schedule_timer`] fired.
     fn on_timer(&mut self, kind: TimerKind, id: u64, core: &mut SimCore) {
         let _ = (kind, id, core);
+    }
+
+    /// Serialize the source's mutable state (checkpointing). The default
+    /// writes nothing, matching sources whose behaviour is a pure
+    /// function of their configuration and the events delivered to them.
+    /// A stateful source must write every field that influences future
+    /// behaviour, in a fixed order mirrored by
+    /// [`restore_ckpt`](Source::restore_ckpt).
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        let _ = w;
+    }
+
+    /// Restore state captured by [`Source::save_ckpt`]. The default reads
+    /// nothing.
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let _ = r;
+        Ok(())
     }
 }
 
@@ -594,6 +810,10 @@ pub fn event_class(ev: &Event) -> usize {
         Event::SetPath(..) => 9,
     }
 }
+
+/// Checkpoint format version written by [`Sim::save`]; bumped whenever
+/// the field layout changes incompatibly.
+pub const CKPT_VERSION: u32 = 1;
 
 /// The complete simulator: shared core + traffic sources.
 pub struct Sim {
@@ -718,6 +938,84 @@ impl Sim {
     /// [`SimCore::schedule`].
     pub fn schedule(&mut self, at: Time, event: Event) {
         self.core.schedule(at, event);
+    }
+
+    /// Structural fingerprint of this simulator build: format version,
+    /// flow count and monitor flow labels. Values are deliberately
+    /// excluded — the hash changes exactly when a restore would write
+    /// state into the wrong slots. (The qdisc family cannot be folded in
+    /// because [`Qdisc`] carries no name; mismatched qdiscs surface as a
+    /// `Corrupt` error from the qdisc's own field validation instead.)
+    fn schema_hash(&self) -> u64 {
+        let mut h = SchemaHasher::new();
+        h.update_u64(u64::from(CKPT_VERSION));
+        h.update_u64(self.core.flow_count() as u64);
+        for i in 0..self.core.flow_count() {
+            h.update_str(&self.core.monitor.flow(FlowId(i as u32)).label);
+        }
+        h.finish()
+    }
+
+    /// Snapshot the complete live simulator state to a deterministic
+    /// binary blob: magic, format version, schema hash, the core (see
+    /// [`SimCore::save_ckpt`]) and every source's mutable state. Two
+    /// snapshots of identical simulator states are byte-identical.
+    pub fn save(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.raw(&pi2_simcore::ckpt::MAGIC);
+        w.u32(CKPT_VERSION);
+        w.u64(self.schema_hash());
+        self.core.save_ckpt(&mut w);
+        w.usize(self.sources.len());
+        for s in &self.sources {
+            s.save_ckpt(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Restore a snapshot produced by [`Sim::save`] into a freshly built
+    /// simulator with the same structural configuration (same qdisc and
+    /// parameters, same flows in the same order, same impairment layer).
+    /// Replaying from the restored state is bit-identical — same golden
+    /// traces, same metrics, same counters — to the run the snapshot came
+    /// from; `tests/checkpoint.rs` holds that oracle.
+    ///
+    /// Events scheduled by construction (the initial `AqmUpdate`/`Sample`
+    /// ticks, `SourceOn` starts) are discarded wholesale: the restored
+    /// event queue already contains their successors.
+    pub fn restore(&mut self, blob: &[u8]) -> Result<(), CkptError> {
+        let mut r = CkptReader::new(blob);
+        if r.take(pi2_simcore::ckpt::MAGIC.len())? != pi2_simcore::ckpt::MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let found = r.u32()?;
+        if found != CKPT_VERSION {
+            return Err(CkptError::VersionMismatch {
+                found,
+                expected: CKPT_VERSION,
+            });
+        }
+        let found = r.u64()?;
+        let expected = self.schema_hash();
+        if found != expected {
+            return Err(CkptError::SchemaMismatch { found, expected });
+        }
+        self.core.restore_ckpt(&mut r)?;
+        if r.usize()? != self.sources.len() {
+            return Err(CkptError::Corrupt("source count mismatch"));
+        }
+        for s in &mut self.sources {
+            s.restore_ckpt(&mut r)?;
+        }
+        r.finish()?;
+        // The auditor (a pure observer, not checkpointed) resumes from the
+        // restored occupancy: conservation from here on is
+        // baseline + enqueued - dequeued == qlen.
+        let qlen = self.core.queue.len_pkts();
+        if let Some(a) = &mut self.core.audit {
+            a.set_baseline_pkts(qlen);
+        }
+        Ok(())
     }
 
     /// Run until the clock reaches `end` (events at exactly `end`

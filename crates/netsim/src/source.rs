@@ -8,7 +8,21 @@
 
 use crate::packet::{Ecn, FlowId, Packet};
 use crate::sim::{SimCore, Source, TimerKind};
-use pi2_simcore::{Duration, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Time};
+
+/// Encode an `Option<u64>` timer-arming id (presence flag + value, zero
+/// placeholder when absent) — shared by the CBR sources' checkpoints.
+fn write_opt_timer(w: &mut CkptWriter, t: Option<u64>) {
+    w.bool(t.is_some());
+    w.u64(t.unwrap_or(0));
+}
+
+/// Decode the counterpart of [`write_opt_timer`].
+fn read_opt_timer(r: &mut CkptReader) -> Result<Option<u64>, CkptError> {
+    let present = r.bool()?;
+    let v = r.u64()?;
+    Ok(present.then_some(v))
+}
 
 /// A constant-bit-rate UDP sender. It never reacts to congestion: packets
 /// are emitted on a fixed tick regardless of drops, like `iperf -u`.
@@ -76,6 +90,19 @@ impl Source for UdpCbrSource {
             return; // stale timer from before a stop/restart
         }
         self.send_and_rearm(core);
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.u64(self.seq);
+        w.bool(self.active);
+        write_opt_timer(w, self.expected_timer);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.seq = r.u64()?;
+        self.active = r.bool()?;
+        self.expected_timer = read_opt_timer(r)?;
+        Ok(())
     }
 }
 
@@ -167,6 +194,23 @@ impl Source for OnOffCbrSource {
             return;
         }
         self.tick(core);
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.u64(self.seq);
+        w.bool(self.active);
+        w.bool(self.bursting);
+        w.time(self.period_start);
+        write_opt_timer(w, self.expected_timer);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.seq = r.u64()?;
+        self.active = r.bool()?;
+        self.bursting = r.bool()?;
+        self.period_start = r.time()?;
+        self.expected_timer = read_opt_timer(r)?;
+        Ok(())
     }
 }
 

@@ -178,6 +178,47 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Raw bucket counts indexed by bucket number (length [`BUCKETS`]),
+    /// for checkpointing. Pair with [`Histogram::raw_moments`] to capture
+    /// the full stored state.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts[..]
+    }
+
+    /// Raw streamed moments `(count, sum, sum_sq, min_raw, max)` for
+    /// checkpointing. `min_raw` is the *stored* minimum — `u64::MAX` when
+    /// empty — unlike [`Histogram::min`], which masks that sentinel.
+    pub fn raw_moments(&self) -> (u64, u64, f64, u64, u64) {
+        (self.count, self.sum, self.sum_sq, self.min, self.max)
+    }
+
+    /// Overwrite this histogram with checkpointed state: `buckets` yields
+    /// `(bucket_index, count)` pairs for the non-zero buckets, and the
+    /// moments are as returned by [`Histogram::raw_moments`].
+    ///
+    /// # Panics
+    /// Panics if a bucket index is out of range; callers validate indices
+    /// against [`BUCKETS`] before trusting external blobs.
+    pub fn restore_raw(
+        &mut self,
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+        count: u64,
+        sum: u64,
+        sum_sq: f64,
+        min_raw: u64,
+        max: u64,
+    ) {
+        self.counts.fill(0);
+        for (i, c) in buckets {
+            self.counts[i] = c;
+        }
+        self.count = count;
+        self.sum = sum;
+        self.sum_sq = sum_sq;
+        self.min = min_raw;
+        self.max = max;
+    }
+
     /// Non-empty buckets as `(low, high, count)` ranges, for exporters.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.counts
@@ -277,6 +318,35 @@ mod tests {
         let as_f64: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
         assert!((h.mean() - pi2_stats::mean(&as_f64)).abs() < 1e-12);
         assert!((h.stddev() - pi2_stats::stddev(&as_f64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raw_state_round_trips_exactly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 3, 700, 123_456_789] {
+            h.record(v);
+        }
+        let sparse: Vec<(usize, u64)> = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        let (count, sum, sum_sq, min_raw, max) = h.raw_moments();
+        let mut r = Histogram::new();
+        r.record(999); // stale state must be wiped by restore
+        r.restore_raw(sparse, count, sum, sum_sq, min_raw, max);
+        assert_eq!(r, h);
+
+        // Empty histogram round-trips its min sentinel too.
+        let e = Histogram::new();
+        let (c2, s2, sq2, mn2, mx2) = e.raw_moments();
+        let mut r2 = Histogram::new();
+        r2.record(1);
+        r2.restore_raw(std::iter::empty(), c2, s2, sq2, mn2, mx2);
+        assert_eq!(r2, e);
+        assert_eq!(r2.min(), 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod profiler;
 pub mod registry;
 pub mod ring;
 
-pub use hist::Histogram;
+pub use hist::{Histogram, BUCKETS as HIST_BUCKETS};
 pub use profiler::{LoopProfiler, ProfileRow};
 pub use registry::{prom_lint, valid_metric_name, CounterId, GaugeId, HistId, Registry};
 pub use ring::RingBuffer;

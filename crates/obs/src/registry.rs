@@ -104,6 +104,44 @@ impl Registry {
         &self.hists[id.0].1
     }
 
+    /// Number of registered `(counters, gauges, histograms)`, for
+    /// checkpointing: a restorer walks instruments by registration index,
+    /// so the counts double as a cheap schema check.
+    pub fn instrument_counts(&self) -> (usize, usize, usize) {
+        (self.counters.len(), self.gauges.len(), self.hists.len())
+    }
+
+    /// Read the `i`-th counter in registration order.
+    pub fn counter_at(&self, i: usize) -> u64 {
+        self.counters[i].1
+    }
+
+    /// Overwrite the `i`-th counter in registration order (checkpoint
+    /// restore; normal recording goes through [`Registry::inc`]).
+    pub fn set_counter_at(&mut self, i: usize, v: u64) {
+        self.counters[i].1 = v;
+    }
+
+    /// Read the `i`-th gauge in registration order.
+    pub fn gauge_at(&self, i: usize) -> f64 {
+        self.gauges[i].1
+    }
+
+    /// Overwrite the `i`-th gauge in registration order.
+    pub fn set_gauge_at(&mut self, i: usize, v: f64) {
+        self.gauges[i].1 = v;
+    }
+
+    /// Borrow the `i`-th histogram in registration order.
+    pub fn hist_at(&self, i: usize) -> &Histogram {
+        &self.hists[i].1
+    }
+
+    /// Mutably borrow the `i`-th histogram in registration order.
+    pub fn hist_at_mut(&mut self, i: usize) -> &mut Histogram {
+        &mut self.hists[i].1
+    }
+
     /// Fold `other` into `self`: counters and histogram buckets add,
     /// gauges take `other`'s value (last writer wins, matching what a
     /// serial run would have left behind). Panics if the registries were

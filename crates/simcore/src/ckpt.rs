@@ -1,0 +1,402 @@
+//! Checkpoint byte codec: a tiny, explicit, deterministic binary format.
+//!
+//! Checkpoint/restore (ROADMAP item 5) doubles as the repo's determinism
+//! oracle: restoring a mid-run snapshot and replaying must be bit-identical
+//! to a straight-through run. That only works if the byte format itself is
+//! deterministic, so this module is deliberately primitive — every field is
+//! written explicitly, in a fixed order, in little-endian fixed-width
+//! encodings. There is no reflection, no varint cleverness, and no
+//! dependency: the format is the code that writes it.
+//!
+//! Floats are encoded via [`f64::to_bits`] so NaN payloads and signed
+//! zeros round-trip exactly; lengths are `u64` so the format is identical
+//! on 32- and 64-bit hosts. Readers are bounds-checked and return
+//! [`CkptError`] instead of panicking, since checkpoint files cross the
+//! process boundary (`pi2sim --restore`).
+
+use crate::time::{Duration, Time};
+use std::fmt;
+
+/// Errors surfaced while decoding a checkpoint blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The blob ended before the field being read.
+    Truncated,
+    /// The leading magic bytes did not match [`MAGIC`]; not a checkpoint.
+    BadMagic,
+    /// Format version mismatch between writer and reader.
+    VersionMismatch { found: u32, expected: u32 },
+    /// Schema-hash mismatch: the checkpoint was taken from a simulator
+    /// built with a different structural configuration.
+    SchemaMismatch { found: u64, expected: u64 },
+    /// A decoded value violated an internal invariant.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Truncated => write!(f, "checkpoint truncated"),
+            CkptError::BadMagic => write!(f, "not a pi2 checkpoint (bad magic)"),
+            CkptError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint format version {found} unsupported (expected {expected})"
+            ),
+            CkptError::SchemaMismatch { found, expected } => write!(
+                f,
+                "checkpoint schema hash {found:#018x} does not match this \
+                 configuration ({expected:#018x}); the snapshot was taken \
+                 from a structurally different simulator"
+            ),
+            CkptError::Corrupt(what) => write!(f, "checkpoint corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Magic bytes opening every checkpoint blob.
+pub const MAGIC: [u8; 8] = *b"PI2CKPT\0";
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher used for checkpoint schema hashes. The hash
+/// covers structural descriptors (format version, component names, flow
+/// labels), not values, so it changes exactly when a restore would write
+/// state into the wrong slots.
+#[derive(Debug, Clone)]
+pub struct SchemaHasher {
+    state: u64,
+}
+
+impl Default for SchemaHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchemaHasher {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        SchemaHasher { state: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a length-tagged string in (tagging prevents `"ab","c"` from
+    /// colliding with `"a","bc"`).
+    pub fn update_str(&mut self, s: &str) {
+        self.update(&(s.len() as u64).to_le_bytes());
+        self.update(s.as_bytes());
+    }
+
+    /// Fold a `u64` in.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Serializer: appends fixed-width little-endian fields to a byte buffer.
+#[derive(Debug, Default)]
+pub struct CkptWriter {
+    buf: Vec<u8>,
+}
+
+impl CkptWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        CkptWriter { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded blob.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes verbatim (no length prefix).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` travels as `u64` so blobs are portable across word sizes.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Bit-exact float encoding (NaN payloads and -0.0 survive).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    pub fn time(&mut self, t: Time) {
+        self.u64(t.as_nanos());
+    }
+
+    pub fn duration(&mut self, d: Duration) {
+        self.i64(d.as_nanos());
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.raw(b);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over an encoded checkpoint blob.
+#[derive(Debug)]
+pub struct CkptReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        CkptReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume the next `n` bytes verbatim (fixed-width fields like the
+    /// file magic; length-prefixed data should use [`CkptReader::bytes`]).
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CkptError::Corrupt("bool field not 0/1")),
+        }
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, CkptError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, CkptError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CkptError::Corrupt("length exceeds host usize"))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, CkptError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn time(&mut self) -> Result<Time, CkptError> {
+        Ok(Time::from_nanos(self.u64()?))
+    }
+
+    pub fn duration(&mut self) -> Result<Duration, CkptError> {
+        Ok(Duration::from_nanos(self.i64()?))
+    }
+
+    /// Length-prefixed byte string; borrows from the blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CkptError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| CkptError::Corrupt("string field not UTF-8"))
+    }
+
+    /// Assert the blob is fully consumed (catches field-order drift).
+    pub fn finish(self) -> Result<(), CkptError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CkptError::Corrupt("trailing bytes after final field"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = CkptWriter::new();
+        w.u8(0xAB);
+        w.bool(true);
+        w.bool(false);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.usize(7);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.f32(1.5);
+        w.time(Time::from_millis(20));
+        w.duration(Duration::from_micros(-3));
+        w.bytes(b"raw");
+        w.str("p\u{00ed}2");
+        let blob = w.into_bytes();
+
+        let mut r = CkptReader::new(&blob);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.usize().unwrap(), 7);
+        let z = r.f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.time().unwrap(), Time::from_millis(20));
+        assert_eq!(r.duration().unwrap(), Duration::from_micros(-3));
+        assert_eq!(r.bytes().unwrap(), b"raw");
+        assert_eq!(r.str().unwrap(), "p\u{00ed}2");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut w = CkptWriter::new();
+        w.u64(1);
+        let blob = w.into_bytes();
+        let mut r = CkptReader::new(&blob[..5]);
+        assert_eq!(r.u64(), Err(CkptError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = CkptWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let blob = w.into_bytes();
+        let mut r = CkptReader::new(&blob);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(matches!(r.finish(), Err(CkptError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let blob = [7u8];
+        let mut r = CkptReader::new(&blob);
+        assert!(matches!(r.bool(), Err(CkptError::Corrupt(_))));
+    }
+
+    #[test]
+    fn length_prefix_overrun_is_truncated() {
+        let mut w = CkptWriter::new();
+        w.usize(1000); // claims 1000 bytes follow; none do
+        let blob = w.into_bytes();
+        let mut r = CkptReader::new(&blob);
+        assert_eq!(r.bytes(), Err(CkptError::Truncated));
+    }
+
+    #[test]
+    fn schema_hash_is_order_and_boundary_sensitive() {
+        let mut a = SchemaHasher::new();
+        a.update_str("ab");
+        a.update_str("c");
+        let mut b = SchemaHasher::new();
+        b.update_str("a");
+        b.update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = SchemaHasher::new();
+        c.update_u64(1);
+        c.update_u64(2);
+        let mut d = SchemaHasher::new();
+        d.update_u64(2);
+        d.update_u64(1);
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a test vector: "a" -> 0xaf63dc4c8601ec8c.
+        let mut h = SchemaHasher::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -17,11 +17,13 @@
 //! control loop is a small CPU-bound state machine, and virtual time gives
 //! strictly more control (and reproducibility) than wall-clock async.
 
+pub mod ckpt;
 pub mod event;
 pub mod rng;
 pub mod time;
 pub mod wheel;
 
+pub use ckpt::{CkptError, CkptReader, CkptWriter, SchemaHasher};
 pub use event::{EventEntry, HeapEventQueue};
 pub use wheel::EventQueue;
 pub use rng::Rng;

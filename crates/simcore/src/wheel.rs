@@ -219,14 +219,28 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.place(EventEntry { time: at, seq, event });
+        if self.ready.is_empty() {
+            // The queue was empty before this push: re-establish the
+            // "ready non-empty" invariant so peek stays borrow-only.
+            self.advance();
+        }
+    }
+
+    /// Route one entry into ready / L0 / L1 / far relative to the current
+    /// drain cursor, preserving its existing `seq`. Shared by [`push`] and
+    /// checkpoint restore ([`EventQueue::from_parts`]); does *not*
+    /// re-establish the "ready non-empty" invariant — callers do.
+    ///
+    /// [`push`]: EventQueue::push
+    fn place(&mut self, entry: EventEntry<E>) {
         self.pending += 1;
-        let entry = EventEntry { time: at, seq, event };
-        let t0 = tick0(at);
+        let t0 = tick0(entry.time);
         if t0 <= self.ready_tick {
             // Behind (or at) the drain cursor: binary-insert into the
             // sorted ready buffer. This is the jump-ahead case — the
             // cursor may sit past `now` after a pop skipped empty ticks.
-            let key = (at, seq);
+            let key = (entry.time, entry.seq);
             let idx = self.ready.partition_point(|e| (e.time, e.seq) > key);
             self.ready.insert(idx, entry);
             return;
@@ -237,23 +251,78 @@ impl<E> EventQueue<E> {
             self.l0[slot].push(entry);
             self.l0_bits[slot >> 6] |= 1 << (slot & 63);
         } else {
-            let t1 = tick1(at);
+            let t1 = tick1(entry.time);
             let cur1 = self.ready_tick >> SLOT_BITS;
             if t1 - cur1 < SLOTS as u64 {
                 let slot = (t1 & (SLOTS as u64 - 1)) as usize;
                 self.l1[slot].push(entry);
                 self.l1_bits[slot >> 6] |= 1 << (slot & 63);
             } else {
-                let key = (at, seq);
+                let key = (entry.time, entry.seq);
                 let idx = self.far.partition_point(|e| (e.time, e.seq) > key);
                 self.far.insert(idx, entry);
             }
         }
-        if self.ready.is_empty() {
-            // The queue was empty before this push: re-establish the
-            // "ready non-empty" invariant so peek stays borrow-only.
-            self.advance();
+    }
+
+    /// Every pending entry in pop order (`(time, seq)` ascending), for
+    /// checkpointing. Borrow-only; the queue is untouched. Which level an
+    /// entry currently occupies is a function of cursor history, not
+    /// state, so the canonical serialized form is simply the sorted entry
+    /// list — [`EventQueue::from_parts`] re-buckets on restore.
+    pub fn entries_sorted(&self) -> Vec<&EventEntry<E>> {
+        let mut v: Vec<&EventEntry<E>> = Vec::with_capacity(self.pending);
+        v.extend(self.ready.iter());
+        for slot in self.l0.iter().chain(self.l1.iter()) {
+            v.extend(slot.iter());
         }
+        v.extend(self.far.iter());
+        v.sort_unstable_by_key(|e| (e.time, e.seq));
+        debug_assert_eq!(v.len(), self.pending, "pending count out of sync");
+        v
+    }
+
+    /// Rebuild a queue from checkpointed parts: the clock, the lifetime
+    /// push/pop counters, and every pending entry (each keeping its
+    /// original tie-break `seq`). The drain cursor restarts at `now`'s
+    /// tick — any placement satisfying the wheel invariants yields the
+    /// same observable pop stream, so the cursor position itself is not
+    /// part of the canonical state.
+    ///
+    /// # Panics
+    /// Panics if an entry precedes `now` or carries a `seq` the restored
+    /// counter claims was never issued — both mean the blob and the meta
+    /// fields disagree.
+    pub fn from_parts(
+        now: Time,
+        next_seq: u64,
+        popped: u64,
+        entries: Vec<EventEntry<E>>,
+    ) -> Self {
+        let mut q = Self::with_capacity(entries.len());
+        q.now = now;
+        q.ready_tick = tick0(now);
+        q.next_seq = next_seq;
+        q.popped = popped;
+        for entry in entries {
+            assert!(
+                entry.time >= now,
+                "checkpointed event at {:?} precedes restored clock {:?}",
+                entry.time,
+                now
+            );
+            assert!(
+                entry.seq < next_seq,
+                "checkpointed event seq {} >= restored next_seq {}",
+                entry.seq,
+                next_seq
+            );
+            q.place(entry);
+        }
+        if q.ready.is_empty() && q.pending > 0 {
+            q.advance();
+        }
+        q
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
@@ -537,6 +606,60 @@ mod tests {
         q.push(t, 2); // tick already promoted: lands in ready directly
         assert_eq!(q.pop().unwrap().1, 1);
         assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    /// Checkpoint round-trip with entries occupying every level: the
+    /// restored queue pops the same `(time, seq, payload)` stream.
+    #[test]
+    fn from_parts_round_trips_all_levels() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(1), "consume");
+        q.push(Time::from_secs(100), "far");
+        q.push(Time::from_secs(40), "far2");
+        q.push(Time::from_secs(2), "l1");
+        assert_eq!(q.pop().unwrap().1, "consume");
+        // Post-pop pushes: ready-buffer resident plus both wheels.
+        q.push(q.now(), "ready");
+        q.push(Time::from_secs(1) + Duration::from_millis(1), "l0");
+        q.push(Time::from_secs(3), "l1b");
+
+        let entries: Vec<EventEntry<&str>> =
+            q.entries_sorted().into_iter().cloned().collect();
+        let mut r = EventQueue::from_parts(q.now(), q.pushed(), q.popped(), entries);
+        assert_eq!(r.now(), q.now());
+        assert_eq!(r.pushed(), q.pushed());
+        assert_eq!(r.popped(), q.popped());
+        assert_eq!(r.len(), q.len());
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        // Post-restore pushes continue the same seq stream.
+        q.push(q.now(), "again");
+        r.push(r.now(), "again");
+        assert_eq!(q.pop(), r.pop());
+    }
+
+    /// Restoring an empty queue mid-run keeps counters and stays poppable.
+    #[test]
+    fn from_parts_empty_queue() {
+        let mut r: EventQueue<u8> = EventQueue::from_parts(Time::from_secs(5), 9, 9, Vec::new());
+        assert!(r.is_empty());
+        assert_eq!(r.pop(), None);
+        r.push(Time::from_secs(6), 1);
+        assert_eq!(r.pop(), Some((Time::from_secs(6), 1)));
+        assert_eq!(r.pushed(), 10);
+        assert_eq!(r.popped(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes restored clock")]
+    fn from_parts_rejects_past_entries() {
+        let entries = vec![EventEntry { time: Time::from_secs(1), seq: 0, event: () }];
+        let _ = EventQueue::from_parts(Time::from_secs(2), 1, 0, entries);
     }
 
     /// An L1-boundary hazard: an overflow-wheel event must not be

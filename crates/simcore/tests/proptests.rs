@@ -4,8 +4,44 @@
 // the offline build cannot fetch. See the `proptests` feature in Cargo.toml.
 #![cfg(feature = "proptests")]
 
-use pi2_simcore::{Duration, EventQueue, HeapEventQueue, Rng, Time};
+use pi2_simcore::{Duration, EventEntry, EventQueue, HeapEventQueue, Rng, Time};
 use proptest::prelude::*;
+
+/// Checkpoint round trip: serialize to the canonical sorted-entry form
+/// (exactly what `SimCore::save_ckpt` writes) and rebuild via
+/// `from_parts` — the same path `SimCore::restore_ckpt` takes.
+fn ckpt_roundtrip(q: &EventQueue<usize>) -> EventQueue<usize> {
+    let entries: Vec<EventEntry<usize>> = q
+        .entries_sorted()
+        .into_iter()
+        .map(|e| EventEntry {
+            time: e.time,
+            seq: e.seq,
+            event: e.event,
+        })
+        .collect();
+    EventQueue::from_parts(q.now(), q.pushed(), q.popped(), entries)
+}
+
+/// Drain both queues, asserting identical `(time, event)` pop streams and
+/// clock positions all the way to empty.
+fn assert_same_pop_stream(
+    mut a: EventQueue<usize>,
+    mut b: EventQueue<usize>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    prop_assert_eq!(a.pushed(), b.pushed());
+    prop_assert_eq!(a.popped(), b.popped());
+    loop {
+        prop_assert_eq!(a.peek_time(), b.peek_time());
+        let (x, y) = (a.pop(), b.pop());
+        prop_assert_eq!(x, y);
+        prop_assert_eq!(a.now(), b.now());
+        if x.is_none() {
+            return Ok(());
+        }
+    }
+}
 
 proptest! {
     /// Cross-implementation equivalence: the timing wheel must produce the
@@ -66,6 +102,103 @@ proptest! {
             prop_assert_eq!(wheel.pop(), Some(popped));
         }
         prop_assert!(wheel.is_empty());
+    }
+
+    /// Checkpoint round trip with events straddling the L0→L1 boundary:
+    /// offsets cluster around the ≈33.6 ms near-wheel horizon (2^25 ns),
+    /// so the restored queue must re-bucket entries that sat on either
+    /// side of the boundary without disturbing the `(time, seq)` stream.
+    #[test]
+    fn wheel_ckpt_roundtrip_straddles_l0_l1_boundary(
+        seed in any::<u64>(),
+        n in 1usize..200,
+        pre_pops in 0usize..40,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            // Within ±4 L0 ticks of the L0→L1 horizon, plus a few
+            // same-tick ties from the sub-tick remainder.
+            let horizon = 1u64 << 25;
+            let jitter = rng.range_u64(0, 8 << 15);
+            let at = q.now().as_nanos() + horizon - (4 << 15) + jitter;
+            q.push(Time::from_nanos(at), i);
+        }
+        for _ in 0..pre_pops.min(n / 2) {
+            q.pop(); // advance the cursor so restore starts mid-stream
+        }
+        let restored = ckpt_roundtrip(&q);
+        assert_same_pop_stream(q, restored)?;
+    }
+
+    /// Checkpoint round trip with far-list occupancy: a mix of near,
+    /// overflow-wheel and beyond-34.4 s events (scripted disturbances,
+    /// backed-off RTOs). The far list serializes like any other level —
+    /// restore re-buckets purely by time distance from the restored clock.
+    #[test]
+    fn wheel_ckpt_roundtrip_with_far_list(seed in any::<u64>(), steps in 1usize..150) {
+        let mut rng = Rng::new(seed);
+        let mut q = EventQueue::new();
+        let mut id = 0usize;
+        for _ in 0..steps {
+            for _ in 0..rng.range_u64(1, 4) {
+                let offset = match rng.range_u64(0, 4) {
+                    0 => rng.range_u64(0, 1 << 20),            // near wheel
+                    1 => rng.range_u64(1 << 25, 1 << 30),      // overflow wheel
+                    2 => rng.range_u64(35_000_000_000, 200_000_000_000), // far list
+                    _ => 0,                                    // same-instant tie
+                };
+                q.push(Time::from_nanos(q.now().as_nanos() + offset), id);
+                id += 1;
+            }
+            if rng.chance(0.5) {
+                q.pop();
+            }
+        }
+        let restored = ckpt_roundtrip(&q);
+        assert_same_pop_stream(q, restored)?;
+    }
+
+    /// Checkpoint round trip after `equalize_slot_capacities()` has run:
+    /// capacity levelling touches only allocation, never entry placement,
+    /// so a snapshot taken after it (and another equalization on the
+    /// restored side) must still replay the identical stream.
+    #[test]
+    fn wheel_ckpt_roundtrip_after_equalize(seed in any::<u64>(), n in 1usize..200) {
+        let mut rng = Rng::new(seed);
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            let offset = rng.range_u64(0, 40_000_000_000);
+            q.push(Time::from_nanos(q.now().as_nanos() + offset), i);
+        }
+        for _ in 0..n / 4 {
+            q.pop();
+        }
+        q.equalize_slot_capacities();
+        let mut restored = ckpt_roundtrip(&q);
+        restored.equalize_slot_capacities();
+        assert_same_pop_stream(q, restored)?;
+    }
+
+    /// Saving is non-destructive: serializing the canonical entry list
+    /// twice yields identical `(time, seq)` sequences, and the original
+    /// queue still pops everything it held.
+    #[test]
+    fn wheel_ckpt_save_is_borrow_only(seed in any::<u64>(), n in 1usize..150) {
+        let mut rng = Rng::new(seed);
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            let offset = rng.range_u64(0, 100_000_000_000);
+            q.push(Time::from_nanos(q.now().as_nanos() + offset), i);
+        }
+        let once: Vec<(Time, u64)> = q.entries_sorted().iter().map(|e| (e.time, e.seq)).collect();
+        let twice: Vec<(Time, u64)> = q.entries_sorted().iter().map(|e| (e.time, e.seq)).collect();
+        prop_assert_eq!(&once, &twice);
+        let mut popped = 0usize;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, n);
     }
 
     /// Popped timestamps are a non-decreasing sequence, whatever the push order.

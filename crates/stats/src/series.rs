@@ -27,10 +27,10 @@ pub fn peak_in(series: &[(f64, f64)], from: f64, to: f64) -> Option<(f64, f64)> 
 ///   *inside* — the band is closed;
 /// * `from` may be `0.0` (disturbance at the origin) or any sample
 ///   time; samples strictly before `from` are ignored;
-/// * if the data ends while still inside the band, the partial hold is
-///   accepted as long as more than one in-band sample was seen — a
-///   series is never penalised for being truncated mid-settle, but a
-///   lone final in-band sample proves nothing and yields `None`.
+/// * if the data ends while still inside the band, the run is accepted
+///   only when it actually spanned `hold` seconds (`last_t - start >=
+///   hold`) — a series truncated mid-settle has not demonstrated the
+///   hold and yields `None`.
 pub fn settle_time(
     series: &[(f64, f64)],
     from: f64,
@@ -51,8 +51,12 @@ pub fn settle_time(
             candidate = None;
         }
     }
-    // Ran out of data while inside the band: accept if we held to the end.
-    candidate.filter(|&start| last_t > start).map(|s| s - from)
+    // Ran out of data while inside the band: accept only if the in-band
+    // run genuinely spanned the hold — a truncated series must not pass
+    // off a partial hold as settled.
+    candidate
+        .filter(|&start| last_t - start >= hold)
+        .map(|s| s - from)
 }
 
 /// Alias for [`settle_time`], kept for callers written against the
@@ -188,6 +192,24 @@ mod tests {
         // A lone final in-band sample proves nothing.
         let s = vec![(0.0, 100.0), (1.0, 100.0), (2.0, 20.0)];
         assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), None);
+    }
+
+    /// Regression: a series truncated mid-settle — several in-band
+    /// samples at the end, but spanning less than `hold` — must not be
+    /// accepted. The old tail acceptance (`last_t > start`) returned a
+    /// spuriously small `Some(2.0)` here.
+    #[test]
+    fn settle_time_truncated_partial_hold_is_rejected() {
+        let s = vec![(0.0, 100.0), (1.0, 100.0), (2.0, 20.0), (3.0, 20.0), (4.0, 20.0)];
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), None);
+        // The same shape with enough tail to span the hold settles, and
+        // the boundary is closed: ending exactly at start + hold counts.
+        let s: Vec<(f64, f64)> = (0..8)
+            .map(|i| (i as f64, if i < 2 { 100.0 } else { 20.0 }))
+            .collect();
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), Some(2.0));
+        let s = vec![(0.0, 100.0), (1.0, 20.0), (6.0, 20.0)];
+        assert_eq!(settle_time(&s, 0.0, 20.0, 5.0, 5.0), Some(1.0));
     }
 
     #[test]

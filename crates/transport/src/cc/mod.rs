@@ -26,7 +26,7 @@ pub use dctcp::Dctcp;
 pub use reno::Reno;
 pub use scalable::{Relentless, ScalableHalfPkt, ScalableTcp};
 
-use pi2_simcore::{Duration, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Time};
 
 /// A pluggable congestion-control algorithm driven by the TCP machinery in
 /// [`crate::tcp::TcpSource`].
@@ -77,6 +77,20 @@ pub trait CongestionControl {
     /// `p` and round-trip time `rtt` (Appendix A of the paper), used by
     /// validation tests. Returns `None` if the control has no simple law.
     fn steady_state_window(&self, p: f64, rtt: Duration) -> Option<f64>;
+
+    /// Serialize all mutable controller state in a fixed field order
+    /// (checkpointing). The default writes nothing, which is correct only
+    /// for stateless test stubs — every real control overrides this.
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        let _ = w;
+    }
+
+    /// Restore state captured by [`CongestionControl::save_ckpt`] into a
+    /// freshly constructed instance of the same control.
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Which congestion control to instantiate, together with the Appendix A

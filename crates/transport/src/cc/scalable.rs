@@ -11,7 +11,7 @@
 //! `scal pi` Bode plots of Figure 7.
 
 use super::CongestionControl;
-use pi2_simcore::{Duration, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Time};
 
 /// Minimum congestion window, in packets.
 const MIN_CWND: f64 = 2.0;
@@ -81,6 +81,17 @@ impl CongestionControl for ScalableHalfPkt {
     fn steady_state_window(&self, p: f64, _rtt: Duration) -> Option<f64> {
         Some(2.0 / p)
     }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        Ok(())
+    }
 }
 
 /// Relentless TCP (Mathis): decrease the window by exactly one segment
@@ -148,6 +159,17 @@ impl CongestionControl for Relentless {
 
     fn steady_state_window(&self, p: f64, _rtt: Duration) -> Option<f64> {
         Some(1.0 / p)
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        Ok(())
     }
 }
 
@@ -220,6 +242,17 @@ impl CongestionControl for ScalableTcp {
     fn steady_state_window(&self, p: f64, _rtt: Duration) -> Option<f64> {
         // Balance a·W = p·W·b·W per RTT ⇒ W = a/(b·p).
         Some(Self::A / (Self::B * p))
+    }
+
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        Ok(())
     }
 }
 

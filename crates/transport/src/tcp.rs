@@ -19,7 +19,80 @@ use crate::cc::{CcKind, CongestionControl};
 use crate::rangeset::RangeSet;
 use crate::seqset::SeqSet;
 use pi2_netsim::{Ack, Ecn, FlowId, Packet, SimCore, Source, TimerKind};
-use pi2_simcore::{Duration, Time};
+use pi2_simcore::{CkptError, CkptReader, CkptWriter, Duration, Time};
+
+/// Encode an optional value as a presence flag plus the value (a fixed
+/// placeholder when absent), keeping every record fixed-width.
+fn write_opt<T, F: FnMut(&mut CkptWriter, T)>(w: &mut CkptWriter, v: Option<T>, mut f: F, zero: T) {
+    w.bool(v.is_some());
+    match v {
+        Some(v) => f(w, v),
+        None => f(w, zero),
+    }
+}
+
+/// Decode the counterpart of [`write_opt`].
+fn read_opt<T, F: FnMut(&mut CkptReader) -> Result<T, CkptError>>(
+    r: &mut CkptReader,
+    mut f: F,
+) -> Result<Option<T>, CkptError> {
+    let present = r.bool()?;
+    let v = f(r)?;
+    Ok(present.then_some(v))
+}
+
+/// Serialize a [`SeqSet`] as its ascending member list; re-inserting in
+/// that order on restore rebuilds the identical internal layout.
+fn write_seqset(w: &mut CkptWriter, s: &SeqSet) {
+    w.usize(s.len());
+    for &seq in s.iter() {
+        w.u64(seq);
+    }
+}
+
+/// Decode the counterpart of [`write_seqset`].
+fn read_seqset(r: &mut CkptReader) -> Result<SeqSet, CkptError> {
+    let n = r.usize()?;
+    let mut s = SeqSet::new();
+    let mut prev = None;
+    for _ in 0..n {
+        let seq = r.u64()?;
+        if prev.is_some_and(|p| p >= seq) {
+            return Err(CkptError::Corrupt("seqset members not strictly ascending"));
+        }
+        prev = Some(seq);
+        s.insert(seq);
+    }
+    Ok(s)
+}
+
+/// Serialize a [`RangeSet`] as its disjoint ascending `[start, end)`
+/// ranges; re-inserting them on restore also rebuilds the cached total.
+fn write_rangeset(w: &mut CkptWriter, s: &RangeSet) {
+    let ranges = s.ranges();
+    w.usize(ranges.len());
+    for &(start, end) in ranges {
+        w.u64(start);
+        w.u64(end);
+    }
+}
+
+/// Decode the counterpart of [`write_rangeset`].
+fn read_rangeset(r: &mut CkptReader) -> Result<RangeSet, CkptError> {
+    let n = r.usize()?;
+    let mut s = RangeSet::new();
+    let mut prev_end = None;
+    for _ in 0..n {
+        let start = r.u64()?;
+        let end = r.u64()?;
+        if start >= end || prev_end.is_some_and(|p| p >= start) {
+            return Err(CkptError::Corrupt("rangeset ranges not disjoint ascending"));
+        }
+        prev_end = Some(end);
+        s.insert_range(start, end);
+    }
+    Ok(s)
+}
 
 /// How the flow uses ECN.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -692,6 +765,96 @@ impl Source for TcpSource {
         self.cong_gate = self.snd_nxt;
         self.send_segment(core, self.snd_una, true);
         self.arm_rto(core);
+    }
+
+    /// Serialize every mutable field — both endpoints' state plus the
+    /// congestion controller — in declaration order. `id`, `cfg` and
+    /// `ecn` are construction-time configuration and are not written; the
+    /// restoring side must be built with the same values.
+    fn save_ckpt(&self, w: &mut CkptWriter) {
+        self.cc.save_ckpt(w);
+        w.bool(self.active);
+        w.u64(self.snd_una);
+        w.u64(self.snd_nxt);
+        w.u32(self.dupacks);
+        w.bool(self.in_recovery);
+        w.u64(self.recover);
+        w.u64(self.recovery_inflation);
+        write_rangeset(w, &self.sacked);
+        write_seqset(w, &self.lost);
+        write_seqset(w, &self.rtx_out);
+        w.u64(self.lost_below);
+        w.u64(self.repair_from);
+        w.u64(self.cong_gate);
+        write_opt(w, self.rto_timer, CkptWriter::u64, 0);
+        w.u32(self.rto_backoff);
+        write_opt(w, self.srtt, CkptWriter::duration, Duration::ZERO);
+        w.duration(self.rttvar);
+        w.duration(self.base_rtt);
+        w.u64(self.seen_ce_total);
+        w.u64(self.seen_pkts_total);
+        w.u64(self.rcv_nxt);
+        write_rangeset(w, &self.ooo);
+        w.u64(self.ce_total);
+        w.u64(self.pkts_total);
+        w.u32(self.unacked_segs);
+        w.bool(self.ece_pending);
+        write_opt(
+            w,
+            self.pending_echo,
+            |w, (t, rtx)| {
+                w.time(t);
+                w.bool(rtx);
+            },
+            (Time::ZERO, false),
+        );
+        w.bool(self.last_ce_state);
+        write_opt(w, self.delack_timer, CkptWriter::u64, 0);
+        write_opt(w, self.completed_at, CkptWriter::time, Time::ZERO);
+        w.time(self.started_at);
+    }
+
+    fn restore_ckpt(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.cc.restore_ckpt(r)?;
+        self.active = r.bool()?;
+        self.snd_una = r.u64()?;
+        self.snd_nxt = r.u64()?;
+        self.dupacks = r.u32()?;
+        self.in_recovery = r.bool()?;
+        self.recover = r.u64()?;
+        self.recovery_inflation = r.u64()?;
+        self.sacked = read_rangeset(r)?;
+        self.lost = read_seqset(r)?;
+        self.rtx_out = read_seqset(r)?;
+        self.lost_below = r.u64()?;
+        self.repair_from = r.u64()?;
+        self.cong_gate = r.u64()?;
+        self.rto_timer = read_opt(r, |r| r.u64())?;
+        self.rto_backoff = r.u32()?;
+        self.srtt = read_opt(r, |r| r.duration())?;
+        self.rttvar = r.duration()?;
+        self.base_rtt = r.duration()?;
+        self.seen_ce_total = r.u64()?;
+        self.seen_pkts_total = r.u64()?;
+        self.rcv_nxt = r.u64()?;
+        self.ooo = read_rangeset(r)?;
+        self.ce_total = r.u64()?;
+        self.pkts_total = r.u64()?;
+        self.unacked_segs = r.u32()?;
+        self.ece_pending = r.bool()?;
+        self.pending_echo = read_opt(r, |r| {
+            let t = r.time()?;
+            let rtx = r.bool()?;
+            Ok((t, rtx))
+        })?;
+        self.last_ce_state = r.bool()?;
+        self.delack_timer = read_opt(r, |r| r.u64())?;
+        self.completed_at = read_opt(r, |r| r.time())?;
+        self.started_at = r.time()?;
+        if self.snd_una > self.snd_nxt {
+            return Err(CkptError::Corrupt("snd_una ahead of snd_nxt"));
+        }
+        Ok(())
     }
 }
 

@@ -103,6 +103,31 @@ PI2_SECS=2 PI2_THREADS=4 cargo run -q -p pi2-bench --release --bin grid_all > /t
 diff /tmp/pi2_grid_serial.txt /tmp/pi2_grid_par.txt
 rm -f /tmp/pi2_grid_serial.txt /tmp/pi2_grid_par.txt
 
+echo "== checkpoint round-trip smoke: save at t/2, restore, diff vs straight-through"
+# The restore⇄replay determinism oracle (tests/checkpoint.rs) in CLI
+# form: a run snapshotted at 4 s and restored into a fresh process must
+# finish with byte-identical metrics JSON to the run that never stopped.
+# The audited restore leg also re-verifies every invariant from the
+# restored state onward.
+ckpt_dir="$(mktemp -d -t pi2_ckpt_smoke.XXXXXX)"
+trap 'rm -rf "$smoke_out" "$trace_out" "$trace_log" "$metrics_json" "$metrics_prom" "$profile_log" "$ckpt_dir"' EXIT
+ckpt_args=(--aqm pi2 --rate 10M --flows 2xreno,1xdctcp --secs 8 --warmup 2 --seed 7 --audit)
+cargo run -q -p pi2-bench --release --bin pi2sim -- \
+    "${ckpt_args[@]}" --metrics-out "$ckpt_dir/straight.json" > /dev/null
+cargo run -q -p pi2-bench --release --bin pi2sim -- \
+    "${ckpt_args[@]}" --checkpoint-out "$ckpt_dir/mid.ckpt" --checkpoint-at 4s \
+    --metrics-out "$ckpt_dir/saver.json" > /dev/null
+test -s "$ckpt_dir/mid.ckpt"
+# Saving mid-run must not perturb the saving run itself...
+diff "$ckpt_dir/straight.json" "$ckpt_dir/saver.json"
+# ...and the restored run must land on the identical end state.
+cargo run -q -p pi2-bench --release --bin pi2sim -- \
+    "${ckpt_args[@]}" --restore "$ckpt_dir/mid.ckpt" \
+    --metrics-out "$ckpt_dir/restored.json" > "$ckpt_dir/restore.log"
+grep -q '^# restored' "$ckpt_dir/restore.log"
+diff "$ckpt_dir/straight.json" "$ckpt_dir/restored.json"
+rm -rf "$ckpt_dir"
+
 echo "== dynamics scenario smoke: step-response table, weather determinism"
 # The full {rate-step, flow-churn} x {PIE, PI2, DualPI2} family under a
 # seeded weather layer (1% loss, 2 ms reordering jitter). The impaired

@@ -1,0 +1,453 @@
+//! Checkpoint/restore determinism oracle.
+//!
+//! The contract under test: `Sim::save` at any instant, `Sim::restore`
+//! into a freshly built simulator of the same configuration, replay to
+//! the end — and every observable (the JSONL event trace, the always-on
+//! counters, the monitor's per-flow accounts and sojourn series, the
+//! metrics registry snapshot) is *bit-identical* to the run that never
+//! stopped. Any hidden state — a field forgotten by a `save_ckpt`, an
+//! estimator cycle, a stale timer id, an RNG draw — shows up here as a
+//! diverging trace byte.
+//!
+//! The oracle runs over a grid of AQM × traffic-mix cells covering every
+//! policy family in the workspace (single-queue AQMs, the DualPI2 and FQ
+//! qdiscs, tail-drop), with the invariant auditor attached, at several
+//! snapshot times (mid-warmup, mid-disturbance, and with far-future
+//! scheduled events in the wheel's far list), and under the parallel
+//! sweep executor at 1, 2 and 4 workers.
+
+use pi2::aqm::{
+    Codel, CodelConfig, CoupledPi2, CoupledPi2Config, CurvyRed, CurvyRedConfig, DualPi2,
+    DualPi2Config, FqConfig, FqDrr, Pi, PiConfig, Pi2, Pi2Config, Pie, PieConfig, Red, RedConfig,
+};
+use pi2::experiments::runner::par_map_threads;
+use pi2::netsim::{AuditSink, JsonlSink, Qdisc};
+use pi2::prelude::*;
+use pi2::simcore::CkptError;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One cell of the oracle grid.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    aqm: &'static str,
+    mix: &'static str,
+    seed: u64,
+}
+
+/// Every AQM family × a traffic mix its classifier actually exercises.
+const GRID: &[Cell] = &[
+    Cell { aqm: "pi2", mix: "classic", seed: 11 },
+    Cell { aqm: "pi2", mix: "mixed", seed: 12 },
+    Cell { aqm: "pie", mix: "classic", seed: 13 },
+    Cell { aqm: "pi", mix: "scalable", seed: 14 },
+    Cell { aqm: "coupled", mix: "mixed", seed: 15 },
+    Cell { aqm: "dualq", mix: "mixed", seed: 16 },
+    Cell { aqm: "fq", mix: "mixed", seed: 17 },
+    Cell { aqm: "red", mix: "classic", seed: 18 },
+    Cell { aqm: "codel", mix: "classic", seed: 19 },
+    Cell { aqm: "curvy", mix: "mixed", seed: 20 },
+    Cell { aqm: "taildrop", mix: "udp", seed: 21 },
+];
+
+const RATE: u64 = 10_000_000;
+const T_END: Time = Time::from_secs(4);
+
+fn build_sim(cell: &Cell) -> Sim {
+    let cfg = SimConfig {
+        queue: QueueConfig {
+            rate_bps: RATE,
+            buffer_bytes: 40_000 * 1500,
+        },
+        seed: cell.seed,
+        monitor: MonitorConfig::default(),
+    };
+    let mut sim = match cell.aqm {
+        "dualq" => Sim::with_qdisc(
+            cfg,
+            Box::new(DualPi2::new(DualPi2Config::for_link(RATE))) as Box<dyn Qdisc>,
+        ),
+        "fq" => Sim::with_qdisc(
+            cfg,
+            Box::new(FqDrr::new(FqConfig::for_link(RATE))) as Box<dyn Qdisc>,
+        ),
+        name => {
+            let aqm: Box<dyn Aqm> = match name {
+                "pi2" => Box::new(Pi2::new(Pi2Config::default())),
+                "pie" => Box::new(Pie::new(PieConfig::paper_default())),
+                "pi" => Box::new(Pi::new(PiConfig::default())),
+                "coupled" => Box::new(CoupledPi2::new(CoupledPi2Config::default())),
+                "red" => Box::new(Red::new(RedConfig::default())),
+                "codel" => Box::new(Codel::new(CodelConfig::default())),
+                "curvy" => Box::new(CurvyRed::new(CurvyRedConfig::default())),
+                "taildrop" => Box::new(PassAqm),
+                other => panic!("unknown AQM {other}"),
+            };
+            Sim::new(cfg, aqm)
+        }
+    };
+    let rtt = Duration::from_millis(40);
+    let tcp = |sim: &mut Sim, label: &str, cc: CcKind, ecn: EcnSetting| {
+        sim.add_flow(PathConf::symmetric(rtt), label, Time::ZERO, move |id| {
+            Box::new(TcpSource::new(id, cc, ecn, TcpConfig::default()))
+        });
+    };
+    match cell.mix {
+        "classic" => {
+            tcp(&mut sim, "reno", CcKind::Reno, EcnSetting::NotEcn);
+            tcp(&mut sim, "reno", CcKind::Reno, EcnSetting::NotEcn);
+            tcp(&mut sim, "cubic", CcKind::Cubic, EcnSetting::NotEcn);
+        }
+        "scalable" => {
+            tcp(&mut sim, "dctcp", CcKind::Dctcp, EcnSetting::Scalable);
+            tcp(&mut sim, "dctcp", CcKind::Dctcp, EcnSetting::Scalable);
+        }
+        "mixed" => {
+            tcp(&mut sim, "cubic", CcKind::Cubic, EcnSetting::NotEcn);
+            tcp(&mut sim, "ecn-cubic", CcKind::Cubic, EcnSetting::Classic);
+            tcp(&mut sim, "dctcp", CcKind::Dctcp, EcnSetting::Scalable);
+        }
+        "udp" => {
+            tcp(&mut sim, "reno", CcKind::Reno, EcnSetting::NotEcn);
+            sim.add_flow(PathConf::symmetric(rtt), "udp", Time::ZERO, |id| {
+                Box::new(UdpCbrSource::new(id, 6_000_000, 1500, Ecn::NotEct))
+            });
+            // An on-off burst exercises the timer round-trip through a
+            // checkpointed idle period.
+            sim.add_flow(PathConf::symmetric(rtt), "burst", Time::ZERO, |id| {
+                Box::new(pi2::netsim::OnOffCbrSource::new(
+                    id,
+                    4_000_000,
+                    1000,
+                    Duration::from_millis(300),
+                    Duration::from_millis(700),
+                ))
+            });
+        }
+        other => panic!("unknown mix {other}"),
+    }
+    // Mid-run disturbances: a rate step down and back, an RTT change, and
+    // a flow stop/restart — all scheduled up front, so a snapshot taken
+    // before they fire must carry them as far-future events.
+    sim.set_rate_at(Time::from_millis(1800), RATE / 2);
+    sim.set_rate_at(Time::from_millis(2600), RATE);
+    sim.set_rtt_at(FlowId(0), Time::from_millis(2200), Duration::from_millis(80));
+    sim.stop_flow_at(FlowId(1), Time::from_millis(1900));
+    sim.start_flow_at(FlowId(1), Time::from_millis(2800));
+    sim
+}
+
+/// Attach the full observer set (auditor, metrics, a JSONL sink) to a
+/// sim and return the sink handle.
+fn observe(sim: &mut Sim, seed: u64) -> Rc<RefCell<JsonlSink<Vec<u8>>>> {
+    sim.core.enable_audit(AuditSink::new(seed));
+    sim.core.enable_metrics();
+    let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&sink)));
+    sink
+}
+
+/// Drain a sink handle into its accumulated bytes.
+fn trace_bytes(sim: &mut Sim, sink: Rc<RefCell<JsonlSink<Vec<u8>>>>) -> Vec<u8> {
+    sim.core.flush_trace_sinks().expect("flush");
+    drop(sim.core.take_trace_sinks());
+    Rc::try_unwrap(sink).expect("sole owner").into_inner().into_inner()
+}
+
+/// The end-of-run observables we require to be bit-identical.
+struct Observables {
+    trace: Vec<u8>,
+    metrics_json: String,
+    popped: u64,
+    pushed: u64,
+    totals: (u64, u64, u64, u64),
+    aqm_updates: u64,
+    sojourn_ms: Vec<f32>,
+    flows: Vec<(u64, u64, u64, u64)>,
+}
+
+fn observables(mut sim: Sim, sink: Rc<RefCell<JsonlSink<Vec<u8>>>>) -> Observables {
+    let metrics = sim.core.take_metrics().expect("metrics enabled");
+    let t = sim.core.counters.totals();
+    Observables {
+        trace: trace_bytes(&mut sim, sink),
+        metrics_json: metrics.registry().to_json(),
+        popped: sim.core.events.popped(),
+        pushed: sim.core.events.pushed(),
+        totals: (t.enqueued, t.marked, t.dropped, t.dequeued),
+        aqm_updates: sim.core.counters.aqm_updates,
+        sojourn_ms: sim.core.monitor.sojourn_ms.clone(),
+        flows: sim
+            .core
+            .monitor
+            .flows
+            .iter()
+            .map(|f| (f.sent_pkts, f.dequeued_bytes, f.marked, f.dropped))
+            .collect(),
+    }
+}
+
+/// The oracle for one cell and one snapshot time. Returns a description
+/// of the first divergence, or `None` when the restored replay is
+/// bit-identical to the straight-through run.
+fn oracle(cell: &Cell, snap_at: Time) -> Option<String> {
+    let tag = format!("{}×{} @ {snap_at}", cell.aqm, cell.mix);
+
+    // Arm P: run to the snapshot time, save. Its trace is the prefix the
+    // restored arm must never re-emit.
+    let mut p_sim = build_sim(cell);
+    let p_sink = observe(&mut p_sim, cell.seed);
+    p_sim.run_until(snap_at);
+    // run_until stops on the last event at or before `snap_at`; the
+    // restored clock must match the clock at save time, not the nominal
+    // snapshot instant.
+    let t_save = p_sim.core.now();
+    let blob = p_sim.save();
+    let prefix = trace_bytes(&mut p_sim, p_sink);
+
+    // Arm F: the straight-through reference.
+    let mut f_sim = build_sim(cell);
+    let f_sink = observe(&mut f_sim, cell.seed);
+    f_sim.run_until(T_END);
+    let f_obs = observables(f_sim, f_sink);
+    if !f_obs.trace.starts_with(&prefix) {
+        return Some(format!("{tag}: reference trace does not extend the prefix"));
+    }
+
+    // Arm R: fresh sim, restore, replay. The auditor is attached before
+    // restore (it re-baselines); the trace sink only ever sees the suffix.
+    let mut r_sim = build_sim(cell);
+    let r_sink = observe(&mut r_sim, cell.seed);
+    if let Err(e) = r_sim.restore(&blob) {
+        return Some(format!("{tag}: restore failed: {e:?}"));
+    }
+    if r_sim.core.now() != t_save {
+        return Some(format!("{tag}: restored clock {} != {t_save}", r_sim.core.now()));
+    }
+    r_sim.run_until(T_END);
+    let r_obs = observables(r_sim, r_sink);
+
+    let suffix = &f_obs.trace[prefix.len()..];
+    if r_obs.trace != suffix {
+        let n = r_obs
+            .trace
+            .iter()
+            .zip(suffix)
+            .take_while(|(a, b)| a == b)
+            .count();
+        return Some(format!(
+            "{tag}: replay trace diverges from the reference at suffix byte {n} \
+             (replay {} bytes, reference suffix {} bytes)",
+            r_obs.trace.len(),
+            suffix.len()
+        ));
+    }
+    if r_obs.metrics_json != f_obs.metrics_json {
+        return Some(format!("{tag}: metrics snapshots differ"));
+    }
+    if (r_obs.popped, r_obs.pushed) != (f_obs.popped, f_obs.pushed) {
+        return Some(format!(
+            "{tag}: event totals differ: popped/pushed {}/{} vs {}/{}",
+            r_obs.popped, r_obs.pushed, f_obs.popped, f_obs.pushed
+        ));
+    }
+    if r_obs.totals != f_obs.totals || r_obs.aqm_updates != f_obs.aqm_updates {
+        return Some(format!(
+            "{tag}: counters differ: {:?}+{} vs {:?}+{}",
+            r_obs.totals, r_obs.aqm_updates, f_obs.totals, f_obs.aqm_updates
+        ));
+    }
+    if r_obs.sojourn_ms != f_obs.sojourn_ms {
+        return Some(format!("{tag}: monitor sojourn series differ"));
+    }
+    if r_obs.flows != f_obs.flows {
+        return Some(format!(
+            "{tag}: per-flow accounts differ: {:?} vs {:?}",
+            r_obs.flows, f_obs.flows
+        ));
+    }
+    None
+}
+
+/// Snapshot instants: mid-warmup (steady growth), mid-disturbance (the
+/// rate step at 1.8 s and the stop/RTT events are in flight — some fired,
+/// some still scheduled), and late (past every disturbance).
+const SNAPS: &[Time] = &[
+    Time::from_millis(700),
+    Time::from_millis(2100),
+    Time::from_millis(3300),
+];
+
+/// The full grid, every snapshot time, under the parallel sweep executor
+/// at 1, 2 and 4 workers — the restored replay must be bit-identical to
+/// the straight-through run in every cell, regardless of how the cells
+/// are scheduled onto workers.
+#[test]
+fn restore_replay_is_bit_identical_across_the_grid() {
+    let mut work: Vec<(Cell, Time)> = Vec::new();
+    for cell in GRID {
+        for &at in SNAPS {
+            work.push((*cell, at));
+        }
+    }
+    for threads in [1usize, 2, 4] {
+        let failures: Vec<String> = par_map_threads(threads, &work, |(cell, at)| {
+            oracle(cell, *at)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        assert!(
+            failures.is_empty(),
+            "{} cells diverged at {threads} workers:\n{}",
+            failures.len(),
+            failures.join("\n")
+        );
+    }
+}
+
+/// Weather (the fault-injection layer) carries its own RNG and stats —
+/// both must survive the round trip, or losses replay differently.
+#[test]
+fn restore_replay_is_bit_identical_with_impairments() {
+    let cell = Cell { aqm: "pi2", mix: "classic", seed: 31 };
+    let weather = || {
+        LinkImpairments::new(97).symmetric(ImpairmentConf {
+            loss: 0.02,
+            dup: 0.01,
+            jitter: Duration::from_millis(2),
+        })
+    };
+    let snap_at = Time::from_millis(2100);
+
+    let mut p_sim = build_sim(&cell);
+    p_sim.core.set_impairments(weather());
+    let p_sink = observe(&mut p_sim, cell.seed);
+    p_sim.run_until(snap_at);
+    let blob = p_sim.save();
+    let prefix = trace_bytes(&mut p_sim, p_sink);
+
+    let mut f_sim = build_sim(&cell);
+    f_sim.core.set_impairments(weather());
+    let f_sink = observe(&mut f_sim, cell.seed);
+    f_sim.run_until(T_END);
+    let f_obs = observables(f_sim, f_sink);
+    assert!(f_obs.trace.starts_with(&prefix));
+
+    let mut r_sim = build_sim(&cell);
+    r_sim.core.set_impairments(weather());
+    let r_sink = observe(&mut r_sim, cell.seed);
+    r_sim.restore(&blob).expect("restore");
+    r_sim.run_until(T_END);
+    let r_obs = observables(r_sim, r_sink);
+
+    assert_eq!(r_obs.trace, &f_obs.trace[prefix.len()..], "impaired replay trace");
+    assert_eq!(r_obs.metrics_json, f_obs.metrics_json);
+    assert_eq!(r_obs.totals, f_obs.totals);
+    assert_eq!(r_obs.flows, f_obs.flows);
+}
+
+/// A sim missing the impairment layer must refuse a blob that has one
+/// (and vice versa) rather than silently dropping the weather.
+#[test]
+fn impairment_presence_mismatch_is_rejected() {
+    let cell = Cell { aqm: "pi2", mix: "classic", seed: 31 };
+    let mut with = build_sim(&cell);
+    with.core.set_impairments(LinkImpairments::new(97).symmetric(ImpairmentConf {
+        loss: 0.02,
+        dup: 0.0,
+        jitter: Duration::ZERO,
+    }));
+    with.run_until(Time::from_millis(500));
+    let blob = with.save();
+
+    let mut without = build_sim(&cell);
+    match without.restore(&blob) {
+        Err(CkptError::Corrupt(msg)) => assert!(msg.contains("impairment"), "{msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+/// Saving is read-only: saving twice at the same instant yields the same
+/// bytes, and a saved run continues exactly like an unsaved one.
+#[test]
+fn save_is_read_only_and_deterministic() {
+    let cell = Cell { aqm: "coupled", mix: "mixed", seed: 41 };
+    let mut a = build_sim(&cell);
+    a.run_until(Time::from_secs(1));
+    let blob1 = a.save();
+    let blob2 = a.save();
+    assert_eq!(blob1, blob2, "save must be a pure function of the state");
+    a.run_until(Time::from_secs(2));
+
+    let mut b = build_sim(&cell);
+    b.run_until(Time::from_secs(2));
+    assert_eq!(a.core.events.popped(), b.core.events.popped());
+    assert_eq!(a.core.counters, b.core.counters);
+}
+
+/// Header validation: magic, version and schema hash are each checked
+/// before any state is touched.
+#[test]
+fn header_mismatches_are_rejected_with_the_right_error() {
+    let cell = Cell { aqm: "pi2", mix: "classic", seed: 51 };
+    let mut sim = build_sim(&cell);
+    sim.run_until(Time::from_millis(300));
+    let blob = sim.save();
+
+    // Bad magic.
+    let mut bad = blob.clone();
+    bad[0] ^= 0xff;
+    let mut target = build_sim(&cell);
+    assert!(matches!(target.restore(&bad), Err(CkptError::BadMagic)));
+
+    // Future version.
+    let mut bad = blob.clone();
+    bad[8] = bad[8].wrapping_add(1);
+    let mut target = build_sim(&cell);
+    assert!(matches!(
+        target.restore(&bad),
+        Err(CkptError::VersionMismatch { .. })
+    ));
+
+    // Schema mismatch: a sim with a different flow set.
+    let mut other = build_sim(&Cell { aqm: "pi2", mix: "mixed", seed: 51 });
+    assert!(matches!(
+        other.restore(&blob),
+        Err(CkptError::SchemaMismatch { .. })
+    ));
+
+    // Trailing garbage.
+    let mut bad = blob.clone();
+    bad.push(0);
+    let mut target = build_sim(&cell);
+    assert!(matches!(target.restore(&bad), Err(CkptError::Corrupt(_))));
+
+    // Truncation.
+    let bad = &blob[..blob.len() - 3];
+    let mut target = build_sim(&cell);
+    assert!(matches!(target.restore(bad), Err(CkptError::Truncated)));
+
+    // The pristine blob still restores after all those rejections.
+    let mut target = build_sim(&cell);
+    target.restore(&blob).expect("pristine blob restores");
+    assert_eq!(target.core.now(), Time::from_millis(300));
+}
+
+/// Restoring twice from the same blob is idempotent: both replicas
+/// replay to identical end states.
+#[test]
+fn restore_is_idempotent() {
+    let cell = Cell { aqm: "dualq", mix: "mixed", seed: 61 };
+    let mut sim = build_sim(&cell);
+    sim.run_until(Time::from_secs(1));
+    let blob = sim.save();
+
+    let run = || {
+        let mut r = build_sim(&cell);
+        r.restore(&blob).expect("restore");
+        r.run_until(Time::from_secs(3));
+        (r.core.events.popped(), r.core.counters.clone())
+    };
+    assert_eq!(run(), run());
+}

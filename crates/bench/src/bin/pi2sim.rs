@@ -12,7 +12,7 @@ use pi2_aqm::{
 };
 use pi2_bench::cli::{parse_args, usage, CliArgs, MetricsFormat, TraceFormat};
 use pi2_bench::perf::Json;
-use pi2_experiments::dynamics;
+use pi2_experiments::{dynamics, topology};
 use pi2_netsim::{
     Aqm, AuditSink, CsvSink, Ecn, ImpairmentConf, JsonlSink, LinkImpairments, MemorySink,
     MonitorConfig, PassAqm, PathConf, Qdisc, QueueConfig, Sim, SimConfig, UdpCbrSource,
@@ -156,6 +156,87 @@ fn run_dynamics(a: &CliArgs) {
     }
 }
 
+/// `--scenario topology`: multi-hop parking-lot / access-core layouts
+/// under heavy-tailed mice cross-traffic (PI2 vs DualPI2 on every hop),
+/// with per-hop fairness and mice-FCT percentile output. `--audit`
+/// attaches the invariant auditor (per-hop packet conservation included)
+/// to every cell.
+fn run_topology(a: &CliArgs) {
+    println!(
+        "# pi2sim: scenario=topology seed={} audit={}",
+        a.seed, a.audit
+    );
+    let wall = std::time::Instant::now();
+    let runs = topology::topology(a.seed, a.audit);
+    let wall_s = wall.elapsed().as_secs_f64();
+    print!("{}", topology::render_table(&runs));
+    // Leave a BENCH trajectory entry when opted in (same knob ci.sh
+    // uses for the microbenches): the multi-hop event-loop throughput
+    // plus the deterministic headline statistics per cell, so the
+    // history can show both perf drift and behavior drift over time.
+    if std::env::var("PI2_BENCH_HISTORY").as_deref() == Ok("1") {
+        let total_events: u64 = runs.iter().map(|r| r.events_processed).sum();
+        let mut metrics = vec![
+            ("wall_secs".to_string(), wall_s),
+            ("events_per_sec".to_string(), total_events as f64 / wall_s),
+        ];
+        for r in &runs {
+            let cell = format!("{}_{}", r.topology.replace('-', "_"), r.aqm);
+            metrics.push((format!("{cell}_events"), r.events_processed as f64));
+            metrics.push((format!("{cell}_fct_p99_ms"), r.fct_ms.2));
+            metrics.push((format!("{cell}_rate_ratio"), r.rate_ratio));
+        }
+        pi2_bench::perf::record_and_report("topology", metrics);
+    }
+    if let Some(path) = &a.trace_out {
+        let mut body = String::new();
+        for r in &runs {
+            let hops: Vec<String> = r
+                .hops
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{{\"hop\":{},\"jain\":{},\"classic_mbps\":{},\
+                         \"scalable_mbps\":{},\"mice_mbps\":{}}}",
+                        h.hop, h.fairness, h.classic_mbps, h.scalable_mbps, h.mice_mbps
+                    )
+                })
+                .collect();
+            body.push_str(&format!(
+                "{{\"scenario\":\"topology\",\"topology\":\"{}\",\"aqm\":\"{}\",\
+                 \"mice_launched\":{},\"mice_completed\":{},\
+                 \"fct_ms\":[{},{},{}],\"rate_ratio\":{},\"hops\":[{}]}}\n",
+                r.topology,
+                r.aqm,
+                r.mice_launched,
+                r.mice_completed,
+                r.fct_ms.0,
+                r.fct_ms.1,
+                r.fct_ms.2,
+                r.rate_ratio,
+                hops.join(",")
+            ));
+        }
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("cannot write topology trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("topology trace: {} runs written to {path}", runs.len());
+    }
+    if a.csv {
+        println!("topology,aqm,hop,jain,classic_mbps,scalable_mbps,mice_mbps");
+        for r in &runs {
+            for h in &r.hops {
+                println!(
+                    "{},{},{},{},{},{},{}",
+                    r.topology, r.aqm, h.hop, h.fairness, h.classic_mbps, h.scalable_mbps,
+                    h.mice_mbps
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let a = match parse_args(&argv) {
@@ -167,6 +248,10 @@ fn main() {
     };
     if a.scenario.as_deref() == Some("dynamics") {
         run_dynamics(&a);
+        return;
+    }
+    if a.scenario.as_deref() == Some("topology") {
+        run_topology(&a);
         return;
     }
 

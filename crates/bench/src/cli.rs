@@ -61,9 +61,10 @@ pub struct CliArgs {
     /// Attach the event-loop self-profiler and print the per-class
     /// breakdown (env `PI2_PROFILE=1` does the same).
     pub profile: bool,
-    /// Named scenario family to run instead of a single dumbbell run
-    /// (currently only `dynamics`: step-response disturbances for
-    /// PIE vs PI2 vs DualPI2).
+    /// Named scenario family to run instead of a single dumbbell run:
+    /// `dynamics` (step-response disturbances for PIE vs PI2 vs DualPI2)
+    /// or `topology` (multi-hop parking-lot / access-core layouts under
+    /// heavy-tailed mice cross-traffic).
     pub scenario: Option<String>,
     /// Path impairment: per-packet random loss probability, applied
     /// symmetrically to both directions. 0 (the default) is exact
@@ -153,7 +154,7 @@ impl CliArgs {
 }
 
 /// The scenario families `--scenario` accepts.
-pub const SCENARIOS: &[&str] = &["dynamics"];
+pub const SCENARIOS: &[&str] = &["dynamics", "topology"];
 
 /// Parse a probability in `[0, 1]`, accepting a trailing `%`.
 pub fn parse_prob(s: &str) -> Result<f64, String> {
@@ -537,6 +538,9 @@ mod tests {
     fn scenario_flag_validates_name() {
         let a = parse_args(&args("--scenario dynamics --seed 9")).unwrap();
         assert_eq!(a.scenario.as_deref(), Some("dynamics"));
+        let t = parse_args(&args("--scenario topology --audit")).unwrap();
+        assert_eq!(t.scenario.as_deref(), Some("topology"));
+        assert!(t.audit);
         let e = parse_args(&args("--scenario figure99")).unwrap_err();
         assert!(e.contains("unknown scenario"));
     }

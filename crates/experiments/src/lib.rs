@@ -36,6 +36,10 @@ pub mod rttfair;
 pub mod runner;
 pub mod scenario;
 pub mod shortflows;
+pub mod topology;
+pub mod workload;
 
 pub use runner::{par_map, run_all};
 pub use scenario::{AqmKind, FlowGroup, RunResult, Scenario, UdpGroup};
+pub use topology::{topology, TopologyKind, TopologyRun};
+pub use workload::{mice_arrivals, MiceWorkload, Mouse};

@@ -235,14 +235,44 @@ impl AuditSink {
         }
     }
 
-    /// Path-conservation cross-check for the impairment layer (see
-    /// [`crate::impair`]): every dequeued packet must have received
-    /// exactly one forward verdict, and each direction's internal
-    /// accounting must balance (`lost + passed = offered`). Called by
-    /// `SimCore::finish_audit` when the layer is attached. The dequeue
-    /// cross-check needs both observers attached from the start of the
-    /// run, so it is skipped for mid-run attaches (non-zero baseline).
-    pub fn check_impairments(&self, stats: &ImpairStats, now: Time) {
+    /// Per-hop conservation for the extra hops of a multi-hop topology:
+    /// the core's independently counted admissions minus departures must
+    /// equal the hop qdisc's current occupancy. Called by
+    /// `SimCore::finish_audit` for every hop past the primary bottleneck
+    /// (hop 0 is covered by the trace-stream check above).
+    pub fn check_hop_conservation(
+        &self,
+        hop: u32,
+        enqueued: u64,
+        dequeued: u64,
+        qlen_pkts: usize,
+        now: Time,
+    ) {
+        if dequeued > enqueued {
+            self.violation(
+                now,
+                &format!("hop {hop}: {dequeued} dequeued but only {enqueued} admissions"),
+            );
+        }
+        if enqueued - dequeued != qlen_pkts as u64 {
+            self.violation(
+                now,
+                &format!(
+                    "hop {hop} conservation broken: {enqueued} enqueued − {dequeued} dequeued \
+                     implies {} packets queued, but the hop qdisc holds {qlen_pkts}",
+                    enqueued - dequeued
+                ),
+            );
+        }
+    }
+
+    /// The internal-balance half of [`AuditSink::check_impairments`]:
+    /// each direction of the impairment layer must satisfy
+    /// `lost + passed = offered`. Used on its own for multi-hop runs,
+    /// where the dequeue cross-check against the primary bottleneck's
+    /// trace stream no longer applies (final-leg departures happen at
+    /// each route's last hop).
+    pub fn check_impairments_balance(&self, stats: &ImpairStats, now: Time) {
         if stats.fwd_lost + stats.fwd_passed() != stats.fwd_offered {
             self.violation(
                 now,
@@ -265,6 +295,17 @@ impl AuditSink {
                 ),
             );
         }
+    }
+
+    /// Path-conservation cross-check for the impairment layer (see
+    /// [`crate::impair`]): every dequeued packet must have received
+    /// exactly one forward verdict, and each direction's internal
+    /// accounting must balance (`lost + passed = offered`). Called by
+    /// `SimCore::finish_audit` when the layer is attached. The dequeue
+    /// cross-check needs both observers attached from the start of the
+    /// run, so it is skipped for mid-run attaches (non-zero baseline).
+    pub fn check_impairments(&self, stats: &ImpairStats, now: Time) {
+        self.check_impairments_balance(stats, now);
         let dequeued = self.counts.totals().dequeued;
         if self.baseline_pkts == 0 && stats.fwd_offered != dequeued {
             self.violation(

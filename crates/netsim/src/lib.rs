@@ -5,10 +5,13 @@
 //! whose admission is delegated to an [`Aqm`] implementation, a serializing
 //! link with propagation delays, traffic sources, and measurement hooks.
 //!
-//! The topology is the paper's dumbbell (Figure 10) collapsed to its
+//! The base topology is the paper's dumbbell (Figure 10) collapsed to its
 //! essentials: every flow shares one bottleneck queue + link in the forward
 //! direction; the reverse (ACK) path is uncongested and modelled as a pure
 //! delay, which is how the paper's testbed behaved for its workloads.
+//! Multi-hop layouts — parking-lot chains and small access/core trees with
+//! per-path RTT mixes — grow from that dumbbell via [`sim::SimCore::add_hop`]
+//! and static per-flow routes; see [`topology::Topology`].
 //!
 //! Design follows the event-driven, sans-io ethos: the [`sim::Sim`] loop
 //! owns all state, dispatches [`sim::Event`]s in deterministic order, and
@@ -25,6 +28,7 @@ pub mod pool;
 pub mod queue;
 pub mod sim;
 pub mod source;
+pub mod topology;
 pub mod trace;
 
 pub use aqm::{Action, Aqm, AqmState, Decision, PassAqm, QueueSnapshot};
@@ -39,6 +43,7 @@ pub use sim::{
     event_class, Ack, Event, PathConf, Sim, SimConfig, SimCore, Source, TimerKind, EVENT_CLASSES,
 };
 pub use source::{OnOffCbrSource, UdpCbrSource};
+pub use topology::Topology;
 pub use trace::{
     CountingSink, CsvSink, FlowCounts, JsonlSink, MemorySink, TraceCounts, TraceEvent, TraceSink,
 };

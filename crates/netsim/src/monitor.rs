@@ -288,6 +288,14 @@ impl Monitor {
         now >= self.warm_at
     }
 
+    /// True once `now` has passed the configured warm-up — the same
+    /// predicate every `record_*` method applies internally, exposed so
+    /// other instruments (e.g. per-hop byte accounting in the core) can
+    /// share the monitor's measurement window.
+    pub fn postwarm_at(&self, now: Time) -> bool {
+        self.postwarm(now)
+    }
+
     /// Record a packet being offered to the bottleneck.
     pub fn record_sent(&mut self, flow: FlowId, bytes: usize, now: Time) {
         let postwarm = self.postwarm(now);

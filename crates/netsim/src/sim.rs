@@ -16,6 +16,21 @@
 //!
 //! Drops at the AQM are silent: the sender only learns about them through
 //! duplicate ACKs or an RTO, exactly as on a real network.
+//!
+//! ## Multi-hop topologies
+//!
+//! [`SimCore::add_hop`] adds further store-and-forward hops (each its own
+//! qdisc+AQM+link), and [`SimCore::set_route`] steers a flow across a
+//! static hop sequence — parking-lot chains and small access/core graphs
+//! are built from exactly these two calls. A routed packet repeats the
+//! `[AQM verdict] → FIFO → serialization → inter-hop propagation` cycle
+//! at every hop before the final `Deliver` leg; ACKs still travel the
+//! uncongested reverse path in one go. End-to-end flow measurement
+//! (throughput, sojourn, completion) is recorded where a packet leaves
+//! the *last* queue on its route, drop/mark verdicts are recorded at
+//! every hop, and the trace-event stream remains the primary
+//! bottleneck's (hop 0), so single-hop runs are bit-identical to what
+//! they were before hops existed.
 
 use crate::aqm::Action;
 use crate::audit::AuditSink;
@@ -141,6 +156,40 @@ pub enum Event {
     /// Packets and ACKs already in flight keep the delay they departed
     /// with; only subsequent departures see the new path.
     SetPath(FlowId, PathConf),
+    /// An extra hop's link (see [`SimCore::add_hop`]) finished serializing
+    /// its head packet. The primary bottleneck (hop 0) keeps using
+    /// [`Event::Dequeue`].
+    HopDequeue(u32),
+    /// A data packet arrives at an extra hop for admission (handle into
+    /// [`SimCore::packets`]).
+    HopArrive(u32, Handle),
+    /// Periodic controller update for an extra hop's AQM (hop 0 keeps
+    /// using [`Event::AqmUpdate`]).
+    HopAqmUpdate(u32),
+}
+
+/// One store-and-forward hop past the primary bottleneck, created by
+/// [`SimCore::add_hop`]. Each hop owns its own qdisc+AQM+link and an
+/// ingress propagation leg; flows are steered across hops by static
+/// per-flow routes ([`SimCore::set_route`]).
+struct HopState {
+    /// The hop's queueing discipline and link.
+    qdisc: Box<dyn Qdisc>,
+    /// Ingress propagation delay: how long a packet takes to reach this
+    /// hop after leaving the previous hop on its route. (The flow's
+    /// [`PathConf::fwd`] still covers the final leg past the last hop.)
+    prop: Duration,
+    /// True while the hop's link is serializing a packet.
+    transmitting: bool,
+    /// Per-hop `(size, rate) -> serialization time` cache, mirroring
+    /// [`SimCore::ser_cache`].
+    ser_cache: (usize, u64, Duration),
+    /// Admissions the core observed (non-drop verdicts), kept separately
+    /// from the qdisc's own stats so `finish_audit` has an independent
+    /// per-hop conservation cross-check.
+    enqueued: u64,
+    /// Departures the core observed.
+    dequeued: u64,
 }
 
 /// The shared simulation state handed to sources.
@@ -167,6 +216,16 @@ pub struct SimCore {
     metrics: Option<Box<SimMetrics>>,
     impair: Option<Box<ImpairState>>,
     paths: Vec<PathConf>,
+    /// Extra hops past the primary bottleneck; hop id `h >= 1` lives at
+    /// `hops[h - 1]` (hop 0 is [`SimCore::queue`]).
+    hops: Vec<HopState>,
+    /// Per-flow hop routes in traversal order. An empty entry means the
+    /// default single-hop route `[0]` (no allocation for default flows).
+    routes: Vec<Vec<u32>>,
+    /// Post-warmup per-flow egress bytes at each hop, indexed
+    /// `[hop][flow]` — the per-hop fairness instrument. Row 0 is the
+    /// primary bottleneck.
+    hop_flow_bytes: Vec<Vec<u64>>,
     transmitting: bool,
     timer_seq: u64,
     /// One-entry `(size, rate) -> serialization time` cache. Almost every
@@ -190,6 +249,9 @@ impl SimCore {
             metrics: None,
             impair: None,
             paths: Vec::new(),
+            hops: Vec::new(),
+            routes: Vec::new(),
+            hop_flow_bytes: vec![Vec::new()],
             transmitting: false,
             timer_seq: 0,
             ser_cache: (0, 0, Duration::ZERO),
@@ -293,8 +355,26 @@ impl SimCore {
     pub fn finish_audit(&self) {
         if let Some(a) = &self.audit {
             a.check_conservation(self.queue.len_pkts(), self.now());
+            for (i, h) in self.hops.iter().enumerate() {
+                a.check_hop_conservation(
+                    i as u32 + 1,
+                    h.enqueued,
+                    h.dequeued,
+                    h.qdisc.len_pkts(),
+                    self.now(),
+                );
+            }
             if let Some(imp) = &self.impair {
-                a.check_impairments(&imp.stats(), self.now());
+                if self.hops.is_empty() {
+                    a.check_impairments(&imp.stats(), self.now());
+                } else {
+                    // The dequeue cross-check compares against the
+                    // primary bottleneck's trace stream, which no longer
+                    // sees every final-leg departure once routes span
+                    // extra hops; only the layer's internal balance is
+                    // checkable here.
+                    a.check_impairments_balance(&imp.stats(), self.now());
+                }
             }
         }
     }
@@ -313,10 +393,16 @@ impl SimCore {
         }
     }
 
-    /// Register a flow with the given path; returns its dense id.
+    /// Register a flow with the given path; returns its dense id. The
+    /// flow starts on the default route `[0]` (primary bottleneck only);
+    /// see [`SimCore::set_route`].
     pub fn register_flow(&mut self, path: PathConf, label: &str) -> FlowId {
         let id = FlowId(self.paths.len() as u32);
         self.paths.push(path);
+        self.routes.push(Vec::new());
+        for row in &mut self.hop_flow_bytes {
+            row.push(0);
+        }
         self.monitor.register_flow(label);
         id
     }
@@ -337,10 +423,105 @@ impl SimCore {
         self.paths.len()
     }
 
-    /// Hand a data packet to the bottleneck. The AQM verdict is applied
+    /// Add a store-and-forward hop past the primary bottleneck and return
+    /// its hop id (hop 0 is the primary bottleneck, so the first call
+    /// returns 1). `prop` is the ingress propagation delay from the
+    /// previous hop on a route to this one. If the hop's qdisc runs a
+    /// periodic controller, its update tick is scheduled here.
+    ///
+    /// Hops are structural configuration: add them (and set routes)
+    /// before running, and rebuild the same topology before restoring a
+    /// checkpoint.
+    pub fn add_hop(&mut self, qdisc: Box<dyn Qdisc>, prop: Duration) -> u32 {
+        let id = (self.hops.len() + 1) as u32;
+        if let Some(iv) = qdisc.update_interval() {
+            self.events.push(self.now() + iv, Event::HopAqmUpdate(id));
+        }
+        self.hops.push(HopState {
+            qdisc,
+            prop,
+            transmitting: false,
+            ser_cache: (0, 0, Duration::ZERO),
+            enqueued: 0,
+            dequeued: 0,
+        });
+        self.hop_flow_bytes.push(vec![0; self.paths.len()]);
+        id
+    }
+
+    /// Total number of hops (the primary bottleneck plus extra hops).
+    pub fn hop_count(&self) -> usize {
+        1 + self.hops.len()
+    }
+
+    /// Steer a flow across `route`, a non-empty sequence of distinct hop
+    /// ids in traversal order. Hop 0 (the primary bottleneck) may only
+    /// lead a route: sources inject at the first hop directly, so a
+    /// mid-route hop 0 would need an ingress delay it does not have.
+    ///
+    /// # Panics
+    /// Panics on an empty route, an unknown hop id, a revisited hop, or
+    /// hop 0 in a non-leading position.
+    pub fn set_route(&mut self, flow: FlowId, route: Vec<u32>) {
+        assert!(!route.is_empty(), "a route needs at least one hop");
+        for (i, &h) in route.iter().enumerate() {
+            assert!(
+                (h as usize) < self.hop_count(),
+                "route names unknown hop {h} (only {} exist)",
+                self.hop_count()
+            );
+            assert!(
+                h != 0 || i == 0,
+                "hop 0 (the primary bottleneck) may only lead a route"
+            );
+            assert!(!route[..i].contains(&h), "route revisits hop {h}");
+        }
+        self.routes[flow.idx()] = route;
+    }
+
+    /// A flow's hop route in traversal order (`[0]` for default flows).
+    pub fn route(&self, flow: FlowId) -> &[u32] {
+        let r = &self.routes[flow.idx()];
+        if r.is_empty() {
+            &[0]
+        } else {
+            r
+        }
+    }
+
+    /// The hop after `hop` on `flow`'s route, or `None` when `hop` is the
+    /// flow's last (or is not on the route at all).
+    fn next_hop(&self, flow: FlowId, hop: u32) -> Option<u32> {
+        let route = self.route(flow);
+        let pos = route.iter().position(|&h| h == hop)?;
+        route.get(pos + 1).copied()
+    }
+
+    /// A hop's queueing discipline (hop 0 is the primary bottleneck).
+    pub fn hop_qdisc(&self, hop: u32) -> &dyn Qdisc {
+        if hop == 0 {
+            self.queue.as_ref()
+        } else {
+            self.hops[(hop - 1) as usize].qdisc.as_ref()
+        }
+    }
+
+    /// Post-warmup per-flow egress bytes at `hop`, indexed by flow id —
+    /// the raw material for per-hop fairness indices.
+    pub fn hop_flow_bytes(&self, hop: u32) -> &[u64] {
+        &self.hop_flow_bytes[hop as usize]
+    }
+
+    /// Hand a data packet to the first hop on its flow's route (the
+    /// primary bottleneck for default flows). The AQM verdict is applied
     /// here; a dropped packet simply disappears (the sender must infer the
     /// loss from the ACK stream).
     pub fn send_packet(&mut self, pkt: Packet) {
+        let first = self.route(pkt.flow)[0];
+        if first != 0 {
+            self.send_packet_at_hop(first, pkt);
+            return;
+        }
         let now = self.now();
         let flow = pkt.flow;
         let size = pkt.size;
@@ -480,10 +661,18 @@ impl SimCore {
             .queue
             .pop(now)
             .expect("Dequeue event fired on an empty queue");
-        self.monitor.record_dequeue(pkt.flow, pkt.size, sojourn, now);
-        self.counters.note_dequeue(pkt.flow);
-        if let Some(m) = &mut self.metrics {
-            m.note_dequeue(sojourn);
+        if self.monitor.postwarm_at(now) {
+            self.hop_flow_bytes[0][pkt.flow.idx()] += pkt.size as u64;
+        }
+        let next = self.next_hop(pkt.flow, 0);
+        if next.is_none() {
+            // End-to-end measurement happens where the packet leaves the
+            // last queue on its route; for default flows that is here.
+            self.monitor.record_dequeue(pkt.flow, pkt.size, sojourn, now);
+            self.counters.note_dequeue(pkt.flow);
+            if let Some(m) = &mut self.metrics {
+                m.note_dequeue(sojourn);
+            }
         }
         if self.tracing() {
             self.emit(TraceEvent::Dequeue {
@@ -494,6 +683,15 @@ impl SimCore {
             });
         }
         self.start_transmission();
+        match next {
+            None => self.forward_final(pkt, now),
+            Some(n) => self.forward_to_hop(n, pkt, now),
+        }
+    }
+
+    /// Final leg past the last hop: the flow's forward propagation (and
+    /// the impairment layer, when attached) ending in a `Deliver` event.
+    fn forward_final(&mut self, pkt: Packet, now: Time) {
         let fwd = self.paths[pkt.flow.idx()].fwd;
         let Some(imp) = &mut self.impair else {
             let h = self.packets.insert(pkt);
@@ -514,6 +712,155 @@ impl SimCore {
             }
             let h = self.packets.insert(pkt);
             self.events.push(now + fwd + extra, Event::Deliver(h));
+        }
+    }
+
+    /// Park the packet for its inter-hop propagation leg toward hop
+    /// `hop`'s admission point.
+    fn forward_to_hop(&mut self, hop: u32, pkt: Packet, now: Time) {
+        let prop = self.hops[(hop - 1) as usize].prop;
+        let h = self.packets.insert(pkt);
+        self.events.push(now + prop, Event::HopArrive(hop, h));
+    }
+
+    /// First-hop admission at an extra hop: the multi-hop analogue of the
+    /// hop-0 path in [`SimCore::send_packet`]. The monitor and counters
+    /// record the send and the verdict exactly as at hop 0; trace events
+    /// are not emitted (the trace stream is the primary bottleneck's).
+    fn send_packet_at_hop(&mut self, hop: u32, pkt: Packet) {
+        let now = self.now();
+        let flow = pkt.flow;
+        let size = pkt.size;
+        let ecn = pkt.ecn;
+        let decision = self.hops[(hop - 1) as usize]
+            .qdisc
+            .offer(pkt, now, &mut self.rng);
+        self.monitor.record_send(flow, size, decision, now);
+        match decision.action {
+            Action::Drop => self.counters.note_drop(flow),
+            Action::Mark => {
+                self.counters.note_mark(flow);
+                self.counters.note_enqueue(flow);
+            }
+            Action::Pass => self.counters.note_enqueue(flow),
+        }
+        if let Some(m) = &mut self.metrics {
+            match decision.action {
+                Action::Drop => m.note_drop(),
+                Action::Mark => {
+                    m.note_mark();
+                    m.note_enqueue(crate::packet::Ecn::Ce);
+                }
+                Action::Pass => m.note_enqueue(ecn),
+            }
+        }
+        if decision.action != Action::Drop {
+            self.note_hop_admission(hop);
+        }
+    }
+
+    /// Mid-route admission at an extra hop (the handler behind
+    /// [`Event::HopArrive`]). The packet was already counted as sent at
+    /// its first hop, so only the verdict is recorded here.
+    fn hop_admit(&mut self, hop: u32, pkt: Packet) {
+        let now = self.now();
+        let flow = pkt.flow;
+        let decision = self.hops[(hop - 1) as usize]
+            .qdisc
+            .offer(pkt, now, &mut self.rng);
+        self.monitor.record_decision(flow, decision, now);
+        match decision.action {
+            Action::Drop => {
+                self.counters.note_drop(flow);
+                if let Some(m) = &mut self.metrics {
+                    m.note_drop();
+                }
+            }
+            Action::Mark => {
+                self.counters.note_mark(flow);
+                if let Some(m) = &mut self.metrics {
+                    m.note_mark();
+                }
+            }
+            Action::Pass => {}
+        }
+        if decision.action != Action::Drop {
+            self.note_hop_admission(hop);
+        }
+    }
+
+    /// Book a non-drop admission at an extra hop and kick its link if
+    /// idle.
+    fn note_hop_admission(&mut self, hop: u32) {
+        let hs = &mut self.hops[(hop - 1) as usize];
+        hs.enqueued += 1;
+        if !hs.transmitting {
+            debug_assert!(
+                !hs.qdisc.is_empty(),
+                "a non-drop admission must leave the hop qdisc non-empty"
+            );
+            self.start_hop_transmission(hop);
+        }
+    }
+
+    /// [`SimCore::start_transmission`] for an extra hop.
+    fn start_hop_transmission(&mut self, hop: u32) {
+        let now = self.events.now();
+        let hs = &mut self.hops[(hop - 1) as usize];
+        if let Some(size) = hs.qdisc.head_size() {
+            hs.transmitting = true;
+            let rate = hs.qdisc.rate_bps();
+            let tx = if hs.ser_cache.0 == size && hs.ser_cache.1 == rate {
+                hs.ser_cache.2
+            } else {
+                let tx = Duration::serialization(size, rate);
+                hs.ser_cache = (size, rate, tx);
+                tx
+            };
+            self.events.push(now + tx, Event::HopDequeue(hop));
+        } else {
+            hs.transmitting = false;
+        }
+    }
+
+    /// [`SimCore::handle_dequeue`] for an extra hop: pop, restart the
+    /// hop's link, and forward — to the next hop on the flow's route, or
+    /// onto the final propagation leg when this hop is the last.
+    fn handle_hop_dequeue(&mut self, hop: u32) {
+        let now = self.now();
+        let (pkt, sojourn) = self.hops[(hop - 1) as usize]
+            .qdisc
+            .pop(now)
+            .expect("HopDequeue event fired on an empty hop queue");
+        self.hops[(hop - 1) as usize].dequeued += 1;
+        if self.monitor.postwarm_at(now) {
+            self.hop_flow_bytes[hop as usize][pkt.flow.idx()] += pkt.size as u64;
+        }
+        let next = self.next_hop(pkt.flow, hop);
+        if next.is_none() {
+            self.monitor.record_dequeue(pkt.flow, pkt.size, sojourn, now);
+            self.counters.note_dequeue(pkt.flow);
+            if let Some(m) = &mut self.metrics {
+                m.note_dequeue(sojourn);
+            }
+        }
+        self.start_hop_transmission(hop);
+        match next {
+            None => self.forward_final(pkt, now),
+            Some(n) => self.forward_to_hop(n, pkt, now),
+        }
+    }
+
+    /// Periodic controller tick for an extra hop's AQM (the handler
+    /// behind [`Event::HopAqmUpdate`]). Hop controllers are not sampled
+    /// into the monitor or the trace stream — those remain the primary
+    /// bottleneck's instruments.
+    fn handle_hop_aqm_update(&mut self, hop: u32) {
+        let now = self.now();
+        let idx = (hop - 1) as usize;
+        self.hops[idx].qdisc.update(now);
+        if let Some(iv) = self.hops[idx].qdisc.update_interval() {
+            self.events.push(now + iv, Event::HopAqmUpdate(hop));
         }
     }
 
@@ -567,6 +914,21 @@ impl SimCore {
         for p in &self.paths {
             w.duration(p.fwd);
             w.duration(p.rev);
+        }
+        // Extra hops (routes and ingress delays are structural config,
+        // covered by the schema hash; only mutable state is serialized).
+        w.usize(self.hops.len());
+        for h in &self.hops {
+            h.qdisc.save_ckpt(w);
+            w.bool(h.transmitting);
+            w.u64(h.enqueued);
+            w.u64(h.dequeued);
+        }
+        for row in &self.hop_flow_bytes {
+            w.usize(row.len());
+            for b in row {
+                w.u64(*b);
+            }
         }
     }
 
@@ -628,6 +990,24 @@ impl SimCore {
             p.fwd = r.duration()?;
             p.rev = r.duration()?;
         }
+        if r.usize()? != self.hops.len() {
+            return Err(CkptError::Corrupt("hop count mismatch"));
+        }
+        for h in &mut self.hops {
+            h.qdisc.restore_ckpt(r)?;
+            h.transmitting = r.bool()?;
+            h.enqueued = r.u64()?;
+            h.dequeued = r.u64()?;
+            h.ser_cache = (0, 0, Duration::ZERO);
+        }
+        for row in &mut self.hop_flow_bytes {
+            if r.usize()? != row.len() {
+                return Err(CkptError::Corrupt("hop flow-byte row length mismatch"));
+            }
+            for b in row {
+                *b = r.u64()?;
+            }
+        }
         self.ser_cache = (0, 0, Duration::ZERO);
         Ok(())
     }
@@ -679,6 +1059,19 @@ fn write_event(w: &mut CkptWriter, ev: &Event) {
             w.duration(p.fwd);
             w.duration(p.rev);
         }
+        Event::HopDequeue(hop) => {
+            w.u8(10);
+            w.u32(*hop);
+        }
+        Event::HopArrive(hop, h) => {
+            w.u8(11);
+            w.u32(*hop);
+            w.u32(*h);
+        }
+        Event::HopAqmUpdate(hop) => {
+            w.u8(12);
+            w.u32(*hop);
+        }
     }
 }
 
@@ -710,6 +1103,12 @@ fn read_event(r: &mut CkptReader) -> Result<Event, CkptError> {
             let rev = r.duration()?;
             Event::SetPath(f, PathConf { fwd, rev })
         }
+        10 => Event::HopDequeue(r.u32()?),
+        11 => {
+            let hop = r.u32()?;
+            Event::HopArrive(hop, r.u32()?)
+        }
+        12 => Event::HopAqmUpdate(r.u32()?),
         _ => return Err(CkptError::Corrupt("unknown event tag")),
     })
 }
@@ -781,7 +1180,7 @@ impl Default for SimConfig {
 
 /// Display names of the event classes the self-profiler attributes time
 /// to, indexed by [`event_class`]. One entry per [`Event`] variant.
-pub const EVENT_CLASSES: [&str; 10] = [
+pub const EVENT_CLASSES: [&str; 13] = [
     "dequeue",
     "deliver",
     "ack",
@@ -792,6 +1191,9 @@ pub const EVENT_CLASSES: [&str; 10] = [
     "source_on",
     "source_off",
     "set_path",
+    "hop_dequeue",
+    "hop_arrive",
+    "hop_aqm_update",
 ];
 
 /// The profiler class index of an event (an index into
@@ -808,12 +1210,17 @@ pub fn event_class(ev: &Event) -> usize {
         Event::SourceOn(_) => 7,
         Event::SourceOff(_) => 8,
         Event::SetPath(..) => 9,
+        Event::HopDequeue(_) => 10,
+        Event::HopArrive(..) => 11,
+        Event::HopAqmUpdate(_) => 12,
     }
 }
 
 /// Checkpoint format version written by [`Sim::save`]; bumped whenever
-/// the field layout changes incompatibly.
-pub const CKPT_VERSION: u32 = 1;
+/// the field layout changes incompatibly. Version 2 added the multi-hop
+/// topology section (per-hop qdisc state, admission counters and per-hop
+/// per-flow egress bytes).
+pub const CKPT_VERSION: u32 = 2;
 
 /// The complete simulator: shared core + traffic sources.
 pub struct Sim {
@@ -940,6 +1347,18 @@ impl Sim {
         self.core.schedule(at, event);
     }
 
+    /// Add a store-and-forward hop past the primary bottleneck
+    /// (forwarding to [`SimCore::add_hop`]); returns the hop id.
+    pub fn add_hop(&mut self, qdisc: Box<dyn Qdisc>, prop: Duration) -> u32 {
+        self.core.add_hop(qdisc, prop)
+    }
+
+    /// Steer a flow across a hop route (forwarding to
+    /// [`SimCore::set_route`]).
+    pub fn set_route(&mut self, flow: FlowId, route: Vec<u32>) {
+        self.core.set_route(flow, route);
+    }
+
     /// Structural fingerprint of this simulator build: format version,
     /// flow count and monitor flow labels. Values are deliberately
     /// excluded — the hash changes exactly when a restore would write
@@ -952,6 +1371,17 @@ impl Sim {
         h.update_u64(self.core.flow_count() as u64);
         for i in 0..self.core.flow_count() {
             h.update_str(&self.core.monitor.flow(FlowId(i as u32)).label);
+        }
+        // Topology shape: hop count and every flow's route. A restore
+        // into a differently wired topology would write hop state into
+        // the wrong queues.
+        h.update_u64(self.core.hop_count() as u64);
+        for i in 0..self.core.flow_count() {
+            let route = self.core.route(FlowId(i as u32));
+            h.update_u64(route.len() as u64);
+            for &hop in route {
+                h.update_u64(u64::from(hop));
+            }
         }
         h.finish()
     }
@@ -1099,6 +1529,16 @@ impl Sim {
             }
             Event::SetPath(flow, path) => {
                 self.core.set_path(flow, path);
+            }
+            Event::HopDequeue(hop) => {
+                self.core.handle_hop_dequeue(hop);
+            }
+            Event::HopArrive(hop, h) => {
+                let pkt = self.core.packets.take(h);
+                self.core.hop_admit(hop, pkt);
+            }
+            Event::HopAqmUpdate(hop) => {
+                self.core.handle_hop_aqm_update(hop);
             }
         }
         if let Some(p) = &mut self.profiler {
@@ -1403,5 +1843,159 @@ mod tests {
         let p = PathConf::symmetric(Duration::from_millis(25));
         assert_eq!(p.base_rtt(), Duration::from_millis(25));
         assert!(p.fwd <= p.rev);
+    }
+
+    fn fifo_hop(rate_bps: u64) -> Box<dyn Qdisc> {
+        Box::new(BottleneckQueue::new(
+            QueueConfig {
+                rate_bps,
+                buffer_bytes: usize::MAX,
+            },
+            Box::new(PassAqm),
+        ))
+    }
+
+    #[test]
+    fn two_hop_chain_delivers_with_summed_latency() {
+        // Hop 0 at 1 Mb/s, hop 1 at 1 Mb/s, 3 ms inter-hop propagation.
+        // One 1000-byte packet: 8 ms ser at hop 0, 3 ms prop, 8 ms ser at
+        // hop 1, 5 ms final fwd leg = delivered at 24 ms.
+        let (mut sim, id, log) = build(1, 1_000_000, 10);
+        let hop = sim.add_hop(fifo_hop(1_000_000), Duration::from_millis(3));
+        sim.set_route(id, vec![0, hop]);
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(log.borrow().delivered, vec![0]);
+        assert_eq!(log.borrow().acked, vec![1]);
+        let acc = sim.core.monitor.flow(id);
+        assert_eq!(acc.sent_pkts, 1);
+        assert_eq!(acc.dequeued_pkts, 1, "dequeue recorded once, at the last hop");
+        assert_eq!(acc.delivered_pkts, 1);
+        // Per-hop egress accounting saw the packet at both hops.
+        assert_eq!(sim.core.hop_flow_bytes(0)[id.idx()], 1000);
+        assert_eq!(sim.core.hop_flow_bytes(hop)[id.idx()], 1000);
+    }
+
+    #[test]
+    fn flow_entering_at_a_later_hop_bypasses_the_primary_bottleneck() {
+        let cfg = SimConfig {
+            queue: QueueConfig {
+                rate_bps: 1_000_000,
+                buffer_bytes: usize::MAX,
+            },
+            seed: 7,
+            monitor: MonitorConfig::default(),
+        };
+        let mut sim = Sim::new(cfg, Box::new(PassAqm));
+        let hop = sim.add_hop(fifo_hop(2_000_000), Duration::from_millis(1));
+        let log = Rc::new(RefCell::new(ProbeLog::default()));
+        let log2 = Rc::clone(&log);
+        let id = sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(10)),
+            "cross",
+            Time::ZERO,
+            move |id| {
+                Box::new(Probe {
+                    id,
+                    n: 4,
+                    rcv_pkts: 0,
+                    log: log2,
+                })
+            },
+        );
+        sim.set_route(id, vec![hop]);
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(log.borrow().delivered, vec![0, 1, 2, 3]);
+        // The primary bottleneck never saw the flow...
+        assert_eq!(sim.core.queue.stats().enqueued, 0);
+        assert_eq!(sim.core.hop_flow_bytes(0)[id.idx()], 0);
+        // ...but the monitor's end-to-end accounting is complete.
+        let acc = sim.core.monitor.flow(id);
+        assert_eq!(acc.sent_pkts, 4);
+        assert_eq!(acc.dequeued_pkts, 4);
+        assert_eq!(acc.delivered_pkts, 4);
+        assert_eq!(sim.core.hop_flow_bytes(hop)[id.idx()], 4000);
+    }
+
+    #[test]
+    fn multi_hop_run_passes_the_per_hop_conservation_audit() {
+        let (mut sim, id, _log) = build(20, 5_000_000, 10);
+        sim.core.enable_audit(AuditSink::new(7).with_label("multihop"));
+        let h1 = sim.add_hop(fifo_hop(5_000_000), Duration::from_millis(2));
+        let h2 = sim.add_hop(fifo_hop(5_000_000), Duration::from_millis(2));
+        sim.set_route(id, vec![0, h1, h2]);
+        // run_until calls finish_audit, which now includes the per-hop
+        // conservation checks; all queues drain by the end.
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(sim.core.monitor.flow(id).delivered_pkts, 20);
+        assert_eq!(sim.core.hop_qdisc(h1).len_pkts(), 0);
+        assert_eq!(sim.core.hop_qdisc(h2).len_pkts(), 0);
+    }
+
+    #[test]
+    fn default_flows_are_unaffected_by_an_unrouted_extra_hop() {
+        // Two identical sims; one grows an extra hop nobody routes over.
+        // Every observable of the default flow must match bit-for-bit.
+        let observe = |add_hop: bool| {
+            let (mut sim, id, _log) = build(30, 2_000_000, 20);
+            if add_hop {
+                sim.add_hop(fifo_hop(1_000_000), Duration::from_millis(5));
+            }
+            sim.run_until(Time::from_secs(5));
+            let acc = sim.core.monitor.flow(id);
+            (
+                sim.core.events.popped(),
+                acc.sent_pkts,
+                acc.delivered_bytes,
+                sim.core.queue.stats().dequeued_bytes,
+            )
+        };
+        assert_eq!(observe(false), observe(true));
+    }
+
+    #[test]
+    fn invalid_routes_are_rejected() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let (mut sim, id, _log) = build(1, 1_000_000, 10);
+        let hop = sim.add_hop(fifo_hop(1_000_000), Duration::from_millis(1));
+        for bad in [vec![], vec![7], vec![hop, 0], vec![0, hop, hop]] {
+            let r = catch_unwind(AssertUnwindSafe(|| sim.set_route(id, bad.clone())));
+            assert!(r.is_err(), "route {bad:?} should be rejected");
+        }
+        sim.set_route(id, vec![0, hop]); // the valid shape still works
+    }
+
+    #[test]
+    fn multi_hop_checkpoint_round_trips() {
+        let build_chain = || {
+            let (mut sim, id, _log) = build(40, 2_000_000, 10);
+            let h1 = sim.add_hop(fifo_hop(1_500_000), Duration::from_millis(2));
+            sim.set_route(id, vec![0, h1]);
+            sim
+        };
+        let mut sim = build_chain();
+        sim.run_until(Time::from_millis(30));
+        let blob = sim.save();
+        let mut restored = build_chain();
+        restored.restore(&blob).expect("restore must succeed");
+        assert_eq!(blob, restored.save(), "snapshot of restored state differs");
+        sim.run_until(Time::from_secs(5));
+        restored.run_until(Time::from_secs(5));
+        assert_eq!(sim.save(), restored.save(), "replay diverged after restore");
+    }
+
+    #[test]
+    fn schema_hash_rejects_topology_shape_changes() {
+        let (mut sim, id, _log) = build(5, 1_000_000, 10);
+        let h1 = sim.add_hop(fifo_hop(1_000_000), Duration::from_millis(1));
+        sim.set_route(id, vec![0, h1]);
+        let blob = sim.save();
+        // Same flows, same hop count — but a different route.
+        let (mut other, oid, _log2) = build(5, 1_000_000, 10);
+        let oh = other.add_hop(fifo_hop(1_000_000), Duration::from_millis(1));
+        other.set_route(oid, vec![oh]);
+        assert!(matches!(
+            other.restore(&blob),
+            Err(CkptError::SchemaMismatch { .. })
+        ));
     }
 }

@@ -1,0 +1,155 @@
+//! Declarative multi-hop layouts over [`SimCore::add_hop`] /
+//! [`SimCore::set_route`].
+//!
+//! A [`Topology`] is the static shape of a network: how many hops exist,
+//! each hop's ingress propagation delay, and a set of *named paths* (hop
+//! sequences) that flows are later pinned to. The two stock constructors
+//! cover the shapes the PI2/DualPI2 evaluation literature leans on:
+//!
+//! * [`Topology::parking_lot`] — the classic chain where long flows
+//!   traverse every bottleneck and per-hop cross traffic enters and
+//!   leaves at each link;
+//! * [`Topology::access_core`] — a small ISP-like tree where per-leaf
+//!   access links feed one shared core bottleneck, giving per-path RTT
+//!   and capacity mixes.
+//!
+//! The struct itself owns no qdiscs: [`Topology::install`] instantiates
+//! the extra hops onto a live [`SimCore`] through a caller-supplied qdisc
+//! factory, so the same layout can be run under any AQM family. Hop 0 is
+//! always the simulator's primary bottleneck (the monitored, traced
+//! queue); every named path that includes hop 0 leads with it, matching
+//! the routing constraint documented on [`SimCore::set_route`].
+
+use crate::queue::Qdisc;
+use crate::sim::SimCore;
+use pi2_simcore::Duration;
+
+/// A static multi-hop layout: hop count, per-hop ingress propagation and
+/// named hop-sequence paths. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Ingress propagation delay per hop id. Entry 0 is kept only so
+    /// indices align with hop ids (sources inject at their first hop with
+    /// no ingress leg).
+    hop_prop: Vec<Duration>,
+    /// Named paths: `(name, hop sequence)`, in insertion order.
+    paths: Vec<(String, Vec<u32>)>,
+}
+
+impl Topology {
+    /// A parking-lot chain of `hops` bottlenecks (hop 0 first) with a
+    /// uniform inter-hop propagation delay. Named paths:
+    ///
+    /// * `"e2e"` — traverses every hop, `[0, 1, …, hops-1]`;
+    /// * `"cross0" … "cross<hops-1>"` — single-hop cross traffic at each
+    ///   link.
+    ///
+    /// # Panics
+    /// Panics if `hops` is 0.
+    pub fn parking_lot(hops: usize, prop: Duration) -> Self {
+        assert!(hops >= 1, "a parking lot needs at least one hop");
+        let mut paths = vec![(
+            "e2e".to_string(),
+            (0..hops as u32).collect::<Vec<u32>>(),
+        )];
+        for k in 0..hops as u32 {
+            paths.push((format!("cross{k}"), vec![k]));
+        }
+        Topology {
+            hop_prop: vec![prop; hops],
+            paths,
+        }
+    }
+
+    /// A small ISP-like access/core tree: `leaves` access links each
+    /// feeding one shared core bottleneck. Leaf 0's access link is the
+    /// primary bottleneck (hop 0); the core is the last hop id. Named
+    /// paths:
+    ///
+    /// * `"leaf0" … "leaf<leaves-1>"` — access link then core,
+    ///   `[k, core]`;
+    /// * `"core"` — traffic entering at the core only, `[core]`.
+    ///
+    /// # Panics
+    /// Panics if `leaves` is 0.
+    pub fn access_core(leaves: usize, prop: Duration) -> Self {
+        assert!(leaves >= 1, "an access/core tree needs at least one leaf");
+        let core = leaves as u32;
+        let mut paths = Vec::with_capacity(leaves + 1);
+        for k in 0..leaves as u32 {
+            paths.push((format!("leaf{k}"), vec![k, core]));
+        }
+        paths.push(("core".to_string(), vec![core]));
+        Topology {
+            hop_prop: vec![prop; leaves + 1],
+            paths,
+        }
+    }
+
+    /// Total number of hops, including the primary bottleneck.
+    pub fn hop_count(&self) -> usize {
+        self.hop_prop.len()
+    }
+
+    /// The hop sequence of a named path.
+    ///
+    /// # Panics
+    /// Panics on an unknown path name.
+    pub fn path(&self, name: &str) -> &[u32] {
+        &self
+            .paths
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("topology has no path named {name:?}"))
+            .1
+    }
+
+    /// All named paths, in insertion order.
+    pub fn paths(&self) -> impl Iterator<Item = (&str, &[u32])> {
+        self.paths.iter().map(|(n, p)| (n.as_str(), p.as_slice()))
+    }
+
+    /// Instantiate the extra hops (ids `1..hop_count`) onto a live core.
+    /// `make` receives each hop id and returns its qdisc; hop 0 is the
+    /// core's existing primary bottleneck and is not rebuilt. Call once,
+    /// before registering routed flows.
+    pub fn install<F>(&self, core: &mut SimCore, mut make: F)
+    where
+        F: FnMut(u32) -> Box<dyn Qdisc>,
+    {
+        for hop in 1..self.hop_count() as u32 {
+            let id = core.add_hop(make(hop), self.hop_prop[hop as usize]);
+            assert_eq!(id, hop, "hops must be installed onto a hop-free core");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parking_lot_shapes_its_paths() {
+        let t = Topology::parking_lot(3, Duration::from_millis(5));
+        assert_eq!(t.hop_count(), 3);
+        assert_eq!(t.path("e2e"), &[0, 1, 2]);
+        assert_eq!(t.path("cross0"), &[0]);
+        assert_eq!(t.path("cross2"), &[2]);
+        assert_eq!(t.paths().count(), 4);
+    }
+
+    #[test]
+    fn access_core_funnels_into_the_last_hop() {
+        let t = Topology::access_core(3, Duration::from_millis(2));
+        assert_eq!(t.hop_count(), 4);
+        assert_eq!(t.path("leaf0"), &[0, 3]);
+        assert_eq!(t.path("leaf2"), &[2, 3]);
+        assert_eq!(t.path("core"), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no path named")]
+    fn unknown_path_panics() {
+        Topology::parking_lot(2, Duration::ZERO).path("nope");
+    }
+}

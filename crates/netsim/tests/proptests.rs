@@ -6,8 +6,8 @@
 
 use pi2_netsim::{
     Action, Aqm, AuditSink, BottleneckQueue, Decision, Ecn, FlowId, ImpairStats, ImpairmentConf,
-    LinkImpairments, MonitorConfig, Packet, PassAqm, PathConf, QueueConfig, QueueSnapshot, Sim,
-    SimConfig, UdpCbrSource,
+    LinkImpairments, MonitorConfig, Packet, PassAqm, PathConf, Qdisc, QueueConfig, QueueSnapshot,
+    Sim, SimConfig, UdpCbrSource,
 };
 use pi2_simcore::{Duration, Rng, Time};
 use proptest::prelude::*;
@@ -295,5 +295,89 @@ proptest! {
         if conf.loss < 0.3 {
             prop_assert!(delivered > 0, "a sub-30% loss link still delivers");
         }
+    }
+}
+
+/// A plain FIFO hop (tail-drop only) for chain-building.
+fn fifo_hop(rate_bps: u64, buffer_bytes: usize) -> Box<dyn Qdisc> {
+    Box::new(BottleneckQueue::new(
+        QueueConfig {
+            rate_bps,
+            buffer_bytes,
+        },
+        Box::new(PassAqm),
+    ))
+}
+
+/// Run a random 2–4-hop chain (one end-to-end CBR flow plus per-hop
+/// cross traffic) with the invariant auditor attached — `run_until`
+/// finishes with the per-hop conservation checks, panicking on any
+/// admission/departure imbalance. Returns the per-hop egress bytes of
+/// the end-to-end flow, first hop first.
+fn run_chain_sim(hops: u32, rates_mbps: &[u64], seed: u64) -> Vec<u64> {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: rates_mbps[0] * 1_000_000,
+                buffer_bytes: 200_000,
+            },
+            seed,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(PassAqm),
+    );
+    sim.core.enable_audit(AuditSink::new(seed));
+    for h in 1..hops {
+        let id = sim.add_hop(
+            fifo_hop(rates_mbps[h as usize] * 1_000_000, 200_000),
+            Duration::from_millis(2),
+        );
+        assert_eq!(id, h);
+    }
+    let e2e = sim.add_flow(
+        PathConf::symmetric(Duration::from_millis(20)),
+        "e2e",
+        Time::ZERO,
+        |id| Box::new(UdpCbrSource::new(id, 800_000, 1000, Ecn::NotEct)),
+    );
+    sim.set_route(e2e, (0..hops).collect());
+    for h in 1..hops {
+        let cross = sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(10)),
+            "cross",
+            Time::ZERO,
+            |id| Box::new(UdpCbrSource::new(id, 500_000, 700, Ecn::NotEct)),
+        );
+        sim.set_route(cross, vec![h]);
+    }
+    sim.run_until(Time::from_secs(2));
+    (0..hops)
+        .map(|h| sim.core.hop_flow_bytes(h)[e2e.idx()])
+        .collect()
+}
+
+proptest! {
+    /// Per-hop packet conservation on random chains: the auditor's
+    /// admission/departure books balance at every hop (a violation
+    /// panics the run), the end-to-end flow's egress bytes can only
+    /// shrink along its route (each hop forwards at most what the
+    /// previous one emitted), and the whole chain is deterministic.
+    #[test]
+    fn chain_conservation_holds_per_hop(
+        rates in prop::collection::vec(1u64..10, 4..5),
+        hops in 2u32..5,
+        seed in any::<u64>(),
+    ) {
+        let bytes = run_chain_sim(hops, &rates, seed);
+        prop_assert_eq!(bytes.len(), hops as usize);
+        prop_assert!(bytes[0] > 0, "the e2e flow moved no traffic");
+        for w in bytes.windows(2) {
+            prop_assert!(
+                w[1] <= w[0],
+                "downstream hop emitted more than it could have received: {:?}",
+                &bytes
+            );
+        }
+        prop_assert_eq!(run_chain_sim(hops, &rates, seed), bytes, "determinism");
     }
 }

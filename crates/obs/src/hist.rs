@@ -163,6 +163,13 @@ impl Histogram {
         self.max
     }
 
+    /// Several quantiles in one call — the batched form of
+    /// [`Histogram::quantile`], used by reporting paths (FCT percentile
+    /// tables) that always want a fixed P50/P95/P99-style tuple.
+    pub fn quantiles<const N: usize>(&self, qs: [f64; N]) -> [u64; N] {
+        qs.map(|q| self.quantile(q))
+    }
+
     /// Element-wise accumulate `other` into `self`. Layouts are static,
     /// so any two histograms merge; merging is associative and
     /// commutative, and the parallel runner applies it in item order to
@@ -347,6 +354,84 @@ mod tests {
         r2.restore_raw(std::iter::empty(), c2, s2, sq2, mn2, mx2);
         assert_eq!(r2, e);
         assert_eq!(r2.min(), 0);
+    }
+
+    /// The exact order statistic the histogram quantile approximates:
+    /// 1-based ceil-rank selection over the sorted sample.
+    fn sorted_reference(values: &[u64], q: f64) -> u64 {
+        let mut s = values.to_vec();
+        s.sort_unstable();
+        let rank = ((q * s.len() as f64).ceil() as usize).max(1);
+        s[rank - 1]
+    }
+
+    #[test]
+    fn quantile_of_a_single_value_is_exact_at_every_q() {
+        for v in [0u64, 1, 31, 32, 1_000, u64::MAX / 2] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "n=1 v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_of_all_equal_values_is_exact_at_every_q() {
+        for v in [3u64, 255, 1 << 20] {
+            let mut h = Histogram::new();
+            for _ in 0..100 {
+                h.record(v);
+            }
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "all-equal v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_value_quantiles_match_the_sorted_reference_exactly() {
+        // Values below SUB_COUNT get a bucket each, so the histogram
+        // quantile must equal the exact order statistic — the regime the
+        // FCT percentile path relies on for its precision statement.
+        let values: Vec<u64> = (0..200).map(|i| (i * 13 + 5) % 31).collect();
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), sorted_reference(&values, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn large_value_quantiles_stay_within_one_sub_bucket_of_reference() {
+        let values: Vec<u64> = (1..500).map(|i| i * i * 37 + 11).collect();
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let approx = h.quantile(q) as f64;
+            let exact = sorted_reference(&values, q) as f64;
+            assert!(
+                approx >= exact && approx <= exact * (1.0 + 1.0 / SUB_COUNT as f64),
+                "q={q}: {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_batches_match_single_calls() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 7 % 499);
+        }
+        let [p50, p95, p99] = h.quantiles([0.5, 0.95, 0.99]);
+        assert_eq!(p50, h.quantile(0.5));
+        assert_eq!(p95, h.quantile(0.95));
+        assert_eq!(p99, h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99);
     }
 
     #[test]

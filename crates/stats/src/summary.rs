@@ -235,4 +235,32 @@ mod tests {
         let b = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn percentile_of_a_single_sample_is_that_sample_at_every_q() {
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.5], q), 42.5, "n=1 q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_all_equal_samples_is_exact_at_every_q() {
+        let v = vec![7.25; 64];
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&v, q), 7.25, "all-equal q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_against_a_sorted_reference() {
+        // Unsorted input; the linear-interpolation definition over the
+        // sorted samples [10, 20, 30, 40, 50].
+        let v = [30.0, 10.0, 50.0, 20.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 0.25), 20.0);
+        assert_eq!(percentile(&v, 0.5), 30.0);
+        assert_eq!(percentile(&v, 1.0), 50.0);
+        // q = 0.1 lands at position 0.4 between 10 and 20.
+        assert!((percentile(&v, 0.1) - 14.0).abs() < 1e-12);
+    }
 }

@@ -297,6 +297,13 @@ impl TcpSource {
         self.cc.cwnd()
     }
 
+    /// Flow completion time of a size-limited flow: start-to-last-ACK
+    /// elapsed time, `None` while data is still outstanding (or for an
+    /// unlimited flow, which never completes).
+    pub fn fct(&self) -> Option<Duration> {
+        self.completed_at.map(|done| done - self.started_at)
+    }
+
     /// The smoothed RTT estimate, if one exists.
     pub fn srtt(&self) -> Option<Duration> {
         self.srtt
@@ -995,6 +1002,25 @@ mod tests {
         let acc = sim.core.monitor.flow(id);
         assert_eq!(acc.sent_pkts, 100, "exactly the data limit is sent");
         assert_eq!(acc.delivered_pkts, 100);
+        let (_, started, completed) = sim.core.monitor.completions[0];
+        assert!(completed > started, "completion recorded with ordering");
+    }
+
+    #[test]
+    fn fct_is_none_until_completion_then_start_to_last_ack() {
+        let mut src = TcpSource::new(
+            FlowId(0),
+            CcKind::Reno,
+            EcnSetting::NotEcn,
+            TcpConfig {
+                data_limit: Some(10),
+                ..TcpConfig::default()
+            },
+        );
+        assert_eq!(src.fct(), None, "nothing completed yet");
+        src.started_at = Time::from_secs(2);
+        src.completed_at = Some(Time::from_millis(2750));
+        assert_eq!(src.fct(), Some(Duration::from_millis(750)));
     }
 
     #[test]

@@ -154,6 +154,37 @@ diff "$dyn_dir/trace_1.jsonl" "$dyn_dir/trace_2.jsonl"
 diff "$dyn_dir/trace_1.jsonl" "$dyn_dir/trace_4.jsonl"
 rm -rf "$dyn_dir"
 
+echo "== topology scenario smoke: multi-hop FCT/fairness, thread determinism"
+# The {3-hop parking lot, access-core} x {PI2, DualPI2} family with
+# heavy-tailed mice: per-hop Jain fairness, per-class throughput and
+# mice FCT percentiles must be bit-identical — table and JSONL trace —
+# for any PI2_THREADS. The t=1 arm runs with --audit so the invariant
+# auditor (including per-hop packet conservation) is active on the same
+# cells the other arms must match, proving audit purity in passing.
+topo_dir="$(mktemp -d -t pi2_topology_smoke.XXXXXX)"
+trap 'rm -rf "$smoke_out" "$trace_out" "$trace_log" "$metrics_json" "$metrics_prom" "$profile_log" "$topo_dir"' EXIT
+for t in 1 2 4; do
+    if [ "$t" = 1 ]; then audit_arg=(--audit); else audit_arg=(); fi
+    # The "trace written to <path>" confirmation embeds the per-thread
+    # path; drop it so the table diff compares only scenario output. The
+    # header line embeds audit=on/off, so drop it too — the point is
+    # that the *measurements* agree across thread counts and audit.
+    PI2_THREADS="$t" cargo run -q -p pi2-bench --release --bin pi2sim -- \
+        --scenario topology --seed 9 "${audit_arg[@]}" \
+        --trace-out "$topo_dir/trace_$t.jsonl" \
+        | grep -v '^topology trace:' | grep -v '^# pi2sim:' > "$topo_dir/table_$t.txt"
+done
+grep -q 'parking-lot-3' "$topo_dir/table_1.txt"
+grep -q 'access-core-2' "$topo_dir/table_1.txt"
+grep -q 'hop 2:' "$topo_dir/table_1.txt"         # per-hop rows present
+grep -q '"scenario":"topology"' "$topo_dir/trace_1.jsonl"
+test "$(wc -l < "$topo_dir/trace_1.jsonl")" -eq 4  # 2 topologies x 2 AQMs
+diff "$topo_dir/table_1.txt" "$topo_dir/table_2.txt"
+diff "$topo_dir/table_1.txt" "$topo_dir/table_4.txt"
+diff "$topo_dir/trace_1.jsonl" "$topo_dir/trace_2.jsonl"
+diff "$topo_dir/trace_1.jsonl" "$topo_dir/trace_4.jsonl"
+rm -rf "$topo_dir"
+
 echo "== differential validation: packet sim vs fluid model (6 configs)"
 # Gates CI: validate_grid exits non-zero if any metric leaves its
 # documented tolerance band (see crates/validate/src/differential.rs).

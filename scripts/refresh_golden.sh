@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Re-bless the golden traces after an INTENTIONAL behavior change.
 #
-# The golden tests (`tests/trace_streaming.rs::golden_trace_for_small_scenario`
-# and `::golden_trace_for_impaired_scenario`) pin a tiny seeded scenario's
-# JSONL trace byte for byte — once on a clean path and once under the
-# seeded fault-injection weather layer. When a change legitimately moves a
+# The golden tests (`tests/trace_streaming.rs::golden_trace_for_small_scenario`,
+# `::golden_trace_for_impaired_scenario` and
+# `::golden_trace_for_parking_lot_scenario`) pin a tiny seeded scenario's
+# JSONL trace byte for byte — on a clean single-hop path, under the
+# seeded fault-injection weather layer, and on a 3-hop parking-lot chain
+# (hop-0 event stream plus per-hop flow-byte rows). When a change
+# legitimately moves a
 # trace (new event field, AQM retune, impairment draw-order change), run
 # this script: it saves the old goldens, regenerates under PI2_BLESS=1,
 # prints the diffs for review, and refuses to commit anything itself —
@@ -18,6 +21,7 @@ cd "$(dirname "$0")/.."
 goldens=(
     tests/golden/trace_small.jsonl
     tests/golden/trace_small_impaired.jsonl
+    tests/golden/trace_parking_lot.jsonl
 )
 
 tmpdir="$(mktemp -d -t pi2_golden_old.XXXXXX)"

@@ -11,10 +11,11 @@
 //!
 //! The oracle runs over a grid of AQM × traffic-mix cells covering every
 //! policy family in the workspace (single-queue AQMs, the DualPI2 and FQ
-//! qdiscs, tail-drop), with the invariant auditor attached, at several
-//! snapshot times (mid-warmup, mid-disturbance, and with far-future
-//! scheduled events in the wheel's far list), and under the parallel
-//! sweep executor at 1, 2 and 4 workers.
+//! qdiscs, tail-drop) plus multi-hop chains with finite ("mouse") flows,
+//! with the invariant auditor attached, at several snapshot times
+//! (mid-warmup, mid-disturbance, and with far-future scheduled events in
+//! the wheel's far list), and under the parallel sweep executor at 1, 2
+//! and 4 workers.
 
 use pi2::aqm::{
     Codel, CodelConfig, CoupledPi2, CoupledPi2Config, CurvyRed, CurvyRedConfig, DualPi2,
@@ -48,6 +49,12 @@ const GRID: &[Cell] = &[
     Cell { aqm: "codel", mix: "classic", seed: 19 },
     Cell { aqm: "curvy", mix: "mixed", seed: 20 },
     Cell { aqm: "taildrop", mix: "udp", seed: 21 },
+    // Multi-hop + finite flows: the checkpoint must carry every extra
+    // hop's qdisc, transmit latch and admission books, the per-hop
+    // flow-byte rows, in-flight HopArrive/HopDequeue/HopAqmUpdate
+    // events, and a short flow's completion state.
+    Cell { aqm: "pi2", mix: "multihop", seed: 22 },
+    Cell { aqm: "dualq", mix: "multihop", seed: 23 },
 ];
 
 const RATE: u64 = 10_000_000;
@@ -124,6 +131,44 @@ fn build_sim(cell: &Cell) -> Sim {
                 ))
             });
         }
+        "multihop" => {
+            // A 3-hop chain: the primary bottleneck plus two PI2-guarded
+            // hops (their own AQM update timers live in the event wheel).
+            let hop = |rate: u64| -> Box<dyn Qdisc> {
+                Box::new(pi2::netsim::BottleneckQueue::new(
+                    QueueConfig {
+                        rate_bps: rate,
+                        buffer_bytes: 40_000 * 1500,
+                    },
+                    Box::new(Pi2::new(Pi2Config::default())),
+                ))
+            };
+            let h1 = sim.add_hop(hop(RATE), Duration::from_millis(3));
+            let h2 = sim.add_hop(hop(RATE / 2), Duration::from_millis(3));
+            tcp(&mut sim, "cubic", CcKind::Cubic, EcnSetting::NotEcn);
+            tcp(&mut sim, "dctcp", CcKind::Dctcp, EcnSetting::Scalable);
+            sim.set_route(FlowId(0), vec![0, h1, h2]);
+            sim.set_route(FlowId(1), vec![h1, h2]);
+            // A finite "mouse" whose completion state must round-trip:
+            // it starts before the late snapshot and finishes in flight.
+            let mouse = sim.add_flow(PathConf::symmetric(rtt), "mouse", Time::from_millis(600), |id| {
+                Box::new(TcpSource::new(
+                    id,
+                    CcKind::Cubic,
+                    EcnSetting::NotEcn,
+                    TcpConfig {
+                        data_limit: Some(60),
+                        ..TcpConfig::default()
+                    },
+                ))
+            });
+            sim.set_route(mouse, vec![0, h1, h2]);
+            // Cross traffic entering at the last hop only.
+            let cross = sim.add_flow(PathConf::symmetric(rtt), "cross", Time::ZERO, |id| {
+                Box::new(UdpCbrSource::new(id, 2_000_000, 1000, Ecn::NotEct))
+            });
+            sim.set_route(cross, vec![h2]);
+        }
         other => panic!("unknown mix {other}"),
     }
     // Mid-run disturbances: a rate step down and back, an RTT change, and
@@ -164,6 +209,7 @@ struct Observables {
     aqm_updates: u64,
     sojourn_ms: Vec<f32>,
     flows: Vec<(u64, u64, u64, u64)>,
+    hop_bytes: Vec<Vec<u64>>,
 }
 
 fn observables(mut sim: Sim, sink: Rc<RefCell<JsonlSink<Vec<u8>>>>) -> Observables {
@@ -183,6 +229,9 @@ fn observables(mut sim: Sim, sink: Rc<RefCell<JsonlSink<Vec<u8>>>>) -> Observabl
             .flows
             .iter()
             .map(|f| (f.sent_pkts, f.dequeued_bytes, f.marked, f.dropped))
+            .collect(),
+        hop_bytes: (0..sim.core.hop_count() as u32)
+            .map(|h| sim.core.hop_flow_bytes(h).to_vec())
             .collect(),
     }
 }
@@ -264,6 +313,12 @@ fn oracle(cell: &Cell, snap_at: Time) -> Option<String> {
         return Some(format!(
             "{tag}: per-flow accounts differ: {:?} vs {:?}",
             r_obs.flows, f_obs.flows
+        ));
+    }
+    if r_obs.hop_bytes != f_obs.hop_bytes {
+        return Some(format!(
+            "{tag}: per-hop flow-byte rows differ: {:?} vs {:?}",
+            r_obs.hop_bytes, f_obs.hop_bytes
         ));
     }
     None

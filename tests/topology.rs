@@ -1,0 +1,148 @@
+//! Multi-hop conformance suite: the paper's coexistence claims must
+//! survive leaving the dumbbell. A parking-lot chain of three
+//! bottlenecks under heavy-tailed mice cross-traffic is held against a
+//! single-hop baseline with the same long-flow population, and the
+//! DualPI2 per-class throughput ratio is pinned to the Section 6
+//! coexistence window the single-queue grid already enforces.
+//!
+//! Every multi-hop run here attaches the invariant auditor, so per-hop
+//! packet conservation is re-proven on each cell as a side effect.
+
+use pi2::experiments::scenario::{AqmKind, FlowGroup, Scenario};
+use pi2::experiments::topology::{run_one, TopologyKind};
+use pi2::prelude::*;
+use pi2::stats::jain_fairness;
+
+/// The single-hop baseline: the parking lot's long-flow population
+/// (2 Cubic + 2 DCTCP at 40 ms) on one 20 Mb/s dumbbell, same AQM.
+fn single_hop_baseline(aqm: AqmKind, seed: u64) -> (f64, f64) {
+    let mut sc = Scenario::new(aqm, 20_000_000);
+    let rtt = Duration::from_millis(40);
+    sc.tcp.push(FlowGroup::new(
+        2,
+        CcKind::Cubic,
+        EcnSetting::NotEcn,
+        "classic",
+        rtt,
+    ));
+    sc.tcp.push(FlowGroup::new(
+        2,
+        CcKind::Dctcp,
+        EcnSetting::Scalable,
+        "scalable",
+        rtt,
+    ));
+    sc.duration = Time::from_secs(60);
+    sc.warmup = Duration::from_secs(10);
+    sc.seed = seed;
+    let r = sc.run();
+    let per_flow: Vec<f64> = r
+        .monitor
+        .flows
+        .iter()
+        .map(|f| f.dequeued_bytes as f64)
+        .collect();
+    let c = r.per_flow_tput_mbps("classic");
+    let s = r.per_flow_tput_mbps("scalable");
+    (jain_fairness(&per_flow), c / s)
+}
+
+/// Parking-lot fairness under DualPI2 stays close to the single-hop
+/// dumbbell baseline: chaining three identical bottlenecks must not
+/// break the dual-queue coupling's per-class balance.
+#[test]
+fn parking_lot_fairness_matches_the_single_hop_baseline() {
+    let aqm = AqmKind::dualq_default(20_000_000);
+    let (base_jain, base_ratio) = single_hop_baseline(aqm.clone(), 11);
+    let r = run_one(TopologyKind::ParkingLot3, aqm, 11, true);
+    // Every hop carries all four long flows; its fairness must not fall
+    // more than 0.15 below the dumbbell's.
+    for h in &r.hops {
+        assert!(
+            h.fairness > base_jain - 0.15,
+            "hop {}: jain {:.3} vs single-hop {:.3}",
+            h.hop,
+            h.fairness,
+            base_jain
+        );
+    }
+    // And the end-to-end per-class ratio stays in the same regime as the
+    // baseline's (both inside the coexistence window, below).
+    assert!(
+        r.rate_ratio > 0.4 * base_ratio && r.rate_ratio < 2.5 * base_ratio,
+        "multi-hop ratio {:.2} drifted from single-hop {:.2}",
+        r.rate_ratio,
+        base_ratio
+    );
+}
+
+/// The Section 6 coexistence window under a 90 %-mice workload: with
+/// heavy-tailed short flows crossing every hop, DualPI2 still holds the
+/// Cubic/DCTCP per-class throughput ratio inside the paper's window,
+/// while the single-queue PI2 (Classic-squared probability, no dual
+/// queue) lets DCTCP starve Cubic — same contrast the single-hop grid
+/// shows.
+#[test]
+fn mice_heavy_coexistence_holds_the_window_under_dualpi2() {
+    let dualq = run_one(
+        TopologyKind::ParkingLot3,
+        AqmKind::dualq_default(20_000_000),
+        11,
+        true,
+    );
+    // The workload really is mice-dominated: 4 long flows vs hundreds of
+    // short ones.
+    let total_flows = dualq.mice_launched + 4;
+    assert!(
+        dualq.mice_launched as f64 > 0.9 * total_flows as f64,
+        "{} mice of {} flows",
+        dualq.mice_launched,
+        total_flows
+    );
+    assert!(
+        (0.4..2.5).contains(&dualq.rate_ratio),
+        "DualPI2 Cubic/DCTCP ratio {:.2} outside the Sec. 6 window",
+        dualq.rate_ratio
+    );
+    // Contrast: the same cell under single-queue PI2 leaves the window
+    // on the starvation side and is less fair at every hop.
+    let pi2 = run_one(TopologyKind::ParkingLot3, AqmKind::pi2_default(), 11, true);
+    assert!(
+        pi2.rate_ratio < 0.4,
+        "single-queue PI2 should let DCTCP dominate, ratio {:.2}",
+        pi2.rate_ratio
+    );
+    for (d, p) in dualq.hops.iter().zip(pi2.hops.iter()) {
+        assert!(
+            d.fairness > p.fairness,
+            "hop {}: dualpi2 jain {:.3} not above pi2 {:.3}",
+            d.hop,
+            d.fairness,
+            p.fairness
+        );
+    }
+}
+
+/// Mice FCT percentiles are well-formed and the tail reflects the
+/// heavy-tailed size distribution: P99 must sit well above P50.
+#[test]
+fn mice_fct_percentiles_are_ordered_and_heavy_tailed() {
+    let r = run_one(
+        TopologyKind::AccessCore2,
+        AqmKind::dualq_default(20_000_000),
+        5,
+        true,
+    );
+    let (p50, p95, p99) = r.fct_ms;
+    assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99, "{:?}", r.fct_ms);
+    assert!(
+        p99 > 2.0 * p50,
+        "bounded-Pareto sizes should spread the tail: p50 {p50:.1} ms p99 {p99:.1} ms"
+    );
+    assert!(
+        r.mice_completed as f64 > 0.9 * r.mice_launched as f64,
+        "only {}/{} mice completed",
+        r.mice_completed,
+        r.mice_launched
+    );
+}

@@ -321,3 +321,94 @@ fn golden_trace_for_impaired_scenario() {
     let want = std::fs::read_to_string(path).expect("golden file (PI2_BLESS=1 to create)");
     assert_eq!(got, want, "impaired trace diverged from golden file {path}");
 }
+
+/// Golden-file regression for a 3-hop parking-lot chain: an end-to-end
+/// CBR flow crosses three bottlenecks while per-hop cross traffic loads
+/// the later hops. The JSONL stream stays a hop-0 stream by design, so
+/// the golden pins (a) that later hops never leak events into it and
+/// (b) the per-hop, per-flow egress byte rows appended after the trace —
+/// the multi-hop state itself. Regenerate with
+/// `PI2_BLESS=1 cargo test --test trace_streaming golden`.
+#[test]
+fn golden_trace_for_parking_lot_scenario() {
+    let fifo_hop = |rate_bps: u64| -> Box<dyn pi2::netsim::Qdisc> {
+        Box::new(pi2::netsim::BottleneckQueue::new(
+            QueueConfig {
+                rate_bps,
+                buffer_bytes: 20 * 1500,
+            },
+            Box::new(PassAqm),
+        ))
+    };
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 1_000_000,
+                buffer_bytes: 20 * 1500,
+            },
+            seed: 11,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(Pi2::new(Pi2Config::default())),
+    );
+    let h1 = sim.add_hop(fifo_hop(1_000_000), Duration::from_millis(2));
+    let h2 = sim.add_hop(fifo_hop(500_000), Duration::from_millis(2));
+    let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&jsonl)));
+    let e2e = sim.add_flow(
+        PathConf::symmetric(Duration::from_millis(20)),
+        "e2e",
+        Time::ZERO,
+        |id| Box::new(pi2::netsim::UdpCbrSource::new(id, 600_000, 1000, Ecn::NotEct)),
+    );
+    sim.set_route(e2e, vec![0, h1, h2]);
+    for hop in [h1, h2] {
+        let cross = sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(10)),
+            "cross",
+            Time::ZERO,
+            |id| Box::new(pi2::netsim::UdpCbrSource::new(id, 200_000, 500, Ecn::NotEct)),
+        );
+        sim.set_route(cross, vec![hop]);
+    }
+    sim.run_until(Time::from_millis(300));
+    sim.core.flush_trace_sinks().expect("flush");
+    drop(sim.core.take_trace_sinks());
+    let trace = String::from_utf8(
+        Rc::try_unwrap(jsonl).expect("sole owner").into_inner().into_inner(),
+    )
+    .expect("utf8");
+    assert!(!trace.is_empty(), "scenario produced no events");
+    // The stream must stay hop-0-only: the cross flows (ids 1 and 2)
+    // never touch the primary bottleneck, so they never appear in it.
+    for line in trace.lines() {
+        assert!(
+            !line.contains("\"flow\":1") && !line.contains("\"flow\":2"),
+            "later-hop traffic leaked into the hop-0 stream: {line}"
+        );
+    }
+    // Pin the multi-hop state alongside the event stream.
+    let rows: Vec<String> = (0..sim.core.hop_count() as u32)
+        .map(|h| {
+            let row: Vec<String> = sim
+                .core
+                .hop_flow_bytes(h)
+                .iter()
+                .map(|b| b.to_string())
+                .collect();
+            format!("[{}]", row.join(","))
+        })
+        .collect();
+    let got = format!("{trace}{{\"hop_flow_bytes\":[{}]}}\n", rows.join(","));
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/trace_parking_lot.jsonl"
+    );
+    if std::env::var_os("PI2_BLESS").is_some() {
+        std::fs::write(path, &got).expect("bless golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file (PI2_BLESS=1 to create)");
+    assert_eq!(got, want, "parking-lot trace diverged from golden file {path}");
+}

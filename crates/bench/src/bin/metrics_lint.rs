@@ -7,8 +7,10 @@
 //! Format is sniffed per file: a body starting with `{` is checked as a
 //! JSON snapshot (parsed with the workspace's own parser, schema version
 //! and the three sections verified), anything else as Prometheus
-//! exposition text via [`pi2_obs::prom_lint`]. Exits non-zero on the
-//! first invalid file, so `ci.sh` can gate on it directly.
+//! exposition text via [`pi2_obs::prom_lint`]. Every file is checked
+//! (a bad one doesn't mask later ones); the run ends with a one-line
+//! summary and a non-zero exit if anything was invalid, so `ci.sh` can
+//! gate on the exit code directly.
 
 use pi2_bench::perf::Json;
 
@@ -49,25 +51,31 @@ fn main() {
         eprintln!("usage: metrics_lint <snapshot.json|snapshot.prom>...");
         std::process::exit(2);
     }
+    let mut failed = 0usize;
     for path in &paths {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("{path}: cannot read: {e}");
-                std::process::exit(1);
-            }
-        };
-        let result = if text.trim_start().starts_with('{') {
-            lint_json(&text)
-        } else {
-            pi2_obs::prom_lint(&text).map(|n| format!("prometheus text ok: {n} samples"))
-        };
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| {
+                if text.trim_start().starts_with('{') {
+                    lint_json(&text)
+                } else {
+                    pi2_obs::prom_lint(&text).map(|n| format!("prometheus text ok: {n} samples"))
+                }
+            });
         match result {
             Ok(msg) => println!("{path}: {msg}"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
-                std::process::exit(1);
+                failed += 1;
             }
         }
+    }
+    println!(
+        "metrics_lint: {}/{} snapshots valid",
+        paths.len() - failed,
+        paths.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
     }
 }

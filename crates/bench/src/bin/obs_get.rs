@@ -1,0 +1,40 @@
+//! `obs_get` — scrape one endpoint of a running [`pi2_obs::ObsServer`].
+//!
+//! ```text
+//! cargo run -p pi2-bench --bin obs_get -- 127.0.0.1:9090 /metrics
+//! ```
+//!
+//! A std-`TcpStream` HTTP client (the workspace has no HTTP dependency,
+//! and CI images have no curl guarantee). Prints the response body on
+//! stdout; exits non-zero unless the server answered 200.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, path) = match args.as_slice() {
+        [addr, path] => (addr, path),
+        _ => {
+            eprintln!("usage: obs_get <host:port> </metrics|/progress|/healthz|/cancel|/quit>");
+            std::process::exit(2);
+        }
+    };
+    let sockaddr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("obs_get: bad address {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match pi2_obs::http_get(sockaddr, path) {
+        Ok((status, body)) => {
+            if !status.contains("200") {
+                eprintln!("obs_get: {addr}{path}: {status}");
+                std::process::exit(1);
+            }
+            print!("{body}");
+        }
+        Err(e) => {
+            eprintln!("obs_get: {addr}{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `perfetto_lint` — validate exported Perfetto (Chrome trace-event)
+//! timelines.
+//!
+//! ```text
+//! cargo run -p pi2-bench --bin perfetto_lint -- trace.json ...
+//! ```
+//!
+//! Each file is checked with [`pi2_bench::perfetto_check`]: well-formed
+//! JSON, known phases, per-track monotonic timestamps, non-negative
+//! slice durations. Every file is checked; the run ends with a one-line
+//! summary and exits non-zero if any file was invalid, so `ci.sh` can
+//! gate on the exit code directly.
+
+use pi2_bench::perfetto_check::check_perfetto;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: perfetto_lint <trace.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = 0usize;
+    for path in &paths {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| check_perfetto(&text));
+        match result {
+            Ok(r) => println!(
+                "{path}: ok — {} records on {} tracks \
+                 ({} counters, {} instants [{} drops, {} marks], {} slices)",
+                r.records, r.tracks, r.counters, r.instants, r.drops, r.marks, r.slices
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed += 1;
+            }
+        }
+    }
+    println!(
+        "perfetto_lint: {}/{} timelines valid",
+        paths.len() - failed,
+        paths.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -12,11 +12,13 @@ use pi2_aqm::{
 };
 use pi2_bench::cli::{parse_args, usage, CliArgs, MetricsFormat, TraceFormat};
 use pi2_bench::perf::Json;
-use pi2_experiments::{dynamics, topology};
+use pi2_experiments::{dynamics, topology, AqmKind, SweepObserver};
 use pi2_netsim::{
-    Aqm, AuditSink, CsvSink, Ecn, ImpairmentConf, JsonlSink, LinkImpairments, MemorySink,
-    MonitorConfig, PassAqm, PathConf, Qdisc, QueueConfig, Sim, SimConfig, UdpCbrSource,
+    csv_field, Aqm, AuditSink, CsvSink, Ecn, ImpairmentConf, JsonlSink, LinkImpairments,
+    MemorySink, MonitorConfig, PassAqm, PathConf, PerfettoSink, Qdisc, QueueConfig, Sim,
+    SimConfig, SimMetrics, UdpCbrSource,
 };
+use pi2_obs::ObsServer;
 use pi2_simcore::{Duration, Time};
 use pi2_stats::Summary;
 use pi2_transport::{TcpConfig, TcpSource};
@@ -24,6 +26,7 @@ use std::cell::RefCell;
 use std::fs::File;
 use std::io::BufWriter;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn build_sim(a: &CliArgs) -> Sim {
     let cfg = SimConfig {
@@ -111,49 +114,208 @@ fn weather(a: &CliArgs) -> Option<LinkImpairments> {
     )
 }
 
+/// Bind the `--serve` listener, announcing the bound address on stderr
+/// only — stdout must stay bit-identical to an unserved run.
+fn bind_server(addr: &str) -> ObsServer {
+    let srv = ObsServer::bind(addr).unwrap_or_else(|e| {
+        eprintln!("cannot serve on {addr}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "# pi2sim: serving http://{}/ (/metrics /progress /healthz /cancel /quit)",
+        srv.addr()
+    );
+    srv
+}
+
+/// `PI2_SERVE_HOLD=1` keeps the process alive after the run until a
+/// client sends `GET /quit`, so a harness can scrape the final snapshots
+/// without racing process exit.
+fn hold_for_quit(srv: &ObsServer) {
+    if std::env::var("PI2_SERVE_HOLD").as_deref() == Ok("1") {
+        eprintln!("# pi2sim: run complete, holding for GET /quit (PI2_SERVE_HOLD=1)");
+        srv.wait_quit();
+    }
+}
+
+/// Bridges a running sweep to the [`ObsServer`]: every finished cell's
+/// registry is merged commutatively (the same fold as
+/// [`pi2_experiments::merged_metrics`]) and republished, so a mid-sweep
+/// scrape sees a valid partial snapshot; `/cancel` is polled by the
+/// runner at cell boundaries. A pure observer — sweep results stay
+/// bit-identical whether or not a server is attached.
+struct SweepServer {
+    srv: ObsServer,
+    scenario: &'static str,
+    merged: Mutex<Option<SimMetrics>>,
+    wall: std::time::Instant,
+}
+
+impl SweepServer {
+    /// Bind and install as the sweep observer when `--serve` was given.
+    fn install(a: &CliArgs, scenario: &'static str) -> Option<Arc<SweepServer>> {
+        let addr = a.serve.as_deref()?;
+        let obs = Arc::new(SweepServer {
+            srv: bind_server(addr),
+            scenario,
+            merged: Mutex::new(None),
+            wall: std::time::Instant::now(),
+        });
+        obs.publish_progress(0, 0);
+        pi2_experiments::install_observer(obs.clone());
+        Some(obs)
+    }
+
+    fn publish_progress(&self, done: usize, total: usize) {
+        let wall = self.wall.elapsed().as_secs_f64();
+        let fraction = if total == 0 {
+            0.0
+        } else {
+            done as f64 / total as f64
+        };
+        let eta = if fraction >= 1.0 {
+            "0.000".to_string()
+        } else if done == 0 {
+            "null".to_string()
+        } else {
+            format!("{:.3}", wall * (1.0 - fraction) / fraction)
+        };
+        let events = self
+            .merged
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |m| m.events_processed());
+        let eps = if wall > 0.0 { events as f64 / wall } else { 0.0 };
+        self.srv.publish_progress(format!(
+            "{{\"scenario\":\"{}\",\"cells_done\":{done},\"cells_total\":{total},\
+             \"fraction\":{fraction:.6},\"events_per_sec\":{eps:.1},\"eta_secs\":{eta}}}\n",
+            self.scenario
+        ));
+    }
+}
+
+impl SweepObserver for SweepServer {
+    fn cell_done(&self, done: usize, total: usize) {
+        self.publish_progress(done, total);
+    }
+
+    fn cell_metrics(&self, metrics: &SimMetrics) {
+        let mut merged = self.merged.lock().unwrap();
+        match merged.as_mut() {
+            Some(acc) => acc.merge(metrics),
+            None => *merged = Some(metrics.clone()),
+        }
+        let text = merged.as_ref().expect("just set").registry().to_prometheus();
+        self.srv.publish_metrics(text);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.srv.cancel_requested()
+    }
+
+    fn on_cancel(&self, done: usize, total: usize) {
+        self.publish_progress(done, total);
+        eprintln!(
+            "# pi2sim: cancel honoured at a cell boundary ({done}/{total} cells); \
+             completed cells are deterministic, so rerunning resumes the rest"
+        );
+    }
+}
+
 /// `--scenario dynamics`: the step-response family (rate-step and
 /// flow-churn, PIE vs PI2 vs DualPI2) with its spike/settle table.
 fn run_dynamics(a: &CliArgs) {
+    let obs = SweepServer::install(a, "dynamics");
     println!(
         "# pi2sim: scenario=dynamics seed={} loss={} dup={} jitter={}",
         a.seed, a.loss, a.dup, a.jitter
     );
     let runs = dynamics::dynamics(a.seed, weather(a));
+    // The optional Perfetto rerun below re-executes one cell; detach the
+    // observer first so it cannot leak an extra cell into /metrics.
+    if obs.is_some() {
+        pi2_experiments::clear_observer();
+    }
     print!("{}", dynamics::render_table(&runs));
     if let Some(path) = &a.trace_out {
-        let mut body = String::new();
-        for r in &runs {
-            let settle = r.settle_s.map_or("null".to_string(), |s| format!("{s}"));
-            let series: Vec<String> = r
-                .qdelay
-                .iter()
-                .map(|(t, v)| format!("[{t},{v}]"))
-                .collect();
-            body.push_str(&format!(
-                "{{\"scenario\":\"dynamics\",\"disturbance\":\"{}\",\"aqm\":\"{}\",\
-                 \"spike_ms\":{},\"settle_s\":{},\"revert_spike_ms\":{},\"qdelay\":[{}]}}\n",
-                r.disturbance.name(),
-                r.aqm,
-                r.spike_ms,
-                settle,
-                r.revert_spike_ms,
-                series.join(",")
-            ));
+        if a.trace_format == TraceFormat::Perfetto {
+            export_dynamics_perfetto(a, path);
+        } else {
+            let mut body = String::new();
+            for r in &runs {
+                let settle = r.settle_s.map_or("null".to_string(), |s| format!("{s}"));
+                let series: Vec<String> = r
+                    .qdelay
+                    .iter()
+                    .map(|(t, v)| format!("[{t},{v}]"))
+                    .collect();
+                body.push_str(&format!(
+                    "{{\"scenario\":\"dynamics\",\"disturbance\":\"{}\",\"aqm\":\"{}\",\
+                     \"spike_ms\":{},\"settle_s\":{},\"revert_spike_ms\":{},\"qdelay\":[{}]}}\n",
+                    r.disturbance.name(),
+                    r.aqm,
+                    r.spike_ms,
+                    settle,
+                    r.revert_spike_ms,
+                    series.join(",")
+                ));
+            }
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("cannot write dynamics trace {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("dynamics trace: {} runs written to {path}", runs.len());
         }
-        if let Err(e) = std::fs::write(path, &body) {
-            eprintln!("cannot write dynamics trace {path}: {e}");
-            std::process::exit(1);
-        }
-        println!("dynamics trace: {} runs written to {path}", runs.len());
     }
     if a.csv {
         println!("disturbance,aqm,t_s,qdelay_ms");
         for r in &runs {
+            let (dist, aqm) = (csv_field(r.disturbance.name()), csv_field(r.aqm));
             for (t, d) in &r.qdelay {
-                println!("{},{},{t},{d}", r.disturbance.name(), r.aqm);
+                println!("{dist},{aqm},{t},{d}");
             }
         }
     }
+    if let Some(obs) = obs {
+        hold_for_quit(&obs.srv);
+    }
+}
+
+/// `--scenario dynamics --trace-format perfetto`: rerun one representative
+/// cell (PI2 under the rate-step disturbance) serially with the Perfetto
+/// timeline sink attached, annotating the scheduled disturbance edges on
+/// the bottleneck's track.
+fn export_dynamics_perfetto(a: &CliArgs, path: &str) {
+    let mut sc = dynamics::scenario_for(
+        AqmKind::pi2_default(),
+        dynamics::Disturbance::RateStep,
+        a.seed,
+    );
+    sc.impairments = weather(a);
+    let f = File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create trace file {path}: {e}");
+        std::process::exit(2);
+    });
+    let sink = Rc::new(RefCell::new(PerfettoSink::new(BufWriter::new(f))));
+    {
+        let mut s = sink.borrow_mut();
+        s.instant(
+            Time::from_secs(dynamics::STEP_DOWN_S),
+            "rate-step: 40 -> 10 Mb/s",
+        );
+        s.instant(
+            Time::from_secs(dynamics::STEP_UP_S),
+            "rate-step: 10 -> 40 Mb/s",
+        );
+    }
+    let h = Rc::clone(&sink);
+    let _ = sc.run_prepared(move |sim| sim.core.add_trace_sink(Box::new(h)));
+    if let Err(e) = sink.borrow_mut().finish() {
+        eprintln!("cannot write perfetto trace {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("dynamics perfetto trace: rate-step/pi2 cell written to {path}");
 }
 
 /// `--scenario topology`: multi-hop parking-lot / access-core layouts
@@ -162,6 +324,7 @@ fn run_dynamics(a: &CliArgs) {
 /// attaches the invariant auditor (per-hop packet conservation included)
 /// to every cell.
 fn run_topology(a: &CliArgs) {
+    let obs = SweepServer::install(a, "topology");
     println!(
         "# pi2sim: scenario=topology seed={} audit={}",
         a.seed, a.audit
@@ -169,6 +332,11 @@ fn run_topology(a: &CliArgs) {
     let wall = std::time::Instant::now();
     let runs = topology::topology(a.seed, a.audit);
     let wall_s = wall.elapsed().as_secs_f64();
+    // The optional Perfetto rerun below re-executes one cell; detach the
+    // observer first so it cannot leak an extra cell into /metrics.
+    if obs.is_some() {
+        pi2_experiments::clear_observer();
+    }
     print!("{}", topology::render_table(&runs));
     // Leave a BENCH trajectory entry when opted in (same knob ci.sh
     // uses for the microbenches): the multi-hop event-loop throughput
@@ -189,8 +357,35 @@ fn run_topology(a: &CliArgs) {
         pi2_bench::perf::record_and_report("topology", metrics);
     }
     if let Some(path) = &a.trace_out {
-        let mut body = String::new();
+        if a.trace_format == TraceFormat::Perfetto {
+            export_topology_perfetto(a, path);
+        } else {
+            export_topology_jsonl(&runs, path);
+        }
+    }
+    if a.csv {
+        println!("topology,aqm,hop,jain,classic_mbps,scalable_mbps,mice_mbps");
         for r in &runs {
+            let (topo, aqm) = (csv_field(r.topology), csv_field(r.aqm));
+            for h in &r.hops {
+                println!(
+                    "{topo},{aqm},{},{},{},{},{}",
+                    h.hop, h.fairness, h.classic_mbps, h.scalable_mbps, h.mice_mbps
+                );
+            }
+        }
+    }
+    if let Some(obs) = obs {
+        hold_for_quit(&obs.srv);
+    }
+}
+
+/// The `--trace-out` JSONL body for the topology family (one line per
+/// topology × AQM cell).
+fn export_topology_jsonl(runs: &[topology::TopologyRun], path: &str) {
+    {
+        let mut body = String::new();
+        for r in runs {
             let hops: Vec<String> = r
                 .hops
                 .iter()
@@ -223,18 +418,39 @@ fn run_topology(a: &CliArgs) {
         }
         println!("topology trace: {} runs written to {path}", runs.len());
     }
-    if a.csv {
-        println!("topology,aqm,hop,jain,classic_mbps,scalable_mbps,mice_mbps");
-        for r in &runs {
-            for h in &r.hops {
-                println!(
-                    "{},{},{},{},{},{},{}",
-                    r.topology, r.aqm, h.hop, h.fairness, h.classic_mbps, h.scalable_mbps,
-                    h.mice_mbps
-                );
-            }
-        }
+}
+
+/// `--scenario topology --trace-format perfetto`: rerun one representative
+/// cell (the 3-hop parking lot under PI2) serially with the Perfetto
+/// timeline sink attached, annotating the mice arrival window. Hop tracks
+/// beyond the bottleneck come from the sim's hop-event side channel.
+fn export_topology_perfetto(a: &CliArgs, path: &str) {
+    let f = File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create trace file {path}: {e}");
+        std::process::exit(2);
+    });
+    let sink = Rc::new(RefCell::new(PerfettoSink::new(BufWriter::new(f))));
+    {
+        let mut s = sink.borrow_mut();
+        s.instant(
+            Time::from_secs(topology::MICE_START_S),
+            "mice arrivals start",
+        );
+        s.instant(Time::from_secs(topology::MICE_STOP_S), "mice arrivals stop");
     }
+    let h = Rc::clone(&sink);
+    let _ = topology::run_one_prepared(
+        topology::TopologyKind::ParkingLot3,
+        AqmKind::pi2_default(),
+        a.seed,
+        a.audit,
+        move |sim| sim.core.add_trace_sink(Box::new(h)),
+    );
+    if let Err(e) = sink.borrow_mut().finish() {
+        eprintln!("cannot write perfetto trace {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("topology perfetto trace: parking-lot3/pi2 cell written to {path}");
 }
 
 fn main() {
@@ -255,13 +471,17 @@ fn main() {
         return;
     }
 
+    // `--serve`: bind the observability endpoint before the run starts so
+    // a harness can watch from t=0. Serving implies metrics (the /metrics
+    // body) — both are pure observers, the run's bits don't change.
+    let serve = a.serve.as_deref().map(bind_server);
     let mut sim = build_sim(&a);
     if let Some(w) = weather(&a) {
         sim.core.set_impairments(w);
     }
     // `--metrics-out`: record the run into a `pi2_obs` registry (a pure
     // observer — the snapshot comes for free, the run's bits don't change).
-    if a.metrics_out.is_some() {
+    if a.metrics_out.is_some() || serve.is_some() {
         sim.core.enable_metrics();
     }
     // `--profile`: attach the event-loop self-profiler (PI2_PROFILE=1
@@ -299,6 +519,9 @@ fn main() {
         match a.trace_format {
             TraceFormat::Jsonl => sim.core.add_trace_sink(Box::new(JsonlSink::new(w))),
             TraceFormat::Csv => sim.core.add_trace_sink(Box::new(CsvSink::new(w))),
+            // The flush at end-of-run finalizes the timeline (flow
+            // lifetime slices, track metadata, the closing bracket).
+            TraceFormat::Perfetto => sim.core.add_trace_sink(Box::new(PerfettoSink::new(w))),
         }
     }
     for spec in &a.flows {
@@ -342,7 +565,10 @@ fn main() {
         }
         println!("# checkpoint: {} bytes written to {path} at t={}", blob.len(), sim.core.now());
     }
-    sim.run_until(end);
+    match &serve {
+        None => sim.run_until(end),
+        Some(srv) => run_served(&a, srv, &mut sim, end),
+    }
     if let Err(e) = sim.core.flush_trace_sinks() {
         eprintln!("trace sink error: {e}");
         std::process::exit(1);
@@ -465,6 +691,70 @@ fn main() {
             }
         }
     }
+    if let Some(srv) = &serve {
+        // Final snapshots carry the post-run registry (which includes the
+        // event totals stamped at detach time), then optionally hold.
+        if let Some(snap) = &metrics {
+            srv.publish_metrics(snap.registry().to_prometheus());
+        }
+        hold_for_quit(srv);
+    }
+}
+
+/// `--serve` on a single run: advance the sim in 250 ms sim-time slices,
+/// refreshing /metrics and /progress between slices and polling /cancel.
+/// Slicing is invisible — `run_until` in steps is bit-identical to one
+/// call, and all serving chatter goes to stderr — so stdout matches an
+/// unserved run. A cancel checkpoints the in-flight sim ([`Sim::save`])
+/// and exits 130; the run resumes bit-identically via `--restore`.
+fn run_served(a: &CliArgs, srv: &ObsServer, sim: &mut Sim, end: Time) {
+    let slice = Duration::from_millis(250);
+    let wall = std::time::Instant::now();
+    let start = sim.core.now();
+    loop {
+        publish_single(srv, sim, start, end, wall.elapsed().as_secs_f64());
+        let now = sim.core.now();
+        if now >= end {
+            break;
+        }
+        if srv.cancel_requested() {
+            let path = a
+                .checkpoint_out
+                .clone()
+                .unwrap_or_else(|| "pi2sim-cancel.ckpt".to_string());
+            let blob = sim.save();
+            if let Err(e) = std::fs::write(&path, &blob) {
+                eprintln!("cannot write cancel checkpoint {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "# pi2sim: cancelled at t={}; {} bytes saved; resume with --restore {path}",
+                sim.core.now(),
+                blob.len()
+            );
+            std::process::exit(130);
+        }
+        sim.run_until((now + slice).min(end));
+    }
+}
+
+/// Refresh the served /metrics and /progress snapshots from a single
+/// in-flight run (read-only: live registry text plus the sim-time
+/// progress report from [`pi2_simcore::progress`]).
+fn publish_single(srv: &ObsServer, sim: &Sim, start: Time, end: Time, wall_secs: f64) {
+    if let Some(m) = sim.core.metrics() {
+        srv.publish_metrics(m.registry().to_prometheus());
+    }
+    let now = sim.core.now();
+    let p = pi2_simcore::progress(start, now, end, sim.core.events.popped(), wall_secs);
+    let eta = p.eta_secs.map_or("null".to_string(), |e| format!("{e:.3}"));
+    srv.publish_progress(format!(
+        "{{\"cell\":\"single\",\"sim_time_s\":{:.3},\"fraction\":{:.6},\
+         \"events_per_sec\":{:.1},\"eta_secs\":{eta}}}\n",
+        now.as_secs_f64(),
+        p.fraction,
+        p.events_per_sec
+    ));
 }
 
 /// Re-parse a JSONL trace and check its per-flow mark/drop/dequeue totals

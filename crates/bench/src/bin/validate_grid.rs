@@ -95,8 +95,21 @@ fn main() {
         None => std::io::stdout().write_all(&jsonl).unwrap(),
     }
 
-    if !all_pass {
-        eprintln!("validate_grid: fluid/packet disagreement (see report)");
+    // One-line verdict on stderr either way, so harnesses that keep
+    // stdout for the report still see the outcome next to the exit code.
+    if all_pass {
+        eprintln!(
+            "validate_grid: OK — {}/{} configs within tolerance",
+            reports.len(),
+            reports.len()
+        );
+    } else {
+        eprintln!(
+            "validate_grid: FAIL — {} of {} configs out of tolerance: [{}]",
+            failed.len(),
+            reports.len(),
+            failed.join(",")
+        );
         std::process::exit(1);
     }
 }

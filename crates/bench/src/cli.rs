@@ -84,6 +84,11 @@ pub struct CliArgs {
     /// scenario arguments (AQM, rate, flows, seed, ...) must match the
     /// run that produced the checkpoint.
     pub restore: Option<String>,
+    /// Serve live metrics/progress over HTTP from this address (e.g.
+    /// `127.0.0.1:9100`; port 0 picks an ephemeral port, printed to
+    /// stderr). `GET /cancel` stops the run gracefully: single runs
+    /// checkpoint for `--restore`, sweeps stop at the next cell boundary.
+    pub serve: Option<String>,
 }
 
 /// On-disk format for `--trace-out`.
@@ -93,6 +98,8 @@ pub enum TraceFormat {
     Jsonl,
     /// Flat CSV with a header row.
     Csv,
+    /// Chrome trace-event JSON — open directly in the Perfetto UI.
+    Perfetto,
 }
 
 /// On-disk format for `--metrics-out`.
@@ -141,6 +148,7 @@ impl Default for CliArgs {
             checkpoint_out: None,
             checkpoint_at: None,
             restore: None,
+            serve: None,
         }
     }
 }
@@ -301,8 +309,11 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 out.trace_format = match value("--trace-format")?.as_str() {
                     "jsonl" => TraceFormat::Jsonl,
                     "csv" => TraceFormat::Csv,
+                    "perfetto" | "chrome-json" => TraceFormat::Perfetto,
                     other => {
-                        return Err(format!("bad --trace-format '{other}' (jsonl or csv)"))
+                        return Err(format!(
+                            "bad --trace-format '{other}' (jsonl, csv or perfetto)"
+                        ))
                     }
                 }
             }
@@ -333,6 +344,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--checkpoint-out" => out.checkpoint_out = Some(value("--checkpoint-out")?.clone()),
             "--checkpoint-at" => out.checkpoint_at = Some(parse_time(value("--checkpoint-at")?)?),
             "--restore" => out.restore = Some(value("--restore")?.clone()),
+            "--serve" => out.serve = Some(value("--serve")?.clone()),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -366,7 +378,8 @@ pub fn usage() -> String {
          \x20                   builds; env PI2_AUDIT=1/0 overrides either way)\n\
          \x20 --trace <n>       print the first n per-packet bottleneck events\n\
          \x20 --trace-out <p>   stream every event + AQM state probe to this file\n\
-         \x20 --trace-format <f> jsonl (default) or csv, for --trace-out\n\
+         \x20 --trace-format <f> jsonl (default), csv, or perfetto (Chrome\n\
+         \x20                   trace-event JSON for ui.perfetto.dev), for --trace-out\n\
          \x20 --metrics-out <p> write the end-of-run metrics snapshot (counters +\n\
          \x20                   histogram quantiles) to this file\n\
          \x20 --metrics-format <f> json (default) or prom, for --metrics-out\n\
@@ -381,7 +394,10 @@ pub fn usage() -> String {
          \x20 --checkpoint-out <p> write a full simulator checkpoint to this file\n\
          \x20 --checkpoint-at <time> when to snapshot (default: end of run)\n\
          \x20 --restore <p>     resume from a checkpoint; pass the same scenario\n\
-         \x20                   arguments as the run that produced it",
+         \x20                   arguments as the run that produced it\n\
+         \x20 --serve <addr>    serve /metrics, /progress, /healthz and /cancel over\n\
+         \x20                   HTTP while running (e.g. 127.0.0.1:9100; port 0 =\n\
+         \x20                   ephemeral, printed to stderr)",
         AQMS.join("|"),
         SCENARIOS.join(", ")
     )
@@ -451,8 +467,21 @@ mod tests {
         let a = parse_args(&args("--trace-out /tmp/t.csv --trace-format csv")).unwrap();
         assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.csv"));
         assert_eq!(a.trace_format, TraceFormat::Csv);
+        let p = parse_args(&args("--trace-out /tmp/t.json --trace-format perfetto")).unwrap();
+        assert_eq!(p.trace_format, TraceFormat::Perfetto);
+        let alias = parse_args(&args("--trace-format chrome-json")).unwrap();
+        assert_eq!(alias.trace_format, TraceFormat::Perfetto);
         let e = parse_args(&args("--trace-format xml")).unwrap_err();
-        assert!(e.contains("jsonl or csv"));
+        assert!(e.contains("jsonl, csv or perfetto"));
+    }
+
+    #[test]
+    fn serve_flag_parses() {
+        let a = parse_args(&args("--serve 127.0.0.1:0")).unwrap();
+        assert_eq!(a.serve.as_deref(), Some("127.0.0.1:0"));
+        let d = parse_args(&[]).unwrap();
+        assert_eq!(d.serve, None, "serving must be opt-in");
+        assert!(parse_args(&args("--serve")).unwrap_err().contains("needs a value"));
     }
 
     #[test]

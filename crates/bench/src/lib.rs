@@ -117,3 +117,4 @@ pub mod alloc_count;
 pub mod cli;
 pub mod gridview;
 pub mod perf;
+pub mod perfetto_check;

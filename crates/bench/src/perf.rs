@@ -380,11 +380,26 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                         }
                         *pos += 1;
                     }
+                    Some(&c0) if c0 < 0x80 => {
+                        s.push(c0 as char);
+                        *pos += 1;
+                    }
                     Some(_) => {
-                        // Advance over one UTF-8 scalar, not one byte.
-                        let rest = std::str::from_utf8(&b[*pos..])
-                            .map_err(|_| "invalid UTF-8 in string")?;
-                        let c = rest.chars().next().unwrap();
+                        // Advance over one UTF-8 scalar, not one byte. Decode
+                        // from a 4-byte window — validating the whole remaining
+                        // buffer here would make string parsing quadratic.
+                        let end = (*pos + 4).min(b.len());
+                        let c = match std::str::from_utf8(&b[*pos..end]) {
+                            Ok(w) => w.chars().next().unwrap(),
+                            Err(e) if e.valid_up_to() > 0 => {
+                                std::str::from_utf8(&b[*pos..*pos + e.valid_up_to()])
+                                    .unwrap()
+                                    .chars()
+                                    .next()
+                                    .unwrap()
+                            }
+                            Err(_) => return Err("invalid UTF-8 in string".into()),
+                        };
                         s.push(c);
                         *pos += c.len_utf8();
                     }

@@ -39,7 +39,7 @@ pub mod shortflows;
 pub mod topology;
 pub mod workload;
 
-pub use runner::{par_map, run_all};
+pub use runner::{clear_observer, install_observer, merged_metrics, par_map, run_all, SweepObserver};
 pub use scenario::{AqmKind, FlowGroup, RunResult, Scenario, UdpGroup};
 pub use topology::{topology, TopologyKind, TopologyRun};
 pub use workload::{mice_arrivals, MiceWorkload, Mouse};

@@ -241,6 +241,15 @@ impl Scenario {
 
     /// Execute the scenario.
     pub fn run(&self) -> RunResult {
+        self.run_prepared(|_| {})
+    }
+
+    /// [`Scenario::run`] with a hook that runs on the freshly built `Sim`
+    /// before any flow is added — the seam where a driver attaches trace
+    /// sinks (e.g. a Perfetto timeline exporter). Sinks are pure
+    /// observers, so a prepared run's results are bit-identical to a bare
+    /// [`Scenario::run`].
+    pub fn run_prepared(&self, prepare: impl FnOnce(&mut Sim)) -> RunResult {
         let queue = QueueConfig {
             rate_bps: self.rate_bps,
             buffer_bytes: self.buffer_bytes,
@@ -266,6 +275,7 @@ impl Scenario {
         // enabling them unconditionally cannot change any run's outcome —
         // it just gives every sweep cell a registry snapshot for free.
         sim.core.enable_metrics();
+        prepare(&mut sim);
         // Pre-size the measurement vectors so per-packet recording never
         // reallocates mid-run (before add_flow, so per-flow vectors pick
         // up the same hints). The packet estimate assumes MTU-sized
@@ -321,13 +331,20 @@ impl Scenario {
             }
         }
         sim.run_until(self.duration);
+        let metrics = sim.core.take_metrics();
+        if let Some(m) = &metrics {
+            // Pure read of the finished run's registry: a live-ops
+            // observer (pi2sim --serve) folds it into its served
+            // snapshot. No observer installed → no-op.
+            crate::runner::notify_cell_metrics(m);
+        }
         RunResult {
             aqm: self.aqm.name(),
             monitor: sim.core.monitor.clone(),
             counters: sim.core.counters.clone(),
             rate_bps: sim.core.queue.rate_bps(),
             impair: sim.core.impairments().map(|i| i.stats()),
-            metrics: sim.core.take_metrics(),
+            metrics,
         }
     }
 }

@@ -166,6 +166,21 @@ pub struct TopologyRun {
 /// including per-hop packet conservation — rides along and panics on any
 /// violation when the run finishes.
 pub fn run_one(kind: TopologyKind, aqm: AqmKind, seed: u64, audit: bool) -> TopologyRun {
+    run_one_prepared(kind, aqm, seed, audit, |_| {})
+}
+
+/// [`run_one`] with a hook that runs after the topology is installed and
+/// before any flow is added — the seam where a driver attaches trace
+/// sinks (e.g. a Perfetto timeline exporter) to the fully-built `Sim`.
+/// Sinks are pure observers, so a prepared run's results are
+/// bit-identical to a bare [`run_one`].
+pub fn run_one_prepared(
+    kind: TopologyKind,
+    aqm: AqmKind,
+    seed: u64,
+    audit: bool,
+    prepare: impl FnOnce(&mut Sim),
+) -> TopologyRun {
     let topo = kind.build();
     let buffer_bytes = 40_000 * 1500;
     let hop0 = QueueConfig {
@@ -195,6 +210,7 @@ pub fn run_one(kind: TopologyKind, aqm: AqmKind, seed: u64, audit: bool) -> Topo
             buffer_bytes,
         })
     });
+    prepare(&mut sim);
 
     // Long flows, pinned to their named paths.
     let mut long: Vec<(FlowId, &'static str, Vec<u32>)> = Vec::new();
@@ -286,10 +302,10 @@ pub fn run_one(kind: TopologyKind, aqm: AqmKind, seed: u64, audit: bool) -> Topo
         f64::INFINITY
     };
     let mice_completed = fcts.len();
-    let events_processed = sim
-        .core
-        .take_metrics()
-        .map_or(0, |mx| mx.events_processed());
+    let events_processed = sim.core.take_metrics().map_or(0, |mx| {
+        crate::runner::notify_cell_metrics(&mx);
+        mx.events_processed()
+    });
 
     TopologyRun {
         topology: kind.name(),

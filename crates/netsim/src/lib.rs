@@ -24,6 +24,7 @@ pub mod impair;
 pub mod metrics;
 pub mod monitor;
 pub mod packet;
+pub mod perfetto;
 pub mod pool;
 pub mod queue;
 pub mod sim;
@@ -44,6 +45,8 @@ pub use sim::{
 };
 pub use source::{OnOffCbrSource, UdpCbrSource};
 pub use topology::Topology;
+pub use perfetto::PerfettoSink;
 pub use trace::{
-    CountingSink, CsvSink, FlowCounts, JsonlSink, MemorySink, TraceCounts, TraceEvent, TraceSink,
+    csv_field, CountingSink, CsvSink, FlowCounts, JsonlSink, MemorySink, TraceCounts, TraceEvent,
+    TraceSink,
 };

@@ -1,0 +1,443 @@
+//! Chrome trace-event JSON export — timelines the Perfetto UI opens
+//! directly (<https://ui.perfetto.dev>, fully offline).
+//!
+//! [`PerfettoSink`] maps the simulator's telemetry stream onto tracks:
+//!
+//! * one *process* per hop (`pid = hop + 1`) carrying counter tracks for
+//!   queue depth, per-packet sojourn, and — from the [`AqmState`] probes —
+//!   queue delay and the controller's probabilities (`p'`, `p`, scalable);
+//! * one *process* for flows (`pid = 100`), with a thread per flow whose
+//!   lifetime renders as a single slice and whose drops/marks render as
+//!   instant events on that thread's track;
+//! * a global annotation track for scheduled disturbances and audit
+//!   annotations via [`PerfettoSink::instant`].
+//!
+//! The output is the legacy JSON trace format (`{"traceEvents":[...]}`),
+//! chosen over protobuf deliberately: it needs no dependency, diffs in
+//! code review, and Perfetto's importer treats it as a first-class input.
+//! Timestamps are microseconds; we render them from the simulator's
+//! nanosecond clock with integer math only, so the file is byte-for-byte
+//! deterministic across runs and platforms.
+//!
+//! Like every [`TraceSink`], the sink is a pure observer: attaching it
+//! cannot perturb a run, and a traced simulation stays bit-identical to an
+//! untraced one.
+
+use crate::aqm::AqmState;
+use crate::trace::{TraceEvent, TraceSink};
+use pi2_simcore::Time;
+use std::io::{self, Write};
+
+/// The synthetic process id hosting all per-flow tracks. Hop processes
+/// occupy `1..=hops`, so any hop count below 99 stays clear of it.
+pub const FLOW_PID: u32 = 100;
+
+/// Microseconds with fixed three-digit nanosecond fraction, integer math
+/// only (no float rounding → deterministic output).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Milliseconds with fixed six-digit fraction from a nanosecond count.
+fn ms_from_ns(ns: u64) -> String {
+    format!("{}.{:06}", ns / 1_000_000, ns % 1_000_000)
+}
+
+/// A finite JSON number; non-finite values clamp to 0 (Perfetto rejects
+/// `null` samples in counter tracks, and the controllers never legitimately
+/// produce them).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// First/last event timestamps observed for one flow (drives the lifetime
+/// slice emitted at close).
+#[derive(Clone, Copy)]
+struct FlowSpan {
+    first_ns: u64,
+    last_ns: u64,
+}
+
+/// Streaming Chrome-JSON trace writer (see the module docs for the track
+/// schema). Write errors are sticky and reported by [`TraceSink::flush`];
+/// the first `flush` finalizes the file (flow lifetime slices, track
+/// metadata, closing bracket) and further events are ignored.
+pub struct PerfettoSink<W: Write> {
+    w: W,
+    err: Option<io::Error>,
+    records: u64,
+    closed: bool,
+    /// Running queue depth per hop (admissions minus departures), the
+    /// source of the `queue_depth_pkts` counter track.
+    depth: Vec<i64>,
+    /// Per-flow first/last event times, indexed by `FlowId`.
+    spans: Vec<Option<FlowSpan>>,
+}
+
+impl<W: Write> PerfettoSink<W> {
+    /// Stream onto `w`, writing the JSON preamble immediately.
+    pub fn new(w: W) -> Self {
+        let mut sink = PerfettoSink {
+            w,
+            err: None,
+            records: 0,
+            closed: false,
+            depth: Vec::new(),
+            spans: Vec::new(),
+        };
+        if let Err(e) = sink.w.write_all(b"{\"traceEvents\":[") {
+            sink.err = Some(e);
+        }
+        sink
+    }
+
+    /// Trace records successfully written so far (events + metadata).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Unwrap the underlying writer (tests reading a `Vec<u8>` back).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+
+    fn write_record(&mut self, body: &str) {
+        if self.err.is_some() || self.closed {
+            return;
+        }
+        let sep: &[u8] = if self.records == 0 { b"\n" } else { b",\n" };
+        if let Err(e) = self
+            .w
+            .write_all(sep)
+            .and_then(|_| self.w.write_all(body.as_bytes()))
+        {
+            self.err = Some(e);
+        } else {
+            self.records += 1;
+        }
+    }
+
+    fn counter(&mut self, pid: u32, t_ns: u64, name: &str, value: &str) {
+        let rec = format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"ts\":{},\"name\":\"{}\",\
+             \"args\":{{\"value\":{value}}}}}",
+            ts_us(t_ns),
+            esc(name)
+        );
+        self.write_record(&rec);
+    }
+
+    fn flow_instant(&mut self, flow: u32, t_ns: u64, name: &str, hop: u32, prob: f64) {
+        let rec = format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{FLOW_PID},\"tid\":{},\"ts\":{},\
+             \"name\":\"{}\",\"args\":{{\"hop\":{hop},\"prob\":{}}}}}",
+            flow + 1,
+            ts_us(t_ns),
+            esc(name),
+            num(prob)
+        );
+        self.write_record(&rec);
+    }
+
+    /// Emit a global instant event (scope `g`) on the annotation track —
+    /// scheduled disturbances, audit annotations. Callers must emit
+    /// same-named instants in non-decreasing time order to keep the
+    /// per-track monotonicity guarantee.
+    pub fn instant(&mut self, t: Time, name: &str) {
+        let rec = format!(
+            "{{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"{}\"}}",
+            ts_us(t.as_nanos()),
+            esc(name)
+        );
+        self.write_record(&rec);
+    }
+
+    fn touch_flow(&mut self, flow: u32, t_ns: u64) {
+        let idx = flow as usize;
+        if idx >= self.spans.len() {
+            self.spans.resize(idx + 1, None);
+        }
+        match &mut self.spans[idx] {
+            Some(span) => span.last_ns = t_ns,
+            slot @ None => {
+                *slot = Some(FlowSpan {
+                    first_ns: t_ns,
+                    last_ns: t_ns,
+                })
+            }
+        }
+    }
+
+    fn depth_at(&mut self, hop: u32, delta: i64) -> i64 {
+        let idx = hop as usize;
+        if idx >= self.depth.len() {
+            self.depth.resize(idx + 1, 0);
+        }
+        self.depth[idx] += delta;
+        self.depth[idx]
+    }
+
+    fn event_at_hop(&mut self, hop: u32, ev: &TraceEvent) {
+        let pid = hop + 1;
+        match *ev {
+            TraceEvent::Enqueue { t, flow, .. } => {
+                let t_ns = t.as_nanos();
+                let d = self.depth_at(hop, 1);
+                self.counter(pid, t_ns, "queue_depth_pkts", &d.to_string());
+                self.touch_flow(flow.0, t_ns);
+            }
+            TraceEvent::Dequeue {
+                t, flow, sojourn, ..
+            } => {
+                let t_ns = t.as_nanos();
+                let d = self.depth_at(hop, -1);
+                self.counter(pid, t_ns, "queue_depth_pkts", &d.to_string());
+                let soj = ms_from_ns(sojourn.as_nanos().max(0) as u64);
+                self.counter(pid, t_ns, "sojourn_ms", &soj);
+                self.touch_flow(flow.0, t_ns);
+            }
+            TraceEvent::Mark { t, flow, prob, .. } => {
+                let t_ns = t.as_nanos();
+                self.flow_instant(flow.0, t_ns, "mark", hop, prob);
+                self.touch_flow(flow.0, t_ns);
+            }
+            TraceEvent::Drop { t, flow, prob, .. } => {
+                let t_ns = t.as_nanos();
+                self.flow_instant(flow.0, t_ns, "drop", hop, prob);
+                self.touch_flow(flow.0, t_ns);
+            }
+        }
+    }
+
+    fn aqm_state_at_hop(&mut self, hop: u32, t: Time, st: &AqmState) {
+        let pid = hop + 1;
+        let t_ns = t.as_nanos();
+        self.counter(
+            pid,
+            t_ns,
+            "qdelay_ms",
+            &ms_from_ns(st.qdelay.as_nanos().max(0) as u64),
+        );
+        self.counter(pid, t_ns, "p_prime", &num(st.p_prime));
+        self.counter(pid, t_ns, "prob", &num(st.prob));
+        self.counter(pid, t_ns, "scalable_prob", &num(st.scalable_prob));
+    }
+
+    /// Finalize the trace: per-flow lifetime slices, process/thread
+    /// metadata, the closing bracket. Idempotent — later calls (and
+    /// [`TraceSink::flush`]) are no-ops beyond flushing the writer.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if !self.closed {
+            for (idx, span) in self.spans.clone().iter().enumerate() {
+                let Some(span) = span else { continue };
+                let dur_ns = span.last_ns - span.first_ns;
+                let rec = format!(
+                    "{{\"ph\":\"X\",\"pid\":{FLOW_PID},\"tid\":{},\"ts\":{},\"dur\":{},\
+                     \"name\":\"flow {idx}\"}}",
+                    idx + 1,
+                    ts_us(span.first_ns),
+                    ts_us(dur_ns)
+                );
+                self.write_record(&rec);
+            }
+            for hop in 0..self.depth.len() {
+                let label = if hop == 0 {
+                    "hop 0 (bottleneck)".to_string()
+                } else {
+                    format!("hop {hop}")
+                };
+                let rec = format!(
+                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"{label}\"}}}}",
+                    hop + 1
+                );
+                self.write_record(&rec);
+            }
+            if !self.spans.is_empty() {
+                let rec = format!(
+                    "{{\"ph\":\"M\",\"pid\":{FLOW_PID},\"tid\":0,\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"flows\"}}}}"
+                );
+                self.write_record(&rec);
+                for idx in 0..self.spans.len() {
+                    if self.spans[idx].is_none() {
+                        continue;
+                    }
+                    let rec = format!(
+                        "{{\"ph\":\"M\",\"pid\":{FLOW_PID},\"tid\":{},\"name\":\"thread_name\",\
+                         \"args\":{{\"name\":\"flow {idx}\"}}}}",
+                        idx + 1
+                    );
+                    self.write_record(&rec);
+                }
+            }
+            if self.err.is_none() {
+                if let Err(e) = self.w.write_all(b"\n]}\n") {
+                    self.err = Some(e);
+                }
+            }
+            self.closed = true;
+        }
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()
+    }
+}
+
+impl<W: Write> TraceSink for PerfettoSink<W> {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.event_at_hop(0, ev);
+    }
+    fn on_aqm_state(&mut self, t: Time, state: &AqmState) {
+        self.aqm_state_at_hop(0, t, state);
+    }
+    fn on_hop_event(&mut self, hop: u32, ev: &TraceEvent) {
+        self.event_at_hop(hop, ev);
+    }
+    fn on_hop_aqm_state(&mut self, hop: u32, t: Time, state: &AqmState) {
+        self.aqm_state_at_hop(hop, t, state);
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Ecn, FlowId};
+    use pi2_simcore::Duration;
+
+    fn events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueue {
+                t: Time::from_millis(1),
+                flow: FlowId(0),
+                seq: 0,
+                ecn: Ecn::NotEct,
+            },
+            TraceEvent::Mark {
+                t: Time::from_millis(2),
+                flow: FlowId(1),
+                seq: 0,
+                prob: 0.25,
+            },
+            TraceEvent::Enqueue {
+                t: Time::from_millis(2),
+                flow: FlowId(1),
+                seq: 0,
+                ecn: Ecn::Ce,
+            },
+            TraceEvent::Drop {
+                t: Time::from_millis(3),
+                flow: FlowId(0),
+                seq: 1,
+                prob: 0.5,
+            },
+            TraceEvent::Dequeue {
+                t: Time::from_millis(4),
+                flow: FlowId(0),
+                seq: 0,
+                sojourn: Duration::from_micros(1500),
+            },
+        ]
+    }
+
+    #[test]
+    fn emits_counters_instants_and_lifetimes() {
+        let mut sink = PerfettoSink::new(Vec::new());
+        for ev in events() {
+            sink.on_event(&ev);
+        }
+        sink.on_aqm_state(Time::from_millis(16), &AqmState::default());
+        sink.on_hop_event(
+            2,
+            &TraceEvent::Enqueue {
+                t: Time::from_millis(5),
+                flow: FlowId(0),
+                seq: 2,
+                ecn: Ecn::NotEct,
+            },
+        );
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        // Queue-depth counters track the running enq-deq balance.
+        assert!(text.contains("\"name\":\"queue_depth_pkts\",\"args\":{\"value\":2}"));
+        assert!(text.contains("\"name\":\"queue_depth_pkts\",\"args\":{\"value\":1}"));
+        // Drops and marks are flow-track instants.
+        assert!(text.contains("\"ph\":\"i\",\"s\":\"t\",\"pid\":100,\"tid\":2,\"ts\":2000.000,\"name\":\"mark\""));
+        assert!(text.contains("\"name\":\"drop\",\"args\":{\"hop\":0,\"prob\":0.5}"));
+        // Sojourn + AQM-state counters land on the hop-0 process (pid 1).
+        assert!(text.contains("\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":4000.000,\"name\":\"sojourn_ms\",\"args\":{\"value\":1.500000}"));
+        assert!(text.contains("\"name\":\"qdelay_ms\""));
+        assert!(text.contains("\"name\":\"p_prime\""));
+        // The hop event opened a second hop process (pid 3 = hop 2 + 1).
+        assert!(text.contains("\"ph\":\"C\",\"pid\":3,\"tid\":0"));
+        assert!(text.contains("\"args\":{\"name\":\"hop 2\"}"));
+        // Lifetimes close as X slices with metadata naming each flow.
+        assert!(text.contains("\"ph\":\"X\",\"pid\":100,\"tid\":1,\"ts\":1000.000,\"dur\":4000.000,\"name\":\"flow 0\""));
+        assert!(text.contains("\"args\":{\"name\":\"flow 1\"}"));
+        assert!(text.contains("\"args\":{\"name\":\"hop 0 (bottleneck)\"}"));
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_closes_the_stream() {
+        let mut sink = PerfettoSink::new(Vec::new());
+        sink.on_event(&events()[0]);
+        sink.finish().unwrap();
+        let n = sink.records();
+        // Events after close are ignored; finishing again adds nothing.
+        sink.on_event(&events()[3]);
+        sink.finish().unwrap();
+        assert_eq!(sink.records(), n);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.matches("]}").count(), 1);
+    }
+
+    #[test]
+    fn instants_escape_names_and_use_the_annotation_track() {
+        let mut sink = PerfettoSink::new(Vec::new());
+        sink.instant(Time::from_millis(30_000), "rate \"step\" 40->10");
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains(
+            "{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":30000000.000,\
+             \"name\":\"rate \\\"step\\\" 40->10\"}"
+        ));
+    }
+
+    #[test]
+    fn timestamps_are_integer_exact_microseconds() {
+        assert_eq!(ts_us(0), "0.000");
+        assert_eq!(ts_us(1), "0.001");
+        assert_eq!(ts_us(999), "0.999");
+        assert_eq!(ts_us(1_000), "1.000");
+        assert_eq!(ts_us(1_234_567), "1234.567");
+        assert_eq!(ms_from_ns(1_500_000), "1.500000");
+        assert_eq!(ms_from_ns(42), "0.000042");
+    }
+}

@@ -32,7 +32,7 @@
 //! bottleneck's (hop 0), so single-hop runs are bit-identical to what
 //! they were before hops existed.
 
-use crate::aqm::Action;
+use crate::aqm::{Action, Decision};
 use crate::audit::AuditSink;
 use crate::ckpt::{read_ack, read_packet, write_ack, write_packet};
 use crate::impair::{ImpairState, LinkImpairments};
@@ -393,6 +393,17 @@ impl SimCore {
         }
     }
 
+    /// Forward an extra-hop event (`hop >= 1`) to the attached sinks via
+    /// the [`TraceSink::on_hop_event`] side channel. Hop streams bypass
+    /// the auditor and the primary-stream hook, so the hop-0 trace schema
+    /// (and every golden file pinned to it) is unchanged; sinks that care
+    /// about hops (timeline exporters) opt in by overriding the hook.
+    fn emit_hop(&mut self, hop: u32, ev: TraceEvent) {
+        for sink in &mut self.sinks {
+            sink.on_hop_event(hop, &ev);
+        }
+    }
+
     /// Register a flow with the given path; returns its dense id. The
     /// flow starts on the default route `[0]` (primary bottleneck only);
     /// see [`SimCore::set_route`].
@@ -725,12 +736,14 @@ impl SimCore {
 
     /// First-hop admission at an extra hop: the multi-hop analogue of the
     /// hop-0 path in [`SimCore::send_packet`]. The monitor and counters
-    /// record the send and the verdict exactly as at hop 0; trace events
-    /// are not emitted (the trace stream is the primary bottleneck's).
+    /// record the send and the verdict exactly as at hop 0; events reach
+    /// sinks only through the hop side channel ([`SimCore::emit_hop`]) —
+    /// the primary trace stream stays the bottleneck's.
     fn send_packet_at_hop(&mut self, hop: u32, pkt: Packet) {
         let now = self.now();
         let flow = pkt.flow;
         let size = pkt.size;
+        let seq = pkt.seq;
         let ecn = pkt.ecn;
         let decision = self.hops[(hop - 1) as usize]
             .qdisc
@@ -754,8 +767,64 @@ impl SimCore {
                 Action::Pass => m.note_enqueue(ecn),
             }
         }
+        if !self.sinks.is_empty() {
+            self.emit_hop_verdict(hop, now, flow, seq, ecn, decision);
+        }
         if decision.action != Action::Drop {
             self.note_hop_admission(hop);
+        }
+    }
+
+    /// Render an admission verdict at an extra hop as hop trace events,
+    /// following the same Mark⇒Enqueue contract as the hop-0 stream.
+    fn emit_hop_verdict(
+        &mut self,
+        hop: u32,
+        now: Time,
+        flow: FlowId,
+        seq: u64,
+        ecn: crate::packet::Ecn,
+        decision: Decision,
+    ) {
+        match decision.action {
+            Action::Drop => self.emit_hop(
+                hop,
+                TraceEvent::Drop {
+                    t: now,
+                    flow,
+                    seq,
+                    prob: decision.prob,
+                },
+            ),
+            Action::Mark => {
+                self.emit_hop(
+                    hop,
+                    TraceEvent::Mark {
+                        t: now,
+                        flow,
+                        seq,
+                        prob: decision.prob,
+                    },
+                );
+                self.emit_hop(
+                    hop,
+                    TraceEvent::Enqueue {
+                        t: now,
+                        flow,
+                        seq,
+                        ecn: crate::packet::Ecn::Ce,
+                    },
+                );
+            }
+            Action::Pass => self.emit_hop(
+                hop,
+                TraceEvent::Enqueue {
+                    t: now,
+                    flow,
+                    seq,
+                    ecn,
+                },
+            ),
         }
     }
 
@@ -765,6 +834,8 @@ impl SimCore {
     fn hop_admit(&mut self, hop: u32, pkt: Packet) {
         let now = self.now();
         let flow = pkt.flow;
+        let seq = pkt.seq;
+        let ecn = pkt.ecn;
         let decision = self.hops[(hop - 1) as usize]
             .qdisc
             .offer(pkt, now, &mut self.rng);
@@ -783,6 +854,9 @@ impl SimCore {
                 }
             }
             Action::Pass => {}
+        }
+        if !self.sinks.is_empty() {
+            self.emit_hop_verdict(hop, now, flow, seq, ecn, decision);
         }
         if decision.action != Action::Drop {
             self.note_hop_admission(hop);
@@ -844,6 +918,17 @@ impl SimCore {
                 m.note_dequeue(sojourn);
             }
         }
+        if !self.sinks.is_empty() {
+            self.emit_hop(
+                hop,
+                TraceEvent::Dequeue {
+                    t: now,
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                    sojourn,
+                },
+            );
+        }
         self.start_hop_transmission(hop);
         match next {
             None => self.forward_final(pkt, now),
@@ -853,12 +938,21 @@ impl SimCore {
 
     /// Periodic controller tick for an extra hop's AQM (the handler
     /// behind [`Event::HopAqmUpdate`]). Hop controllers are not sampled
-    /// into the monitor or the trace stream — those remain the primary
-    /// bottleneck's instruments.
+    /// into the monitor or the primary trace stream — those remain the
+    /// bottleneck's instruments — but their post-update state reaches
+    /// sinks through the hop side channel for timeline export. `probe()`
+    /// is a pure read of controller state, so taking it cannot perturb
+    /// the run.
     fn handle_hop_aqm_update(&mut self, hop: u32) {
         let now = self.now();
         let idx = (hop - 1) as usize;
         self.hops[idx].qdisc.update(now);
+        if !self.sinks.is_empty() {
+            let state = self.hops[idx].qdisc.probe();
+            for sink in &mut self.sinks {
+                sink.on_hop_aqm_state(hop, now, &state);
+            }
+        }
         if let Some(iv) = self.hops[idx].qdisc.update_interval() {
             self.events.push(now + iv, Event::HopAqmUpdate(hop));
         }

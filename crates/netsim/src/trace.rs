@@ -194,6 +194,28 @@ impl TraceEvent {
 pub const CSV_HEADER: &str = "event,t_ns,flow,seq,ecn,prob,sojourn_ns,p_prime,aqm_prob,\
                               scalable_prob,alpha_term,beta_term,burst_ns,est_rate_Bps,qdelay_ns";
 
+/// Quote one CSV field per RFC 4180: a field containing a comma, a double
+/// quote, or a line break is wrapped in double quotes with embedded quotes
+/// doubled; anything else passes through unchanged. Every free-text label
+/// column (scenario names, flow labels) must go through this — an
+/// unescaped comma silently shifts every column after it.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
+}
+
 /// The `"ev":"aqm"` JSONL line for a control-state snapshot at `t`.
 pub fn aqm_state_jsonl(t: Time, st: &AqmState) -> String {
     format!(
@@ -243,6 +265,22 @@ pub trait TraceSink {
         let _ = (t, state);
     }
 
+    /// A bottleneck event occurred at an extra hop (`hop >= 1`; hop-0
+    /// events arrive through [`TraceSink::on_event`], keeping the primary
+    /// stream's schema unchanged). Default: ignore — line-oriented sinks
+    /// stay pinned to the hop-0 stream their golden files cover, while
+    /// timeline sinks ([`crate::perfetto::PerfettoSink`]) build per-hop
+    /// tracks from it.
+    fn on_hop_event(&mut self, hop: u32, ev: &TraceEvent) {
+        let _ = (hop, ev);
+    }
+
+    /// An extra hop's periodic controller ran (`hop >= 1`); `state` is its
+    /// post-update control state. Default: ignore.
+    fn on_hop_aqm_state(&mut self, hop: u32, t: Time, state: &AqmState) {
+        let _ = (hop, t, state);
+    }
+
     /// Flush any buffered output (file-backed sinks). Reports the first
     /// write error encountered since the last flush.
     fn flush(&mut self) -> io::Result<()> {
@@ -258,6 +296,12 @@ impl<S: TraceSink> TraceSink for Rc<RefCell<S>> {
     }
     fn on_aqm_state(&mut self, t: Time, state: &AqmState) {
         self.borrow_mut().on_aqm_state(t, state);
+    }
+    fn on_hop_event(&mut self, hop: u32, ev: &TraceEvent) {
+        self.borrow_mut().on_hop_event(hop, ev);
+    }
+    fn on_hop_aqm_state(&mut self, hop: u32, t: Time, state: &AqmState) {
+        self.borrow_mut().on_hop_aqm_state(hop, t, state);
     }
     fn flush(&mut self) -> io::Result<()> {
         self.borrow_mut().flush()
@@ -791,5 +835,48 @@ mod tests {
         let mut handle: Box<dyn TraceSink> = Box::new(Rc::clone(&mem));
         handle.on_event(&enq(0));
         assert_eq!(mem.borrow().events().len(), 1);
+    }
+
+    #[test]
+    fn csv_field_quotes_per_rfc4180() {
+        assert_eq!(csv_field("pi2"), "pi2");
+        assert_eq!(csv_field("rate step"), "rate step");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_field(""), "");
+    }
+
+    #[test]
+    fn hop_events_default_to_ignored_and_forward_through_shared_handles() {
+        // A sink that only overrides the hop hooks must still satisfy the
+        // trait, and the Rc<RefCell> handle must forward both hooks.
+        #[derive(Default)]
+        struct HopCounter {
+            events: usize,
+            states: usize,
+        }
+        impl TraceSink for HopCounter {
+            fn on_event(&mut self, _ev: &TraceEvent) {}
+            fn on_hop_event(&mut self, _hop: u32, _ev: &TraceEvent) {
+                self.events += 1;
+            }
+            fn on_hop_aqm_state(&mut self, _hop: u32, _t: Time, _state: &AqmState) {
+                self.states += 1;
+            }
+        }
+        let hc = Rc::new(RefCell::new(HopCounter::default()));
+        let mut handle: Box<dyn TraceSink> = Box::new(Rc::clone(&hc));
+        handle.on_hop_event(1, &enq(0));
+        handle.on_hop_aqm_state(2, Time::ZERO, &AqmState::default());
+        assert_eq!(hc.borrow().events, 1);
+        assert_eq!(hc.borrow().states, 1);
+
+        // Line-oriented sinks ignore hop traffic entirely: their output
+        // stays pinned to the hop-0 stream the golden files cover.
+        let mut jsonl = JsonlSink::new(Vec::new());
+        jsonl.on_hop_event(1, &enq(0));
+        jsonl.on_hop_aqm_state(1, Time::ZERO, &AqmState::default());
+        assert_eq!(jsonl.lines(), 0);
     }
 }

@@ -22,6 +22,10 @@
 //! - [`RingBuffer`]: the fixed-capacity overwrite-oldest buffer behind
 //!   the audit flight recorder, holding the last N trace events so an
 //!   invariant-violation panic can dump the lead-up window.
+//! - [`ObsServer`]: a dependency-free live-ops HTTP endpoint (`/metrics`,
+//!   `/progress`, `/healthz`, `/cancel`) the sweep drivers publish
+//!   point-in-time snapshots into between deterministic work units; the
+//!   simulation itself never sees the server.
 //!
 //! Layering: this crate sits next to `pi2-stats` (whose
 //! [`variance_from_moments`](pi2_stats::variance_from_moments) the
@@ -33,8 +37,10 @@ pub mod hist;
 pub mod profiler;
 pub mod registry;
 pub mod ring;
+pub mod server;
 
 pub use hist::{Histogram, BUCKETS as HIST_BUCKETS};
 pub use profiler::{LoopProfiler, ProfileRow};
 pub use registry::{prom_lint, valid_metric_name, CounterId, GaugeId, HistId, Registry};
 pub use ring::RingBuffer;
+pub use server::{http_get, ObsServer};

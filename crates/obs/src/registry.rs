@@ -16,7 +16,10 @@
 use crate::hist::Histogram;
 
 /// Name + help text of one instrument. Names follow Prometheus
-/// conventions (`[a-zA-Z_:][a-zA-Z0-9_:]*`, unit suffixes like `_ns`).
+/// conventions (`[a-zA-Z_:][a-zA-Z0-9_:]*`); duration-valued instruments
+/// register with an `_ns` suffix (the recording unit) and are converted
+/// to base-unit `_seconds` at Prometheus export time only — JSON
+/// snapshots and in-process reads stay in nanoseconds.
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct Meta {
     name: &'static str,
@@ -220,41 +223,63 @@ impl Registry {
     /// gauges are scalar samples; histograms export as summaries
     /// (`{quantile="..."}` samples plus `_sum`/`_count`), which keeps the
     /// output compact — the full log-linear bucket array would be ~2000
-    /// `le` series per histogram. Passes [`crate::prom_lint`].
+    /// `le` series per histogram. Duration instruments registered with an
+    /// `_ns` suffix export under the convention-compliant `_seconds` name
+    /// with their values scaled at export time only (recording, JSON
+    /// snapshots and checkpoints stay in integer nanoseconds). Passes
+    /// [`crate::prom_lint`], including its base-unit suffix check.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (m, v) in &self.counters {
+            let (n, scale) = prom_export_unit(m.name);
+            let v = match scale {
+                Some(s) => fmt_f64(*v as f64 * s),
+                None => v.to_string(),
+            };
             out.push_str(&format!(
                 "# HELP {n} {h}\n# TYPE {n} counter\n{n} {v}\n",
-                n = m.name,
                 h = escape_help(m.help),
             ));
         }
         for (m, v) in &self.gauges {
+            let (n, scale) = prom_export_unit(m.name);
             out.push_str(&format!(
                 "# HELP {n} {h}\n# TYPE {n} gauge\n{n} {v}\n",
-                n = m.name,
                 h = escape_help(m.help),
-                v = fmt_f64(*v),
+                v = fmt_f64(v * scale.unwrap_or(1.0)),
             ));
         }
         for (m, hist) in &self.hists {
+            let (n, scale) = prom_export_unit(m.name);
             out.push_str(&format!(
                 "# HELP {n} {h}\n# TYPE {n} summary\n",
-                n = m.name,
                 h = escape_help(m.help),
             ));
             for q in [0.5, 0.9, 0.99] {
-                out.push_str(&format!(
-                    "{n}{{quantile=\"{q}\"}} {v}\n",
-                    n = m.name,
-                    v = hist.quantile(q),
-                ));
+                let v = match scale {
+                    Some(s) => fmt_f64(hist.quantile(q) as f64 * s),
+                    None => hist.quantile(q).to_string(),
+                };
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
             }
-            out.push_str(&format!("{n}_sum {}\n", hist.sum(), n = m.name));
-            out.push_str(&format!("{n}_count {}\n", hist.count(), n = m.name));
+            let sum = match scale {
+                Some(s) => fmt_f64(hist.sum() as f64 * s),
+                None => hist.sum().to_string(),
+            };
+            out.push_str(&format!("{n}_sum {sum}\n"));
+            out.push_str(&format!("{n}_count {}\n", hist.count()));
         }
         out
+    }
+}
+
+/// The Prometheus-facing name and value scale of an instrument: an `_ns`
+/// registration name exports as `*_seconds` scaled by 1e-9; anything else
+/// exports verbatim (`None` = keep integer formatting).
+fn prom_export_unit(name: &'static str) -> (std::borrow::Cow<'static, str>, Option<f64>) {
+    match name.strip_suffix("_ns") {
+        Some(base) => (format!("{base}_seconds").into(), Some(1e-9)),
+        None => (name.into(), None),
     }
 }
 
@@ -285,7 +310,8 @@ fn escape_help(help: &str) -> String {
 }
 
 /// Lint a Prometheus text-format document: every sample line must parse,
-/// metric names must be valid, label values must escape `"`/`\`/newline,
+/// metric names must be valid and carry base-unit suffixes (`_seconds`,
+/// never `_ns`/`_us`/`_ms`), label values must escape `"`/`\`/newline,
 /// and no metric may carry duplicate `# HELP` or `# TYPE` lines. Returns
 /// the number of sample lines on success.
 pub fn prom_lint(text: &str) -> Result<usize, String> {
@@ -301,6 +327,9 @@ pub fn prom_lint(text: &str) -> Result<usize, String> {
             let name = rest.split_whitespace().next().unwrap_or("");
             if !valid_metric_name(name) {
                 return bad("HELP for invalid metric name");
+            }
+            if non_base_unit_suffix(name) {
+                return bad("non-base-unit suffix (export durations as _seconds)");
             }
             if !help_seen.insert(name.to_string()) {
                 return bad("duplicate HELP");
@@ -333,6 +362,9 @@ pub fn prom_lint(text: &str) -> Result<usize, String> {
         if !valid_metric_name(name_part) {
             return bad("invalid metric name");
         }
+        if non_base_unit_suffix(name_part) {
+            return bad("non-base-unit suffix (export durations as _seconds)");
+        }
         let value_part = if let Some(rest) = rest.strip_prefix('{') {
             let Some(close) = find_label_end(rest) else {
                 return bad("unterminated label set");
@@ -352,6 +384,23 @@ pub fn prom_lint(text: &str) -> Result<usize, String> {
         samples += 1;
     }
     Ok(samples)
+}
+
+/// True if the metric name ends in a sub-base duration unit — Prometheus
+/// convention wants base units (`_seconds`), so `_ns`/`_us`/`_ms` (and
+/// their spelled-out forms) are lint errors. Aggregation suffixes
+/// (`_total`, `_sum`, `_count`, `_bucket`) are stripped first so a
+/// summary's derived series are judged by their parent name.
+fn non_base_unit_suffix(name: &str) -> bool {
+    let base = name
+        .strip_suffix("_total")
+        .or_else(|| name.strip_suffix("_sum"))
+        .or_else(|| name.strip_suffix("_count"))
+        .or_else(|| name.strip_suffix("_bucket"))
+        .unwrap_or(name);
+    ["_ns", "_us", "_ms", "_nanoseconds", "_microseconds", "_milliseconds"]
+        .iter()
+        .any(|suf| base.ends_with(suf))
 }
 
 /// Index of the unescaped closing `}` of a label set (input starts just
@@ -497,6 +546,45 @@ mod tests {
         let n = prom_lint(&text).expect("own output must lint clean");
         // 1 counter + 1 gauge + (3 quantiles + sum + count) = 7 samples.
         assert_eq!(n, 7, "{text}");
+    }
+
+    #[test]
+    fn ns_instruments_export_as_seconds() {
+        let (mut r, _, _, h) = sample_registry();
+        r.observe(h, 1_500_000_000); // 1.5 s recorded in ns
+        let text = r.to_prometheus();
+        // The registration name stays ns-valued internally ...
+        assert!(!text.contains("pi2_sojourn_ns"), "{text}");
+        assert!(r.to_json().contains("\"pi2_sojourn_ns\":{"), "JSON stays in ns");
+        // ... but the export renames and rescales to base units.
+        assert!(text.contains("# TYPE pi2_sojourn_seconds summary"), "{text}");
+        assert!(text.contains("pi2_sojourn_seconds_count 1"), "{text}");
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("pi2_sojourn_seconds_sum "))
+            .expect("sum sample present");
+        let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((sum - 1.5).abs() < 1e-3, "sum {sum} should be ~1.5 s");
+        // A gauge registered in ns converts the same way.
+        let mut g = Registry::new();
+        let id = g.gauge("pi2_rtt_ns", "Round-trip time");
+        g.set(id, 2_000_000.0); // 2 ms
+        let text = g.to_prometheus();
+        assert!(text.contains("pi2_rtt_seconds 0.002"), "{text}");
+        prom_lint(&text).expect("converted output lints clean");
+    }
+
+    #[test]
+    fn lint_flags_non_base_unit_suffixes() {
+        let err = prom_lint("pi2_sojourn_ns 5\n").unwrap_err();
+        assert!(err.contains("non-base-unit"), "{err}");
+        assert!(prom_lint("# HELP pi2_delay_ms x\n").is_err());
+        assert!(prom_lint("pi2_sojourn_us_count 5\n").is_err());
+        assert!(prom_lint("latency_microseconds 1\n").is_err());
+        // Base units and lookalike names pass.
+        assert_eq!(prom_lint("pi2_sojourn_seconds_sum 1.5\n").unwrap(), 1);
+        assert_eq!(prom_lint("pi2_items_total 3\n").unwrap(), 1);
+        assert_eq!(prom_lint("atoms 3\n").unwrap(), 1, "'_ms' must match a suffix, not 'ms'");
     }
 
     #[test]

@@ -19,12 +19,14 @@
 
 pub mod ckpt;
 pub mod event;
+pub mod progress;
 pub mod rng;
 pub mod time;
 pub mod wheel;
 
 pub use ckpt::{CkptError, CkptReader, CkptWriter, SchemaHasher};
 pub use event::{EventEntry, HeapEventQueue};
+pub use progress::{progress, ProgressReport};
 pub use wheel::EventQueue;
 pub use rng::Rng;
 pub use time::{Duration, Time};

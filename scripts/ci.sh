@@ -48,14 +48,16 @@ echo "== perf gate: fresh sim_throughput vs the committed trajectory"
 # module docs): ns/event within PI2_PERF_TOL of baseline, and the
 # PIE/PI2 per-event cost ratio inside [0.9, 2.0]. The default tolerance
 # here is deliberately loose: this host's clock throttles bimodally and
-# same-code runs in the committed trajectory differ by up to ~2.8x, so a
-# tight absolute gate would flake — the ratio check is the
-# machine-mode-independent regression pin.
+# same-binary runs differ by up to ~6x (fast-mode ~60 ns/event vs
+# throttled ~390 — measured with interleaved A/B runs of two commits'
+# binaries, which track each other exactly), so a tight absolute gate
+# would flake — the ratio check is the machine-mode-independent
+# regression pin.
 if [ "${PI2_BENCH_HISTORY:-0}" = "1" ]; then
-    PI2_PERF_GATE=1 PI2_PERF_TOL="${PI2_PERF_TOL:-2.0}" \
+    PI2_PERF_GATE=1 PI2_PERF_TOL="${PI2_PERF_TOL:-7.0}" \
         cargo run -q -p pi2-bench --release --bin bench_compare -- --bench sim_throughput
 else
-    PI2_PERF_GATE=1 PI2_PERF_TOL="${PI2_PERF_TOL:-2.0}" \
+    PI2_PERF_GATE=1 PI2_PERF_TOL="${PI2_PERF_TOL:-7.0}" \
         cargo run -q -p pi2-bench --release --bin bench_compare -- \
         --bench sim_throughput --baseline BENCH_pi2.json --candidate "$smoke_out"
 fi
@@ -96,6 +98,25 @@ cargo run -q -p pi2-bench --release --bin pi2sim -- \
 # HELP/TYPE, valid names, label escaping).
 cargo run -q -p pi2-bench --release --bin metrics_lint -- \
     "$metrics_json" "$metrics_prom"
+
+echo "== lint gates fail loudly: bad inputs must exit non-zero"
+# The gates above only work because set -e sees a non-zero exit; audit
+# that directly (not by grepping output) with deliberately broken
+# inputs. A bad file must fail the run even when a good file follows it.
+lint_dir="$(mktemp -d -t pi2_lint_gate.XXXXXX)"
+trap 'rm -rf "$smoke_out" "$trace_out" "$trace_log" "$metrics_json" "$metrics_prom" "$profile_log" "$lint_dir"' EXIT
+printf '{' > "$lint_dir/truncated.json"
+if cargo run -q -p pi2-bench --release --bin metrics_lint -- \
+    "$lint_dir/truncated.json" "$metrics_json" > /dev/null 2>&1; then
+    echo "FAIL: metrics_lint accepted a truncated snapshot" >&2
+    exit 1
+fi
+if cargo run -q -p pi2-bench --release --bin perfetto_lint -- \
+    "$lint_dir/truncated.json" > /dev/null 2>&1; then
+    echo "FAIL: perfetto_lint accepted a truncated timeline" >&2
+    exit 1
+fi
+rm -rf "$lint_dir"
 
 echo "== grid determinism smoke: serial vs parallel must match bit-for-bit"
 PI2_SECS=2 PI2_THREADS=1 cargo run -q -p pi2-bench --release --bin grid_all > /tmp/pi2_grid_serial.txt
@@ -184,6 +205,93 @@ diff "$topo_dir/table_1.txt" "$topo_dir/table_4.txt"
 diff "$topo_dir/trace_1.jsonl" "$topo_dir/trace_2.jsonl"
 diff "$topo_dir/trace_1.jsonl" "$topo_dir/trace_4.jsonl"
 rm -rf "$topo_dir"
+
+bin="$PWD/target/release"
+
+echo "== live ops smoke: served dynamics sweep, perfetto export, bit-identity"
+# A dynamics sweep behind --serve must be scrapeable over HTTP
+# (obs_get is the workspace's std-TcpStream client — no curl in the CI
+# image) and byte-identical to the unserved run; the representative
+# cell's Perfetto timeline must validate and match across the two runs.
+# PI2_SERVE_HOLD keeps the final snapshots alive until GET /quit so the
+# end-of-run scrapes are race-free.
+live_dir="$(mktemp -d -t pi2_live_smoke.XXXXXX)"
+trap 'rm -rf "$smoke_out" "$trace_out" "$trace_log" "$metrics_json" "$metrics_prom" "$profile_log" "$live_dir"' EXIT
+"$bin/pi2sim" --scenario dynamics --seed 4 \
+    --trace-out "$live_dir/ref.perfetto.json" --trace-format perfetto \
+    > "$live_dir/ref.stdout" 2> /dev/null
+PI2_SERVE_HOLD=1 "$bin/pi2sim" --scenario dynamics --seed 4 \
+    --trace-out "$live_dir/srv.perfetto.json" --trace-format perfetto \
+    --serve 127.0.0.1:0 \
+    > "$live_dir/srv.stdout" 2> "$live_dir/srv.stderr" &
+srv_pid=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr="$(sed -n 's|^# pi2sim: serving http://\([0-9.:]*\)/.*|\1|p' "$live_dir/srv.stderr")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+test -n "$addr"
+"$bin/obs_get" "$addr" /healthz > /dev/null
+for _ in $(seq 1 600); do
+    grep -q 'holding for GET /quit' "$live_dir/srv.stderr" && break
+    sleep 0.1
+done
+grep -q 'holding for GET /quit' "$live_dir/srv.stderr"
+"$bin/obs_get" "$addr" /progress > "$live_dir/progress.json"
+"$bin/obs_get" "$addr" /metrics > "$live_dir/scraped.prom"
+grep -q '"scenario":"dynamics"' "$live_dir/progress.json"
+grep -q '"fraction":1' "$live_dir/progress.json"
+"$bin/metrics_lint" "$live_dir/scraped.prom"
+"$bin/obs_get" "$addr" /quit > /dev/null
+wait "$srv_pid"
+# Serving is pure observation: stdout identical once the trace-path
+# confirmation (it embeds the per-run temp path) is dropped, and the
+# exported timelines are byte-equal.
+diff <(grep -v '^dynamics perfetto trace:' "$live_dir/ref.stdout") \
+     <(grep -v '^dynamics perfetto trace:' "$live_dir/srv.stdout")
+cmp "$live_dir/ref.perfetto.json" "$live_dir/srv.perfetto.json"
+# The topology family exports a valid timeline too; structurally
+# validate both (monotonic per-track timestamps, drop/mark instants).
+"$bin/pi2sim" --scenario topology --seed 9 \
+    --trace-out "$live_dir/topo.perfetto.json" --trace-format perfetto \
+    > /dev/null 2> /dev/null
+"$bin/perfetto_lint" "$live_dir/ref.perfetto.json" "$live_dir/topo.perfetto.json"
+rm -rf "$live_dir"
+
+echo "== served cancel/resume audit: /cancel checkpoints, exit 130, restore matches"
+# Graceful cancel end-to-end: a served single run cancelled over HTTP
+# must exit 130 leaving an auto-checkpoint (default pi2sim-cancel.ckpt
+# in the working directory — run from the scratch dir), and restoring it
+# must land on the exact metrics of the run that was never cancelled.
+cxl_dir="$(mktemp -d -t pi2_cancel_smoke.XXXXXX)"
+trap 'rm -rf "$smoke_out" "$trace_out" "$trace_log" "$metrics_json" "$metrics_prom" "$profile_log" "$cxl_dir"' EXIT
+# 3 sim-hours ≈ a few wall-seconds: long enough that the /cancel issued
+# right after bind always lands mid-run (it typically hits t ≈ 2 sim-min,
+# ~1% in), short enough to keep the straight and resumed legs cheap.
+cxl_args=(--aqm pi2 --rate 10M --flows 2xreno,1xdctcp --secs 10800 --warmup 2 --seed 7)
+"$bin/pi2sim" "${cxl_args[@]}" --metrics-out "$cxl_dir/straight.json" \
+    > "$cxl_dir/straight.stdout"
+( cd "$cxl_dir" && exec "$bin/pi2sim" "${cxl_args[@]}" --serve 127.0.0.1:0 \
+    > served.stdout 2> served.stderr ) &
+run_pid=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr="$(sed -n 's|^# pi2sim: serving http://\([0-9.:]*\)/.*|\1|p' "$cxl_dir/served.stderr" 2>/dev/null)"
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+test -n "$addr"
+"$bin/obs_get" "$addr" /cancel > /dev/null
+rc=0; wait "$run_pid" || rc=$?
+test "$rc" -eq 130
+grep -q 'cancelled at t=' "$cxl_dir/served.stderr"
+test -s "$cxl_dir/pi2sim-cancel.ckpt"
+"$bin/pi2sim" "${cxl_args[@]}" --restore "$cxl_dir/pi2sim-cancel.ckpt" \
+    --metrics-out "$cxl_dir/resumed.json" > "$cxl_dir/resumed.stdout" 2> /dev/null
+grep -q '^# restored' "$cxl_dir/resumed.stdout"
+diff "$cxl_dir/straight.json" "$cxl_dir/resumed.json"
+rm -rf "$cxl_dir"
 
 echo "== differential validation: packet sim vs fluid model (6 configs)"
 # Gates CI: validate_grid exits non-zero if any metric leaves its

@@ -1,0 +1,266 @@
+//! Live-observability integration tests: the HTTP exposition server is a
+//! pure observer with a schema-stable /metrics body under concurrent
+//! scrapes, and the Perfetto timeline exporter round-trips the golden
+//! parking-lot scenario through the workspace's own structural validator
+//! without perturbing the run.
+
+use pi2::netsim::{PerfettoSink, TraceEvent, TraceSink};
+use pi2::obs::{http_get, Histogram, ObsServer};
+use pi2::prelude::*;
+use pi2_bench::perfetto_check::check_perfetto;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Batched quantiles must agree with single calls, stay ordered, merge
+/// commutatively, and degrade to zero on an empty histogram.
+#[test]
+fn histogram_quantiles_batch_merge_and_empty_cases() {
+    let empty = Histogram::new();
+    assert_eq!(empty.quantiles([0.0, 0.5, 1.0]), [0, 0, 0]);
+
+    let mut low = Histogram::new();
+    let mut high = Histogram::new();
+    for v in 1..=500u64 {
+        low.record(v);
+        high.record(v + 10_000);
+    }
+    let [p25, p50, p75, p99] = low.quantiles([0.25, 0.5, 0.75, 0.99]);
+    assert_eq!(p25, low.quantile(0.25));
+    assert_eq!(p50, low.quantile(0.5));
+    assert_eq!(p75, low.quantile(0.75));
+    assert_eq!(p99, low.quantile(0.99));
+    assert!(p25 <= p50 && p50 <= p75 && p75 <= p99, "quantiles ordered");
+
+    // Merging the high half shifts the median into the upper range, and
+    // a merge in either direction yields the same quantiles.
+    let mut ab = low.clone();
+    ab.merge(&high);
+    let mut ba = high.clone();
+    ba.merge(&low);
+    assert_eq!(ab.quantiles([0.5, 0.9]), ba.quantiles([0.5, 0.9]));
+    assert_eq!(ab.count(), 1000);
+    assert!(ab.quantile(0.75) > 10_000, "upper quartile is in the high half");
+    assert!(ab.quantile(0.25) <= 500, "lower quartile is in the low half");
+}
+
+fn small_metered_run(seed: u64) -> pi2::netsim::SimMetrics {
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 5_000_000,
+                buffer_bytes: 40_000 * 1500,
+            },
+            seed,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(Pi2::new(Pi2Config::default())),
+    );
+    sim.core.enable_metrics();
+    sim.add_flow(
+        PathConf::symmetric(Duration::from_millis(20)),
+        "reno",
+        Time::ZERO,
+        |id| {
+            Box::new(TcpSource::new(
+                id,
+                CcKind::Reno,
+                EcnSetting::NotEcn,
+                TcpConfig::default(),
+            ))
+        },
+    );
+    sim.run_until(Time::from_secs(1));
+    *sim.core.take_metrics().expect("metrics enabled")
+}
+
+/// The metric-name set of a /metrics scrape: every non-comment sample
+/// line's name token.
+fn name_set(body: &str) -> Vec<String> {
+    let mut names: Vec<String> = body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| l.split_whitespace().next().unwrap_or("").to_string())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Scrapes racing a publisher that keeps folding new cells into the
+/// snapshot must always see a complete, lint-clean body with the same
+/// metric-name schema — never a torn or shrinking one.
+#[test]
+fn concurrent_scrapes_see_a_stable_schema() {
+    let srv = Arc::new(ObsServer::bind("127.0.0.1:0").expect("bind"));
+    let addr = srv.addr();
+
+    // Seed the snapshot with one real cell so early scrapes see the
+    // full schema, then keep republishing merged snapshots.
+    let mut merged = small_metered_run(1);
+    srv.publish_metrics(merged.registry().to_prometheus());
+    let want_names = name_set(&merged.registry().to_prometheus());
+    assert!(!want_names.is_empty());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let publisher = {
+        let srv = Arc::clone(&srv);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seed = 2u64;
+            while !stop.load(Ordering::Relaxed) {
+                merged.merge(&small_metered_run(seed));
+                srv.publish_metrics(merged.registry().to_prometheus());
+                seed += 1;
+            }
+            seed
+        })
+    };
+
+    let scrapers: Vec<_> = (0..4)
+        .map(|_| {
+            let want = want_names.clone();
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                for _ in 0..25 {
+                    let (status, body) = http_get(addr, "/metrics").expect("scrape");
+                    assert!(status.contains("200"), "{status}");
+                    pi2::obs::prom_lint(&body).expect("every scrape lints clean");
+                    assert_eq!(name_set(&body), want, "schema drifted mid-sweep");
+                    seen += 1;
+                }
+                seen
+            })
+        })
+        .collect();
+    for s in scrapers {
+        assert_eq!(s.join().expect("scraper"), 25);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = publisher.join().expect("publisher");
+
+    // /progress and /healthz answer alongside the scrape storm.
+    srv.publish_progress("{\"cells_done\":3,\"cells_total\":4}\n".to_string());
+    let (st, body) = http_get(addr, "/progress").expect("progress");
+    assert!(st.contains("200") && body.contains("cells_done"));
+    let (st, body) = http_get(addr, "/healthz").expect("healthz");
+    assert!(st.contains("200") && body.contains("ok"));
+}
+
+/// Counts every drop/mark the sim reports on any hop — the independent
+/// tally the Perfetto instants must match.
+#[derive(Default)]
+struct AllHopCounts {
+    drops: u64,
+    marks: u64,
+    enqueues: u64,
+    dequeues: u64,
+}
+
+impl TraceSink for AllHopCounts {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.on_hop_event(0, ev);
+    }
+    fn on_hop_event(&mut self, _hop: u32, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Drop { .. } => self.drops += 1,
+            TraceEvent::Mark { .. } => self.marks += 1,
+            TraceEvent::Enqueue { .. } => self.enqueues += 1,
+            TraceEvent::Dequeue { .. } => self.dequeues += 1,
+        }
+    }
+}
+
+/// The golden parking-lot scenario (same construction as the JSONL
+/// golden in `trace_streaming.rs`), with trace sinks attached via
+/// `prepare`. Run for 1.5 s rather than the golden's 300 ms: the 500
+/// kb/s hop sheds its 300 kb/s excess into a 30 kB buffer, so the
+/// longer horizon guarantees overflow drops for the instant-event
+/// cross-check. Returns the finished sim.
+fn parking_lot_run(prepare: impl FnOnce(&mut Sim)) -> Sim {
+    let fifo_hop = |rate_bps: u64| -> Box<dyn pi2::netsim::Qdisc> {
+        Box::new(pi2::netsim::BottleneckQueue::new(
+            QueueConfig {
+                rate_bps,
+                buffer_bytes: 20 * 1500,
+            },
+            Box::new(PassAqm),
+        ))
+    };
+    let mut sim = Sim::new(
+        SimConfig {
+            queue: QueueConfig {
+                rate_bps: 1_000_000,
+                buffer_bytes: 20 * 1500,
+            },
+            seed: 11,
+            monitor: MonitorConfig::default(),
+        },
+        Box::new(Pi2::new(Pi2Config::default())),
+    );
+    let h1 = sim.add_hop(fifo_hop(1_000_000), Duration::from_millis(2));
+    let h2 = sim.add_hop(fifo_hop(500_000), Duration::from_millis(2));
+    prepare(&mut sim);
+    let e2e = sim.add_flow(
+        PathConf::symmetric(Duration::from_millis(20)),
+        "e2e",
+        Time::ZERO,
+        |id| Box::new(pi2::netsim::UdpCbrSource::new(id, 600_000, 1000, Ecn::NotEct)),
+    );
+    sim.set_route(e2e, vec![0, h1, h2]);
+    for hop in [h1, h2] {
+        let cross = sim.add_flow(
+            PathConf::symmetric(Duration::from_millis(10)),
+            "cross",
+            Time::ZERO,
+            |id| Box::new(pi2::netsim::UdpCbrSource::new(id, 200_000, 500, Ecn::NotEct)),
+        );
+        sim.set_route(cross, vec![hop]);
+    }
+    sim.run_until(Time::from_millis(1500));
+    sim
+}
+
+/// The Perfetto export of the golden parking-lot scenario round-trips
+/// through the structural validator (valid JSON, per-track monotonic
+/// timestamps), its drop instants match an independent all-hop tally,
+/// and attaching the exporter does not perturb the run.
+#[test]
+fn perfetto_export_of_golden_parking_lot_round_trips() {
+    let plain = parking_lot_run(|_| {});
+
+    let sink = Rc::new(RefCell::new(PerfettoSink::new(Vec::new())));
+    let counts = Rc::new(RefCell::new(AllHopCounts::default()));
+    let (s, c) = (Rc::clone(&sink), Rc::clone(&counts));
+    let mut traced = parking_lot_run(move |sim| {
+        sim.core.add_trace_sink(Box::new(s));
+        sim.core.add_trace_sink(Box::new(c));
+    });
+    traced.core.flush_trace_sinks().expect("flush finalizes");
+    drop(traced.core.take_trace_sinks());
+
+    // Pure observer: the traced run is the same run.
+    assert_eq!(plain.core.events.popped(), traced.core.events.popped());
+    assert_eq!(plain.core.counters, traced.core.counters);
+    for h in 0..plain.core.hop_count() as u32 {
+        assert_eq!(plain.core.hop_flow_bytes(h), traced.core.hop_flow_bytes(h));
+    }
+
+    let Ok(sink) = Rc::try_unwrap(sink) else {
+        panic!("sole owner of the perfetto sink");
+    };
+    let body = String::from_utf8(sink.into_inner().into_inner()).expect("utf8");
+    let report = check_perfetto(&body).expect("timeline validates");
+    let counts = counts.borrow();
+    assert!(counts.drops > 0, "the 500 kb/s hop must shed load");
+    assert_eq!(report.drops, counts.drops as usize, "every drop is an instant");
+    assert_eq!(report.marks, counts.marks as usize, "every mark is an instant");
+    assert!(
+        report.counters as u64 >= counts.enqueues + counts.dequeues,
+        "depth counters cover every enqueue and dequeue"
+    );
+    // Three hop processes plus the flow process, each with tracks.
+    assert!(report.tracks >= 4, "got {} tracks", report.tracks);
+    assert_eq!(report.slices, 3, "one lifetime slice per flow");
+}

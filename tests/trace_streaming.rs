@@ -412,3 +412,74 @@ fn golden_trace_for_parking_lot_scenario() {
     let want = std::fs::read_to_string(path).expect("golden file (PI2_BLESS=1 to create)");
     assert_eq!(got, want, "parking-lot trace diverged from golden file {path}");
 }
+
+/// RFC 4180 regression: `csv_field` escaping survives a round trip
+/// through a standards-compliant field splitter, and the CSV sink's
+/// stream parses into exactly the header's column count on every line.
+#[test]
+fn csv_escaping_round_trips_per_rfc4180() {
+    use pi2::netsim::{csv_field, trace::CSV_HEADER, CsvSink};
+
+    // A minimal RFC 4180 reader: split one record into its fields,
+    // honouring quoted fields and doubled quotes.
+    fn split(record: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut quoted = false;
+        let mut chars = record.chars().peekable();
+        while let Some(c) = chars.next() {
+            match (quoted, c) {
+                (false, ',') => fields.push(std::mem::take(&mut cur)),
+                (false, '"') if cur.is_empty() => quoted = true,
+                (true, '"') => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                (_, c) => cur.push(c),
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    for nasty in [
+        "plain",
+        "with,comma",
+        "with \"quotes\"",
+        "both,\"of\",them",
+        "multi\nline",
+        "cr\rhere",
+    ] {
+        let row = format!("{},{}", csv_field(nasty), csv_field("x"));
+        assert_eq!(
+            split(&row),
+            vec![nasty.to_string(), "x".to_string()],
+            "field {nasty:?} did not round-trip"
+        );
+    }
+
+    // The streaming CSV sink's output stays a rectangular table.
+    let mut sim = build_sim(7);
+    let csv = Rc::new(RefCell::new(CsvSink::new(Vec::new())));
+    sim.core.add_trace_sink(Box::new(Rc::clone(&csv)));
+    sim.run_until(Time::from_secs(2));
+    sim.core.flush_trace_sinks().expect("flush");
+    drop(sim.core.take_trace_sinks());
+    let text = String::from_utf8(
+        Rc::try_unwrap(csv).expect("sole owner").into_inner().into_inner(),
+    )
+    .expect("utf8");
+    let ncols = CSV_HEADER.split(',').count();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some(CSV_HEADER), "header row first");
+    let mut rows = 0usize;
+    for line in lines {
+        assert_eq!(split(line).len(), ncols, "ragged row: {line}");
+        rows += 1;
+    }
+    assert!(rows > 100, "expected a real stream, got {rows} rows");
+}

@@ -1,0 +1,137 @@
+//! Backend scaling bench: wall-clock cost of the packet backend at
+//! 1 000 flows vs the fluid backend from 1 000 up to 1 000 000 flows,
+//! plus one hybrid cell (packet foreground + fluid background).
+//!
+//! The fluid engine's cost per step is O(classes·log classes) and
+//! independent of the flow population, so the headline claim — a
+//! 100 000-flow fluid run finishes in less wall time than a 1 000-flow
+//! packet run — is enforced here as a gate (exit 1 on violation) and
+//! recorded in `BENCH_pi2.json` under the `hybrid` bench name when
+//! `PI2_BENCH_HISTORY=1` (the same knob `ci.sh` uses for the scenario
+//! families).
+
+use pi2_aqm::Pi2Config;
+use pi2_bench::header;
+use pi2_experiments::{run_fluid, summarize_scenario_run, AqmKind, BgGroup, FlowGroup, Scenario};
+use pi2_simcore::{Duration, Time};
+use pi2_transport::{CcKind, EcnSetting};
+
+/// Per-flow capacity share: 100 kb/s each keeps every population at the
+/// same sane operating point (the fluid engine's wall cost does not
+/// depend on the rates, only the class count and step count).
+const BPS_PER_FLOW: u64 = 100_000;
+
+fn scenario(n_flows: usize, secs: u64) -> Scenario {
+    let mut sc = Scenario::new(
+        AqmKind::Pi2(Pi2Config::default()),
+        BPS_PER_FLOW * n_flows as u64,
+    );
+    sc.tcp.push(FlowGroup::new(
+        n_flows,
+        CcKind::Reno,
+        EcnSetting::NotEcn,
+        "reno",
+        Duration::from_millis(50),
+    ));
+    sc.duration = Time::from_secs(secs);
+    sc.warmup = Duration::from_secs((secs / 4) as i64);
+    sc.seed = 7;
+    sc
+}
+
+fn main() {
+    header(
+        "Backend scaling: packet vs fluid vs hybrid",
+        "PI2, Reno, 100 kb/s per flow, 20 simulated seconds per cell",
+    );
+    let secs = 20u64;
+    let mut metrics: Vec<(String, f64)> = vec![("sim_secs".to_string(), secs as f64)];
+
+    // Packet reference: 1 000 flows, every packet an event.
+    let sc = scenario(1_000, secs);
+    let wall = std::time::Instant::now();
+    let run = sc.run();
+    let packet_wall = wall.elapsed().as_secs_f64();
+    let s = summarize_scenario_run(&sc, &run);
+    println!(
+        "packet   {:>9} flows  wall {packet_wall:>8.3} s   util {:>5.1} %  qdelay {:>6.2} ms",
+        1_000,
+        100.0 * s.utilization,
+        s.qdelay_s * 1e3
+    );
+    metrics.push(("packet_1k_wall_secs".to_string(), packet_wall));
+    metrics.push(("packet_1k_utilization".to_string(), s.utilization));
+
+    // Fluid sweep: same scenario shape, population 1k → 1M.
+    let mut fluid_100k_wall = f64::INFINITY;
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let sc = scenario(n, secs);
+        let wall = std::time::Instant::now();
+        let r = run_fluid(&sc).expect("pi2 maps onto the fluid engine");
+        let w = wall.elapsed().as_secs_f64();
+        println!(
+            "fluid    {:>9} flows  wall {w:>8.3} s   util {:>5.1} %  qdelay {:>6.2} ms",
+            r.flow_count,
+            100.0 * r.summary.utilization,
+            r.summary.qdelay_s * 1e3
+        );
+        let tag = if n == 1_000_000 {
+            "1m".to_string()
+        } else {
+            format!("{}k", n / 1_000)
+        };
+        metrics.push((format!("fluid_{tag}_wall_secs"), w));
+        if n == 100_000 {
+            fluid_100k_wall = w;
+            metrics.push(("fluid_100k_utilization".to_string(), r.summary.utilization));
+            metrics.push(("fluid_100k_qdelay_s".to_string(), r.summary.qdelay_s));
+        }
+    }
+
+    // One hybrid cell: 10 packet foreground flows riding on a 990-flow
+    // fluid background — the mode's intended shape (inspect a few real
+    // flows inside a population too big to simulate per-packet).
+    let mut sc = scenario(1_000, secs);
+    sc.tcp[0].count = 10;
+    sc.backend = pi2_experiments::Backend::Hybrid;
+    sc.background = vec![BgGroup::new(
+        990,
+        CcKind::Reno,
+        Duration::from_millis(50),
+        "bg-reno",
+    )];
+    let wall = std::time::Instant::now();
+    let run = sc.run();
+    let hybrid_wall = wall.elapsed().as_secs_f64();
+    let s = summarize_scenario_run(&sc, &run);
+    let bg = run.background.as_ref().expect("hybrid run carries background");
+    println!(
+        "hybrid   {:>9} flows  wall {hybrid_wall:>8.3} s   util {:>5.1} %  qdelay {:>6.2} ms  \
+         ({} packet + {} fluid)",
+        1_000,
+        100.0 * s.utilization,
+        s.qdelay_s * 1e3,
+        10,
+        bg.flow_count
+    );
+    metrics.push(("hybrid_1k_wall_secs".to_string(), hybrid_wall));
+    metrics.push(("hybrid_1k_utilization".to_string(), s.utilization));
+
+    let speedup = packet_wall / fluid_100k_wall.max(1e-9);
+    metrics.push(("fluid_100k_speedup_vs_packet_1k".to_string(), speedup));
+    println!(
+        "fluid 100k vs packet 1k: {speedup:.0}x faster \
+         ({fluid_100k_wall:.3} s vs {packet_wall:.3} s)"
+    );
+    // The headline claim is a gate, not just a record.
+    if fluid_100k_wall >= packet_wall {
+        eprintln!(
+            "BACKEND GATE FAILED: fluid at 100k flows ({fluid_100k_wall:.3} s) \
+             must beat packet at 1k flows ({packet_wall:.3} s)"
+        );
+        std::process::exit(1);
+    }
+    if std::env::var("PI2_BENCH_HISTORY").as_deref() == Ok("1") {
+        pi2_bench::perf::record_and_report("hybrid", metrics);
+    }
+}

@@ -12,7 +12,10 @@ use pi2_aqm::{
 };
 use pi2_bench::cli::{parse_args, usage, CliArgs, MetricsFormat, TraceFormat};
 use pi2_bench::perf::Json;
-use pi2_experiments::{dynamics, topology, AqmKind, SweepObserver};
+use pi2_experiments::{
+    dynamics, run_fluid, topology, AqmKind, BgGroup, FlowGroup, FluidBackground, Scenario,
+    SweepObserver, UdpGroup,
+};
 use pi2_netsim::{
     csv_field, Aqm, AuditSink, CsvSink, Ecn, ImpairmentConf, JsonlSink, LinkImpairments,
     MemorySink, MonitorConfig, PassAqm, PathConf, PerfettoSink, Qdisc, QueueConfig, Sim,
@@ -453,6 +456,129 @@ fn export_topology_perfetto(a: &CliArgs, path: &str) {
     println!("topology perfetto trace: parking-lot3/pi2 cell written to {path}");
 }
 
+/// The CLI AQM as an experiments [`AqmKind`], for the fluid and hybrid
+/// backends (the flow-level engine compiles the controller's gains and
+/// probability encoder; schemes without a PI core have no fluid law).
+fn aqm_kind(a: &CliArgs) -> Result<AqmKind, String> {
+    let target = a.target;
+    Ok(match a.aqm.as_str() {
+        "pi2" => AqmKind::Pi2(Pi2Config {
+            target,
+            ..Pi2Config::default()
+        }),
+        "pie" => AqmKind::Pie(PieConfig {
+            target,
+            ..PieConfig::paper_default()
+        }),
+        "bare-pie" => AqmKind::Pie(PieConfig {
+            target,
+            ..PieConfig::bare()
+        }),
+        "pi" => AqmKind::Pi(PiConfig {
+            target,
+            ..PiConfig::untuned_pie_gains()
+        }),
+        "coupled" => AqmKind::Coupled(CoupledPi2Config {
+            target,
+            ..CoupledPi2Config::default()
+        }),
+        "dualq" => {
+            let mut dq = DualPi2Config::for_link(a.rate_bps);
+            dq.target = target;
+            AqmKind::DualQ(dq)
+        }
+        other => {
+            return Err(format!(
+                "--backend {} does not support --aqm {other} \
+                 (PI-family controllers only: pi2, pie, bare-pie, pi, coupled, dualq)",
+                a.backend
+            ))
+        }
+    })
+}
+
+/// `--backend fluid`: compile the dumbbell onto the flow-level engine and
+/// integrate it — no packets, no per-packet events, so flow counts in the
+/// millions finish in seconds.
+fn run_fluid_backend(a: &CliArgs) {
+    for (flag, given) in [
+        ("--trace-out", a.trace_out.is_some()),
+        ("--checkpoint-out", a.checkpoint_out.is_some()),
+        ("--restore", a.restore.is_some()),
+        ("--serve", a.serve.is_some()),
+        ("--trace", a.trace > 0),
+    ] {
+        if given {
+            eprintln!("--backend fluid does not support {flag} (packet machinery only)");
+            std::process::exit(2);
+        }
+    }
+    let kind = aqm_kind(a).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut sc = Scenario::new(kind, a.rate_bps);
+    for spec in &a.flows {
+        sc.tcp
+            .push(FlowGroup::new(spec.count, spec.cc, spec.ecn, &spec.label, a.rtt));
+    }
+    if let Some(bps) = a.udp_bps {
+        sc.udp.push(UdpGroup {
+            count: 1,
+            rate_bps: bps,
+            pkt_size: 1500,
+            label: "udp".to_string(),
+            rtt: a.rtt,
+            start: Time::ZERO,
+            stop: None,
+        });
+    }
+    sc.duration = Time::from_secs(a.secs);
+    sc.warmup = Duration::from_secs(a.warmup_secs as i64);
+    sc.seed = a.seed;
+    sc.sample_interval = Duration::from_millis(100);
+    if let Some(w) = weather(a) {
+        sc.impairments = Some(w);
+    }
+    let wall = std::time::Instant::now();
+    let r = run_fluid(&sc).unwrap_or_else(|e| {
+        eprintln!("--backend fluid: {e}");
+        std::process::exit(2);
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    println!(
+        "# pi2sim: backend=fluid aqm={} rate={} rtt={} secs={} seed={}",
+        a.aqm, a.rate_bps, a.rtt, a.secs, a.seed
+    );
+    println!(
+        "flows: {} across {} classes, {} rate reallocations, wall {wall_s:.3} s",
+        r.flow_count,
+        r.labels.len(),
+        r.alloc_events
+    );
+    println!(
+        "queue delay [ms]: mean {:.2}   utilization: {:.1} %   signal {:.3} %",
+        r.summary.qdelay_s * 1e3,
+        100.0 * r.summary.utilization,
+        100.0 * r.summary.signal
+    );
+    for (i, label) in r.labels.iter().enumerate() {
+        let per_flow_mbps = r.class_rates_pps[i] * 1500.0 * 8.0 / 1e6;
+        println!(
+            "{label:>10}: {} flows, {:.4} Mb/s per flow, {:.2} Mb/s total",
+            r.counts[i] as u64,
+            per_flow_mbps,
+            per_flow_mbps * r.counts[i]
+        );
+    }
+    if a.csv {
+        println!("t_s,qdelay_ms");
+        for s in &r.samples {
+            println!("{},{}", s.t, s.qdelay * 1e3);
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let a = match parse_args(&argv) {
@@ -468,6 +594,10 @@ fn main() {
     }
     if a.scenario.as_deref() == Some("topology") {
         run_topology(&a);
+        return;
+    }
+    if a.backend == "fluid" {
+        run_fluid_backend(&a);
         return;
     }
 
@@ -538,6 +668,28 @@ fn main() {
             Box::new(UdpCbrSource::new(id, bps, 1500, Ecn::NotEct))
         });
     }
+    // `--backend hybrid`: attach the fluid background aggregate. Must come
+    // before any restore — the checkpoint schema hash covers the
+    // background's presence and shape. With no `--bg-flows` the run is the
+    // packet path, bit for bit (nothing is attached at all).
+    if a.backend == "hybrid" && !a.bg_flows.is_empty() {
+        let kind = aqm_kind(&a).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let groups: Vec<BgGroup> = a
+            .bg_flows
+            .iter()
+            .map(|s| BgGroup::new(s.count, s.cc, a.rtt, &s.label))
+            .collect();
+        match FluidBackground::new(&groups, &kind, a.rate_bps) {
+            Ok(bg) => sim.attach_background(Box::new(bg)),
+            Err(e) => {
+                eprintln!("--backend hybrid: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     // `--restore`: replace the freshly built state with the checkpoint's.
     // Must come after every flow is added — the blob's schema hash covers
     // the flow set, and per-source state lands in the matching sources.
@@ -592,11 +744,43 @@ fn main() {
         delay.mean, delay.p50, delay.p99, delay.max
     );
     let util_samples = m.util_samples();
-    let util: f64 = if util_samples.is_empty() {
+    let mut util: f64 = if util_samples.is_empty() {
         0.0
     } else {
         util_samples.iter().map(|&x| x as f64).sum::<f64>() / util_samples.len() as f64
     };
+    // Hybrid runs: the monitor's samples normalize by the residual
+    // foreground rate (capacity minus the background grant), which can
+    // exceed 1 while the foreground drains queue. Report the shared link
+    // instead — foreground plus granted background bits over nominal
+    // capacity — matching `summarize_run`.
+    if let Some(bg) = sim.background() {
+        let span = m.measurement_span();
+        let span_s = span.as_secs_f64();
+        if span_s > 0.0 && a.rate_bps > 0 {
+            let fg_bits: f64 = m
+                .flows
+                .iter()
+                .map(|f| f.mean_tput_mbps(span) * 1e6 * span_s)
+                .sum();
+            let warm = Time::ZERO + Duration::from_secs(a.warmup_secs as i64);
+            let mut bg_bits = 0.0;
+            for i in 0..bg.series.len() {
+                let (t, bps) = bg.series[i];
+                let dt = if i + 1 < bg.series.len() {
+                    (bg.series[i + 1].0 - t).as_secs_f64()
+                } else if i > 0 {
+                    (t - bg.series[i - 1].0).as_secs_f64()
+                } else {
+                    0.0
+                };
+                if t >= warm {
+                    bg_bits += bps as f64 * dt;
+                }
+            }
+            util = ((fg_bits + bg_bits) / (a.rate_bps as f64 * span_s)).min(1.0);
+        }
+    }
     println!("utilization: {:.1} %", 100.0 * util);
     // Per-label rows.
     let mut labels: Vec<String> = m.flows.iter().map(|f| f.label.clone()).collect();
@@ -624,6 +808,15 @@ fn main() {
         "counters: enq {} mark {} drop {} deq {}  aqm updates {}",
         tot.enqueued, tot.marked, tot.dropped, tot.dequeued, sim.core.counters.aqm_updates
     );
+    if let Some(bg) = sim.background() {
+        let mean_mbps = bg.bg_bytes * 8.0 / a.secs.max(1) as f64 / 1e6;
+        println!(
+            "background: {} fluid flows, mean {:.2} Mb/s served, {} controller grants",
+            bg.agg.flow_count(),
+            mean_mbps,
+            bg.ticks
+        );
+    }
     if let Some(imp) = sim.core.impairments() {
         let s = imp.stats();
         println!(

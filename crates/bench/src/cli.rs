@@ -89,6 +89,13 @@ pub struct CliArgs {
     /// stderr). `GET /cancel` stops the run gracefully: single runs
     /// checkpoint for `--restore`, sweeps stop at the next cell boundary.
     pub serve: Option<String>,
+    /// Execution backend: `packet` (default, per-packet events), `fluid`
+    /// (flow-level ODE, no packets — scales to millions of flows), or
+    /// `hybrid` (packet foreground + fluid background aggregate).
+    pub backend: String,
+    /// Hybrid mode's fluid background population, in the same flow-list
+    /// syntax as `--flows`. Empty = no background (hybrid ≡ packet).
+    pub bg_flows: Vec<FlowSpec>,
 }
 
 /// On-disk format for `--trace-out`.
@@ -149,6 +156,8 @@ impl Default for CliArgs {
             checkpoint_at: None,
             restore: None,
             serve: None,
+            backend: "packet".to_string(),
+            bg_flows: Vec::new(),
         }
     }
 }
@@ -163,6 +172,9 @@ impl CliArgs {
 
 /// The scenario families `--scenario` accepts.
 pub const SCENARIOS: &[&str] = &["dynamics", "topology"];
+
+/// The execution backends `--backend` accepts.
+pub const BACKENDS: &[&str] = &["packet", "fluid", "hybrid"];
 
 /// Parse a probability in `[0, 1]`, accepting a trailing `%`.
 pub fn parse_prob(s: &str) -> Result<f64, String> {
@@ -345,6 +357,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--checkpoint-at" => out.checkpoint_at = Some(parse_time(value("--checkpoint-at")?)?),
             "--restore" => out.restore = Some(value("--restore")?.clone()),
             "--serve" => out.serve = Some(value("--serve")?.clone()),
+            "--backend" => {
+                let v = value("--backend")?;
+                if !BACKENDS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown backend '{v}' (one of {})",
+                        BACKENDS.join(", ")
+                    ));
+                }
+                out.backend = v.clone();
+            }
+            "--bg-flows" => out.bg_flows = parse_flows(value("--bg-flows")?)?,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -354,6 +377,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if out.checkpoint_at.is_some() && out.checkpoint_out.is_none() {
         return Err("--checkpoint-at needs --checkpoint-out".to_string());
+    }
+    if !out.bg_flows.is_empty() && out.backend != "hybrid" {
+        return Err("--bg-flows needs --backend hybrid".to_string());
+    }
+    if out.backend != "packet" && out.scenario.is_some() {
+        return Err("--scenario only runs on the packet backend".to_string());
     }
     Ok(out)
 }
@@ -397,7 +426,12 @@ pub fn usage() -> String {
          \x20                   arguments as the run that produced it\n\
          \x20 --serve <addr>    serve /metrics, /progress, /healthz and /cancel over\n\
          \x20                   HTTP while running (e.g. 127.0.0.1:9100; port 0 =\n\
-         \x20                   ephemeral, printed to stderr)",
+         \x20                   ephemeral, printed to stderr)\n\
+         \x20 --backend <b>     execution backend: packet (default), fluid (flow-\n\
+         \x20                   level ODE, no packets — handles millions of flows),\n\
+         \x20                   or hybrid (packet foreground + fluid background)\n\
+         \x20 --bg-flows <list> hybrid only: fluid background population in --flows\n\
+         \x20                   syntax, e.g. 1000xreno or 50000xreno,50000xdctcp",
         AQMS.join("|"),
         SCENARIOS.join(", ")
     )
@@ -561,6 +595,26 @@ mod tests {
         assert_eq!(d.restore, None);
         let e = parse_args(&args("--checkpoint-at 10s")).unwrap_err();
         assert!(e.contains("--checkpoint-out"));
+    }
+
+    #[test]
+    fn backend_flag_parses_and_validates() {
+        let d = parse_args(&[]).unwrap();
+        assert_eq!(d.backend, "packet", "packet is the default backend");
+        assert!(d.bg_flows.is_empty());
+        let f = parse_args(&args("--backend fluid --flows 100000xreno")).unwrap();
+        assert_eq!(f.backend, "fluid");
+        let h = parse_args(&args("--backend hybrid --bg-flows 1000xreno,200xdctcp")).unwrap();
+        assert_eq!(h.backend, "hybrid");
+        assert_eq!(h.bg_flows.len(), 2);
+        assert_eq!(h.bg_flows[0].count, 1000);
+        assert_eq!(h.bg_flows[1].cc, CcKind::Dctcp);
+        let e = parse_args(&args("--backend quantum")).unwrap_err();
+        assert!(e.contains("unknown backend"));
+        let e = parse_args(&args("--bg-flows 10xreno")).unwrap_err();
+        assert!(e.contains("--backend hybrid"));
+        let e = parse_args(&args("--backend fluid --scenario dynamics")).unwrap_err();
+        assert!(e.contains("packet backend"));
     }
 
     #[test]

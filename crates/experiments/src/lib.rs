@@ -22,6 +22,7 @@
 
 pub mod ablation;
 pub mod appendix_a;
+pub mod backend;
 pub mod dualq;
 pub mod dynamics;
 pub mod fig06;
@@ -39,6 +40,10 @@ pub mod shortflows;
 pub mod topology;
 pub mod workload;
 
+pub use backend::{
+    run_fluid, summarize_run, summarize_scenario_run, Backend, BackendSummary, BackgroundRun,
+    BgGroup, FluidBackground, FluidRunResult,
+};
 pub use runner::{clear_observer, install_observer, merged_metrics, par_map, run_all, SweepObserver};
 pub use scenario::{AqmKind, FlowGroup, RunResult, Scenario, UdpGroup};
 pub use topology::{topology, TopologyKind, TopologyRun};

@@ -1,6 +1,7 @@
 //! Scenario assembly: declarative descriptions of the paper's testbed
 //! set-ups, compiled into `pi2-netsim` simulations.
 
+use crate::backend::{Backend, BackgroundRun, BgGroup, FluidBackground};
 use pi2_aqm::{
     Codel, CodelConfig, CoupledPi2, CoupledPi2Config, DualPi2, DualPi2Config, Pi, Pi2, Pi2Config,
     PiConfig, Pie, PieConfig, Red, RedConfig,
@@ -218,6 +219,15 @@ pub struct Scenario {
     pub sample_interval: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Execution backend. [`Scenario::run`] executes the packet path for
+    /// [`Backend::Packet`] and [`Backend::Hybrid`] (the latter with the
+    /// background aggregate attached); [`Backend::Fluid`] scenarios run
+    /// through [`crate::backend::run_fluid`] instead.
+    pub backend: Backend,
+    /// Hybrid-mode background populations, carried by the fluid engine.
+    /// Ignored (and the run is pure packet-level, bit for bit) unless
+    /// `backend` is [`Backend::Hybrid`] and the total count is non-zero.
+    pub background: Vec<BgGroup>,
 }
 
 impl Scenario {
@@ -236,6 +246,8 @@ impl Scenario {
             warmup: Duration::from_secs(20),
             sample_interval: Duration::from_secs(1),
             seed: 1,
+            backend: Backend::Packet,
+            background: Vec::new(),
         }
     }
 
@@ -275,6 +287,17 @@ impl Scenario {
         // enabling them unconditionally cannot change any run's outcome —
         // it just gives every sweep cell a registry snapshot for free.
         sim.core.enable_metrics();
+        // Hybrid mode: attach the fluid background aggregate. A zero-flow
+        // background attaches nothing at all, so such a "hybrid" run is
+        // the packet run, bit for bit (the equivalence oracle in
+        // `tests/hybrid.rs` holds this).
+        if self.backend == Backend::Hybrid
+            && self.background.iter().map(|g| g.count).sum::<usize>() > 0
+        {
+            let agg = FluidBackground::new(&self.background, &self.aqm, self.rate_bps)
+                .unwrap_or_else(|e| panic!("hybrid backend: {e}"));
+            sim.attach_background(Box::new(agg));
+        }
         prepare(&mut sim);
         // Pre-size the measurement vectors so per-packet recording never
         // reallocates mid-run (before add_flow, so per-flow vectors pick
@@ -338,6 +361,16 @@ impl Scenario {
             // snapshot. No observer installed → no-op.
             crate::runner::notify_cell_metrics(m);
         }
+        let background = sim.background().map(|bg| BackgroundRun {
+            flow_count: bg.agg.flow_count(),
+            bg_bytes: bg.bg_bytes,
+            ticks: bg.ticks,
+            series: bg
+                .series
+                .iter()
+                .map(|&(t, bps)| (t.as_secs_f64(), bps))
+                .collect(),
+        });
         RunResult {
             aqm: self.aqm.name(),
             monitor: sim.core.monitor.clone(),
@@ -345,6 +378,7 @@ impl Scenario {
             rate_bps: sim.core.queue.rate_bps(),
             impair: sim.core.impairments().map(|i| i.stats()),
             metrics,
+            background,
         }
     }
 }
@@ -367,6 +401,9 @@ pub struct RunResult {
     /// [`pi2_netsim::metrics`]). `Some` for every [`Scenario::run`];
     /// `None` only for hand-built results.
     pub metrics: Option<Box<SimMetrics>>,
+    /// Hybrid-mode background accounting (aggregate flow count, served
+    /// volume, the rate track); `None` for pure packet runs.
+    pub background: Option<BackgroundRun>,
 }
 
 impl RunResult {

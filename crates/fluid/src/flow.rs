@@ -1,0 +1,728 @@
+//! Flow-level (rate-based) execution engine: max-min-fair bottleneck
+//! sharing with fluid window dynamics, no per-packet events.
+//!
+//! Where [`crate::ode::FluidSim`] integrates the delay-ODE for a single
+//! homogeneous flow population as a *cross-check*, this module is an
+//! *execution backend*: it carries an arbitrary mix of flow classes
+//! (Reno/Scalable, per-class RTT, optional application rate caps, staggered
+//! start/stop) over one bottleneck. Cost per integration step is
+//! O(classes · log classes) regardless of how many flows each class
+//! represents, so a 1M-flow sweep costs the same as a 10-flow one. The
+//! only "events" are rate reallocations — recomputations of the max-min
+//! share whenever the set of binding constraints changes — and controller
+//! ticks; there are no per-packet events at all.
+//!
+//! The same window laws as the ODE integrator apply (undelayed form, so
+//! the equilibrium operating points of eqs. (19)/(23) are preserved while
+//! staying O(1) memory per class):
+//!
+//! ```text
+//! Reno:      dW/dt = 1/R − ½·W²/R · s        Scalable: dW/dt = 1/R − ½·W/R · s
+//! Queue:     dq/dt = Σᵢ Nᵢ·min(Wᵢ/Rᵢ, capᵢ) − C
+//! ```
+//!
+//! with `s` the applied signal: `p'²` for classic flows under a squared
+//! encoder, `min(k·p', 1)` for scalable flows under the same (the DualPI2
+//! coupling), `p'` under direct encoders.
+
+use crate::ode::{FluidControllerKind, FluidTcpKind};
+use crate::tf::{pie_tune_factor, PiGains};
+
+/// Max-min-fair (water-filling) allocation of `capacity` across flows
+/// with the given `demands`.
+///
+/// Properties (certified by the vendored proptest suite):
+/// * the allocation sums to `min(capacity, Σ demands)`;
+/// * no flow is allocated more than its demand;
+/// * the result is invariant to permutation of the demand vector
+///   (equal demands always receive equal shares);
+/// * adding a flow never increases any existing flow's share.
+///
+/// Negative or non-finite demands are treated as zero. Runs in
+/// O(n log n) on a deterministic sort (ties broken by index).
+pub fn max_min_allocation(capacity: f64, demands: &[f64]) -> Vec<f64> {
+    let weighted: Vec<(f64, f64)> = demands
+        .iter()
+        .map(|&d| (if d.is_finite() && d > 0.0 { d } else { 0.0 }, 1.0))
+        .collect();
+    max_min_weighted(capacity, &weighted)
+}
+
+/// Weighted water-filling: entry `i` stands for `count_i` identical flows
+/// each demanding `demand_i`; returns the *per-flow* rate of each entry.
+///
+/// This is the allocator the flow-level engine runs every step — classes
+/// aggregate millions of flows into one entry, so allocation cost is
+/// independent of population size.
+pub fn max_min_weighted(capacity: f64, classes: &[(f64, f64)]) -> Vec<f64> {
+    let n = classes.len();
+    let mut alloc = vec![0.0; n];
+    if n == 0 || !(capacity > 0.0) {
+        return alloc;
+    }
+    // Sort indices by per-flow demand ascending, index as tie-break so the
+    // fill order (and thus float rounding) is reproducible.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        classes[a]
+            .0
+            .total_cmp(&classes[b].0)
+            .then(a.cmp(&b))
+    });
+    let mut remaining_cap = capacity;
+    let mut remaining_flows: f64 = classes.iter().map(|&(d, c)| if d > 0.0 && c > 0.0 { c } else { 0.0 }).sum();
+    for (pos, &i) in order.iter().enumerate() {
+        let (demand, count) = classes[i];
+        if !(demand > 0.0) || !(count > 0.0) {
+            continue;
+        }
+        if remaining_flows <= 0.0 || remaining_cap <= 0.0 {
+            break;
+        }
+        let fair = remaining_cap / remaining_flows;
+        if demand <= fair {
+            alloc[i] = demand;
+            remaining_cap -= demand * count;
+            remaining_flows -= count;
+        } else {
+            // Every remaining entry demands more than the fair share:
+            // split the rest equally per flow.
+            for &j in &order[pos..] {
+                let (dj, cj) = classes[j];
+                if dj > 0.0 && cj > 0.0 {
+                    alloc[j] = fair;
+                }
+            }
+            break;
+        }
+    }
+    alloc
+}
+
+/// One class of identical flows in the flow-level engine.
+#[derive(Clone, Debug)]
+pub struct FlowClass {
+    /// How many flows this class aggregates (fractional allowed).
+    pub count: f64,
+    /// Window law.
+    pub tcp: FluidTcpKind,
+    /// Two-way propagation delay in seconds (RTT excluding queue).
+    pub base_rtt: f64,
+    /// Optional per-flow application rate cap in packets per second.
+    pub rate_cap_pps: Option<f64>,
+    /// Class becomes active at this time (seconds).
+    pub start: f64,
+    /// Class stops at this time if set (seconds).
+    pub stop: Option<f64>,
+}
+
+impl FlowClass {
+    /// An always-on, unconstrained class.
+    pub fn new(count: f64, tcp: FluidTcpKind, base_rtt: f64) -> Self {
+        FlowClass {
+            count,
+            tcp,
+            base_rtt,
+            rate_cap_pps: None,
+            start: 0.0,
+            stop: None,
+        }
+    }
+
+    fn active(&self, t: f64) -> bool {
+        t >= self.start && self.stop.map_or(true, |s| t < s) && self.count > 0.0
+    }
+}
+
+/// Flow-level engine configuration.
+#[derive(Clone, Debug)]
+pub struct FlowLevelConfig {
+    /// Bottleneck capacity in packets per second.
+    pub capacity_pps: f64,
+    /// The flow classes sharing the bottleneck.
+    pub classes: Vec<FlowClass>,
+    /// Signal encoding of the AQM being modeled.
+    pub encoder: FluidControllerKind,
+    /// PI gains.
+    pub gains: PiGains,
+    /// Delay target τ₀ in seconds.
+    pub target: f64,
+    /// Coupling factor k: scalable flows under a squared encoder see
+    /// `min(k·p', 1)` (DualPI2's coupled marking).
+    pub coupling: f64,
+    /// Integration step in seconds.
+    pub dt: f64,
+}
+
+impl Default for FlowLevelConfig {
+    fn default() -> Self {
+        FlowLevelConfig {
+            capacity_pps: 10_000_000.0 / 8.0 / 1500.0,
+            classes: vec![FlowClass::new(5.0, FluidTcpKind::Reno, 0.1)],
+            encoder: FluidControllerKind::Squared,
+            gains: PiGains::pi2(),
+            target: 0.020,
+            coupling: 2.0,
+            dt: 0.001,
+        }
+    }
+}
+
+/// One sample of the flow-level engine.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowLevelSample {
+    /// Time in seconds.
+    pub t: f64,
+    /// Queue delay τ = q/C in seconds.
+    pub qdelay: f64,
+    /// The controller's linear variable p'.
+    pub p_prime: f64,
+    /// The traffic-weighted applied signal (the fluid analogue of the
+    /// packet side's marked+dropped over sent).
+    pub signal: f64,
+    /// Link utilization in [0, 1] this step.
+    pub util: f64,
+    /// Aggregate offered arrival rate in packets per second.
+    pub arrival_pps: f64,
+}
+
+/// Complete dynamic state of a [`FlowLevelSim`], for checkpointing.
+///
+/// Pure data so this crate stays dependency-free; the simulator's
+/// checkpoint writer serializes it field by field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowLevelState {
+    /// Time in seconds.
+    pub t: f64,
+    /// Integration steps taken.
+    pub steps: u64,
+    /// Queue backlog in packets.
+    pub q: f64,
+    /// Controller variable p'.
+    pub p_prime: f64,
+    /// Queue delay at the previous controller tick.
+    pub prev_qdelay: f64,
+    /// Per-class window in packets.
+    pub w: Vec<f64>,
+    /// Rate reallocation events so far.
+    pub alloc_events: u64,
+}
+
+/// The flow-level engine.
+///
+/// ```
+/// use pi2_fluid::{FlowClass, FlowLevelConfig, FlowLevelSim, FluidTcpKind};
+/// let cfg = FlowLevelConfig {
+///     classes: vec![FlowClass::new(100_000.0, FluidTcpKind::Reno, 0.1)],
+///     capacity_pps: 1.0e9 / 8.0 / 1500.0,
+///     ..FlowLevelConfig::default()
+/// };
+/// let samples = FlowLevelSim::new(cfg).run(60.0, 0.1);
+/// assert!(samples.last().unwrap().qdelay.is_finite());
+/// ```
+pub struct FlowLevelSim {
+    cfg: FlowLevelConfig,
+    w: Vec<f64>,
+    q: f64,
+    p_prime: f64,
+    prev_qdelay: f64,
+    t: f64,
+    steps: u64,
+    ctrl_every: u64,
+    alloc_events: u64,
+    /// Which classes were demand-bound (vs fair-share-bound) last step;
+    /// a change is one "rate reallocation event".
+    binding: Vec<u8>,
+    /// Per-flow rate time-integral per class since `begin_measurement`.
+    rate_integral: Vec<f64>,
+    meas_from: Option<f64>,
+}
+
+impl FlowLevelSim {
+    /// Create the engine at W = 1, q = 0, p' = 0 for every class.
+    pub fn new(cfg: FlowLevelConfig) -> Self {
+        assert!(cfg.dt > 0.0 && cfg.capacity_pps > 0.0);
+        assert!(!cfg.classes.is_empty(), "need at least one flow class");
+        for cl in &cfg.classes {
+            assert!(cl.base_rtt > 0.0, "class base_rtt must be positive");
+        }
+        let ctrl_every = (cfg.gains.t_update / cfg.dt).round().max(1.0) as u64;
+        let n = cfg.classes.len();
+        FlowLevelSim {
+            w: vec![1.0; n],
+            q: 0.0,
+            p_prime: 0.0,
+            prev_qdelay: 0.0,
+            t: 0.0,
+            steps: 0,
+            ctrl_every,
+            alloc_events: 0,
+            binding: vec![0; n],
+            rate_integral: vec![0.0; n],
+            meas_from: None,
+            cfg,
+        }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &FlowLevelConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// Rate reallocation events so far (binding-set changes of the
+    /// max-min allocation — the flow-level analogue of enqueue events).
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+
+    /// The applied signal for one class at the current p'.
+    fn class_signal(&self, tcp: FluidTcpKind) -> f64 {
+        match (self.cfg.encoder, tcp) {
+            (FluidControllerKind::Squared, FluidTcpKind::Reno) => self.p_prime * self.p_prime,
+            (FluidControllerKind::Squared, FluidTcpKind::Scalable) => {
+                (self.cfg.coupling * self.p_prime).min(1.0)
+            }
+            _ => self.p_prime,
+        }
+    }
+
+    /// The classic (drop/mark probability) signal at the current p'.
+    pub fn classic_signal(&self) -> f64 {
+        match self.cfg.encoder {
+            FluidControllerKind::Squared => self.p_prime * self.p_prime,
+            _ => self.p_prime,
+        }
+    }
+
+    /// Start accumulating per-class mean rates from the current time.
+    pub fn begin_measurement(&mut self) {
+        self.rate_integral.iter_mut().for_each(|r| *r = 0.0);
+        self.meas_from = Some(self.t);
+    }
+
+    /// Mean per-flow rate of each class (pps) since `begin_measurement`.
+    pub fn mean_class_rates_pps(&self) -> Vec<f64> {
+        let span = self.meas_from.map_or(0.0, |from| self.t - from);
+        if span <= 0.0 {
+            return vec![0.0; self.cfg.classes.len()];
+        }
+        self.rate_integral.iter().map(|&r| r / span).collect()
+    }
+
+    /// Per-flow max-min allocation (pps) of each class right now.
+    pub fn class_rates_pps(&self) -> Vec<f64> {
+        let qdelay = self.q / self.cfg.capacity_pps;
+        let demands: Vec<(f64, f64)> = self
+            .cfg
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, cl)| {
+                if cl.active(self.t) {
+                    let r = cl.base_rtt + qdelay;
+                    let mut d = self.w[i] / r;
+                    if let Some(cap) = cl.rate_cap_pps {
+                        d = d.min(cap);
+                    }
+                    (d, cl.count)
+                } else {
+                    (0.0, 0.0)
+                }
+            })
+            .collect();
+        max_min_weighted(self.cfg.capacity_pps, &demands)
+    }
+
+    /// Integrate one step; returns the sample after the step.
+    pub fn step(&mut self) -> FlowLevelSample {
+        let c = self.cfg.capacity_pps;
+        let qdelay = self.q / c;
+
+        // Controller tick, identical to the delay-ODE integrator.
+        if self.steps % self.ctrl_every == 0 {
+            let err = qdelay - self.cfg.target;
+            let growth = qdelay - self.prev_qdelay;
+            let mut delta = self.cfg.gains.alpha * err + self.cfg.gains.beta * growth;
+            if self.cfg.encoder == FluidControllerKind::TunedDirect {
+                delta *= pie_tune_factor(self.p_prime);
+            }
+            self.p_prime = (self.p_prime + delta).clamp(0.0, 1.0);
+            self.prev_qdelay = qdelay;
+        }
+
+        // Offered demand per class, then the max-min shares.
+        let n = self.cfg.classes.len();
+        let mut demands = vec![(0.0, 0.0); n];
+        let mut arrival = 0.0;
+        for (i, cl) in self.cfg.classes.iter().enumerate() {
+            if !cl.active(self.t) {
+                // Restart fresh when (re)activated.
+                self.w[i] = 1.0;
+                continue;
+            }
+            let r = cl.base_rtt + qdelay;
+            let mut d = self.w[i] / r;
+            if let Some(cap) = cl.rate_cap_pps {
+                d = d.min(cap);
+            }
+            demands[i] = (d, cl.count);
+            arrival += d * cl.count;
+        }
+        let shares = max_min_weighted(c, &demands);
+
+        // A class is demand-bound when its share equals its demand;
+        // count binding-set flips as reallocation events.
+        let mut flipped = false;
+        for i in 0..n {
+            let bound = (demands[i].0 > 0.0 && shares[i] >= demands[i].0 * (1.0 - 1e-12)) as u8;
+            if bound != self.binding[i] {
+                flipped = true;
+                self.binding[i] = bound;
+            }
+        }
+        if flipped {
+            self.alloc_events += 1;
+        }
+
+        if self.meas_from.is_some() {
+            for i in 0..n {
+                self.rate_integral[i] += shares[i] * self.cfg.dt;
+            }
+        }
+
+        // Window dynamics (undelayed fluid laws) and queue integration.
+        // The sample's `signal` is the traffic-weighted applied signal —
+        // the fluid analogue of the packet side's (marked + dropped) /
+        // sent, which weights each class by its share of the arrivals.
+        let mut sig_rate = 0.0;
+        let mut rate_sum = 0.0;
+        for (i, cl) in self.cfg.classes.iter().enumerate() {
+            if !cl.active(self.t) {
+                continue;
+            }
+            let r = cl.base_rtt + qdelay;
+            let s = self.class_signal(cl.tcp);
+            let w = self.w[i];
+            let mut rate = w / r;
+            if let Some(cap) = cl.rate_cap_pps {
+                rate = rate.min(cap);
+            }
+            sig_rate += cl.count * rate * s;
+            rate_sum += cl.count * rate;
+            let decrease = match cl.tcp {
+                FluidTcpKind::Reno => 0.5 * w * w / r * s,
+                FluidTcpKind::Scalable => 0.5 * w / r * s,
+            };
+            let mut next = (w + (1.0 / r - decrease) * self.cfg.dt).max(1e-3);
+            if let Some(cap) = cl.rate_cap_pps {
+                // App-limited: the window never builds past the cap.
+                next = next.min(cap * r);
+            }
+            self.w[i] = next;
+        }
+
+        let served = if self.q > 0.0 { c } else { arrival.min(c) };
+        self.q = (self.q + (arrival - c) * self.cfg.dt).max(0.0);
+        self.t += self.cfg.dt;
+        self.steps += 1;
+
+        FlowLevelSample {
+            t: self.t,
+            qdelay: self.q / c,
+            p_prime: self.p_prime,
+            signal: if rate_sum > 0.0 {
+                sig_rate / rate_sum
+            } else {
+                self.classic_signal()
+            },
+            util: (served / c).min(1.0),
+            arrival_pps: arrival,
+        }
+    }
+
+    /// Run until `t_end`, sampling every `sample_every` seconds.
+    /// Callable repeatedly: sampling resumes from the current time.
+    pub fn run(&mut self, t_end: f64, sample_every: f64) -> Vec<FlowLevelSample> {
+        let mut out = Vec::new();
+        let mut next_sample = self.t;
+        while self.t < t_end {
+            let s = self.step();
+            if s.t >= next_sample {
+                out.push(s);
+                next_sample += sample_every;
+            }
+        }
+        out
+    }
+
+    /// Advance the window dynamics only, driven by an *external* AQM.
+    ///
+    /// This is the hybrid-mode coupling: the packet-level simulator owns
+    /// the queue and the controller; each controller tick it hands the
+    /// aggregate its measured `classic_signal` (the AQM's linear variable
+    /// already encoded to a probability), the scalable-side probability,
+    /// and the current queue delay. Returns the aggregate offered rate in
+    /// packets per second after advancing by `dt` seconds.
+    pub fn tick_external(
+        &mut self,
+        dt: f64,
+        classic_signal: f64,
+        scalable_signal: f64,
+        qdelay: f64,
+    ) -> f64 {
+        let sub = self.cfg.dt.min(dt.max(1e-9));
+        let steps = (dt / sub).round().max(1.0) as u64;
+        let h = dt / steps as f64;
+        for _ in 0..steps {
+            for (i, cl) in self.cfg.classes.iter().enumerate() {
+                if !cl.active(self.t) {
+                    self.w[i] = 1.0;
+                    continue;
+                }
+                let r = cl.base_rtt + qdelay;
+                let s = match cl.tcp {
+                    FluidTcpKind::Reno => classic_signal,
+                    FluidTcpKind::Scalable => scalable_signal,
+                };
+                let w = self.w[i];
+                let decrease = match cl.tcp {
+                    FluidTcpKind::Reno => 0.5 * w * w / r * s,
+                    FluidTcpKind::Scalable => 0.5 * w / r * s,
+                };
+                let mut next = (w + (1.0 / r - decrease) * h).max(1e-3);
+                if let Some(cap) = cl.rate_cap_pps {
+                    next = next.min(cap * r);
+                }
+                self.w[i] = next;
+            }
+            self.t += h;
+            self.steps += 1;
+        }
+        let mut offered = 0.0;
+        for (i, cl) in self.cfg.classes.iter().enumerate() {
+            if cl.active(self.t) {
+                let r = cl.base_rtt + qdelay;
+                let mut d = self.w[i] / r;
+                if let Some(cap) = cl.rate_cap_pps {
+                    d = d.min(cap);
+                }
+                offered += d * cl.count;
+            }
+        }
+        offered
+    }
+
+    /// Export the complete dynamic state for checkpointing.
+    pub fn state(&self) -> FlowLevelState {
+        FlowLevelState {
+            t: self.t,
+            steps: self.steps,
+            q: self.q,
+            p_prime: self.p_prime,
+            prev_qdelay: self.prev_qdelay,
+            w: self.w.clone(),
+            alloc_events: self.alloc_events,
+        }
+    }
+
+    /// Restore state exported by [`Self::state`]. The class count must
+    /// match the configuration this engine was built with.
+    pub fn restore_state(&mut self, s: &FlowLevelState) {
+        assert_eq!(
+            s.w.len(),
+            self.cfg.classes.len(),
+            "checkpoint class count mismatch"
+        );
+        self.t = s.t;
+        self.steps = s.steps;
+        self.q = s.q;
+        self.p_prime = s.p_prime;
+        self.prev_qdelay = s.prev_qdelay;
+        self.w = s.w.clone();
+        self.alloc_events = s.alloc_events;
+        self.binding.iter_mut().for_each(|b| *b = 0);
+        self.rate_integral.iter_mut().for_each(|r| *r = 0.0);
+        self.meas_from = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tail_mean(samples: &[FlowLevelSample], frac: f64, f: impl Fn(&FlowLevelSample) -> f64) -> f64 {
+        let start = (samples.len() as f64 * (1.0 - frac)) as usize;
+        let late = &samples[start..];
+        late.iter().map(&f).sum::<f64>() / late.len() as f64
+    }
+
+    #[test]
+    fn allocator_unconstrained_split_is_equal() {
+        let a = max_min_allocation(90.0, &[1e9, 1e9, 1e9]);
+        for x in &a {
+            assert!((x - 30.0).abs() < 1e-9, "equal split, got {a:?}");
+        }
+    }
+
+    #[test]
+    fn allocator_small_demand_is_met_and_rest_split() {
+        let a = max_min_allocation(90.0, &[10.0, 1e9, 1e9]);
+        assert!((a[0] - 10.0).abs() < 1e-9);
+        assert!((a[1] - 40.0).abs() < 1e-9);
+        assert!((a[2] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocator_underload_gives_everyone_their_demand() {
+        let a = max_min_allocation(100.0, &[10.0, 20.0, 30.0]);
+        assert_eq!(a, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn allocator_handles_zero_and_negative_demands() {
+        let a = max_min_allocation(60.0, &[0.0, -5.0, f64::NAN, 100.0]);
+        assert_eq!(&a[..3], &[0.0, 0.0, 0.0]);
+        assert!((a[3] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_allocator_matches_expanded_form() {
+        // 3 flows at demand 10 + 2 flows at demand 50, capacity 70:
+        // the three small ones get 10 each, the two big ones split 40.
+        let per_class = max_min_weighted(70.0, &[(10.0, 3.0), (50.0, 2.0)]);
+        assert!((per_class[0] - 10.0).abs() < 1e-9);
+        assert!((per_class[1] - 20.0).abs() < 1e-9);
+        let expanded = max_min_allocation(70.0, &[10.0, 10.0, 10.0, 50.0, 50.0]);
+        assert!((expanded[0] - 10.0).abs() < 1e-9);
+        assert!((expanded[4] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_level_pi2_reno_settles_on_target() {
+        let samples = FlowLevelSim::new(FlowLevelConfig::default()).run(120.0, 0.01);
+        let mean = tail_mean(&samples, 0.25, |s| s.qdelay);
+        assert!(
+            (mean - 0.020).abs() < 0.004,
+            "flow-level PI2 qdelay settles at {:.1} ms",
+            mean * 1000.0
+        );
+        let util = tail_mean(&samples, 0.25, |s| s.util);
+        assert!(util > 0.95, "bottleneck should be saturated, util {util:.3}");
+    }
+
+    #[test]
+    fn flow_level_matches_delay_ode_equilibrium() {
+        // The undelayed flow-level model and the delay-ODE integrator
+        // share the eq. (19) operating point: same signal, same qdelay.
+        let flow = FlowLevelSim::new(FlowLevelConfig::default()).run(120.0, 0.01);
+        let ode = crate::ode::FluidSim::new(crate::ode::FluidConfig::default()).run(120.0, 0.01);
+        let f_q = tail_mean(&flow, 0.25, |s| s.qdelay);
+        let o_start = (ode.len() as f64 * 0.75) as usize;
+        let o_q = ode[o_start..].iter().map(|s| s.qdelay).sum::<f64>() / (ode.len() - o_start) as f64;
+        assert!(
+            (f_q - o_q).abs() < 0.004,
+            "flow-level qdelay {f_q:.4} vs ODE {o_q:.4}"
+        );
+    }
+
+    #[test]
+    fn scalable_class_sees_coupled_signal() {
+        let cfg = FlowLevelConfig {
+            classes: vec![FlowClass::new(5.0, FluidTcpKind::Scalable, 0.1)],
+            ..FlowLevelConfig::default()
+        };
+        let mut sim = FlowLevelSim::new(cfg);
+        let samples = sim.run(120.0, 0.01);
+        let mean = tail_mean(&samples, 0.25, |s| s.qdelay);
+        assert!(
+            (mean - 0.020).abs() < 0.006,
+            "scalable class settles near target, got {:.1} ms",
+            mean * 1000.0
+        );
+        // Scalable equilibrium: W₀·(k·p₀') = 2 (eq. 23 with coupled signal).
+        let pp = tail_mean(&samples, 0.25, |s| s.p_prime);
+        let w = sim.state().w[0];
+        let product = w * (2.0 * pp).min(1.0);
+        assert!(
+            (product - 2.0).abs() < 0.5,
+            "W·k·p' = {product:.2}, expected ≈ 2"
+        );
+    }
+
+    #[test]
+    fn capped_class_never_exceeds_cap_and_rest_absorbs() {
+        let cfg = FlowLevelConfig {
+            classes: vec![
+                FlowClass {
+                    rate_cap_pps: Some(50.0),
+                    ..FlowClass::new(2.0, FluidTcpKind::Reno, 0.1)
+                },
+                FlowClass::new(5.0, FluidTcpKind::Reno, 0.1),
+            ],
+            ..FlowLevelConfig::default()
+        };
+        let mut sim = FlowLevelSim::new(cfg);
+        sim.run(40.0, 0.5);
+        sim.begin_measurement();
+        sim.run(80.0, 0.5);
+        let rates = sim.mean_class_rates_pps();
+        assert!(rates[0] <= 50.0 + 1e-6, "capped class at {:.1} pps", rates[0]);
+        assert!(rates[1] > rates[0], "uncapped class should get more");
+    }
+
+    #[test]
+    fn hundred_thousand_flows_cost_the_same_as_ten() {
+        // The whole point: population size must not change step cost.
+        let big = FlowLevelConfig {
+            capacity_pps: 10.0e9 / 8.0 / 1500.0,
+            classes: vec![FlowClass::new(100_000.0, FluidTcpKind::Reno, 0.05)],
+            ..FlowLevelConfig::default()
+        };
+        let samples = FlowLevelSim::new(big).run(60.0, 0.5);
+        let last = samples.last().unwrap();
+        assert!(last.qdelay.is_finite() && last.p_prime.is_finite());
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let mut a = FlowLevelSim::new(FlowLevelConfig::default());
+        a.run(30.0, 1.0);
+        let snap = a.state();
+        let mut b = FlowLevelSim::new(FlowLevelConfig::default());
+        b.restore_state(&snap);
+        for _ in 0..5_000 {
+            let sa = a.step();
+            let sb = b.step();
+            assert_eq!(sa.qdelay.to_bits(), sb.qdelay.to_bits());
+            assert_eq!(sa.p_prime.to_bits(), sb.p_prime.to_bits());
+        }
+    }
+
+    #[test]
+    fn tick_external_responds_to_signal() {
+        let cfg = FlowLevelConfig {
+            classes: vec![FlowClass::new(10.0, FluidTcpKind::Reno, 0.05)],
+            ..FlowLevelConfig::default()
+        };
+        let mut sim = FlowLevelSim::new(cfg);
+        // No signal: the aggregate ramps up.
+        let mut rate = 0.0;
+        for _ in 0..200 {
+            rate = sim.tick_external(0.032, 0.0, 0.0, 0.0);
+        }
+        let unthrottled = rate;
+        // Heavy signal: it backs off.
+        for _ in 0..200 {
+            rate = sim.tick_external(0.032, 0.5, 1.0, 0.0);
+        }
+        assert!(
+            rate < unthrottled / 2.0,
+            "signal should throttle the aggregate: {rate:.1} vs {unthrottled:.1}"
+        );
+    }
+}

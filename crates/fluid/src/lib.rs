@@ -11,16 +11,24 @@
 //! * [`bode`] — gain/phase margins on a log-frequency sweep (Figures 4
 //!   and 7);
 //! * [`ode`] — a nonlinear delay-ODE integrator for eqs. (15)–(26), the
-//!   fast cross-check of the packet-level simulator.
+//!   fast cross-check of the packet-level simulator;
+//! * [`flow`] — the flow-level *execution backend*: max-min-fair
+//!   bottleneck sharing over arbitrary class mixes with no per-packet
+//!   events, plus the hybrid-mode external-signal coupling.
 
 pub mod bode;
 pub mod complex;
+pub mod flow;
 pub mod nyquist;
 pub mod ode;
 pub mod tf;
 
 pub use bode::{margins, Margins};
 pub use complex::Complex;
+pub use flow::{
+    max_min_allocation, max_min_weighted, FlowClass, FlowLevelConfig, FlowLevelSample,
+    FlowLevelSim, FlowLevelState,
+};
 pub use nyquist::{nyquist, winding_number, Stability};
 pub use ode::{FluidConfig, FluidControllerKind, FluidSim, FluidTcpKind};
 pub use tf::{pie_tune_factor, LoopKind, LoopTf, PiGains};

@@ -4,7 +4,9 @@
 // the offline build cannot fetch. See the `proptests` feature in Cargo.toml.
 #![cfg(feature = "proptests")]
 
-use pi2_fluid::{margins, Complex, FluidConfig, FluidSim, LoopKind, LoopTf, PiGains};
+use pi2_fluid::{
+    margins, max_min_allocation, Complex, FluidConfig, FluidSim, LoopKind, LoopTf, PiGains,
+};
 use proptest::prelude::*;
 
 fn finite(re: f64, im: f64) -> Complex {
@@ -110,6 +112,83 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&s.p_prime));
             prop_assert!(s.w.is_finite() && s.w > 0.0);
             prop_assert!(s.qdelay >= 0.0 && s.qdelay.is_finite());
+        }
+    }
+
+    /// Max-min water-filling conservation: when total demand covers the
+    /// capacity the shares sum to exactly it (within float tolerance);
+    /// otherwise every flow gets precisely its demand.
+    #[test]
+    fn max_min_shares_sum_to_capacity_or_demand(
+        capacity in 1.0f64..1e6,
+        demands in prop::collection::vec(0.0f64..1e5, 1..64),
+    ) {
+        let shares = max_min_allocation(capacity, &demands);
+        let total_demand: f64 = demands.iter().sum();
+        let total_share: f64 = shares.iter().sum();
+        let expect = total_demand.min(capacity);
+        prop_assert!(
+            (total_share - expect).abs() <= 1e-9 * expect.max(1.0),
+            "shares sum {total_share}, expected {expect}"
+        );
+    }
+
+    /// No flow is ever allocated more than it asked for.
+    #[test]
+    fn max_min_never_exceeds_demand(
+        capacity in 1.0f64..1e6,
+        demands in prop::collection::vec(0.0f64..1e5, 1..64),
+    ) {
+        let shares = max_min_allocation(capacity, &demands);
+        for (s, d) in shares.iter().zip(&demands) {
+            prop_assert!(*s <= d * (1.0 + 1e-12) + 1e-12, "share {s} > demand {d}");
+        }
+    }
+
+    /// The allocation is symmetric: permuting the demand vector permutes
+    /// the shares the same way (no positional bias from the internal
+    /// sort's tie-breaking).
+    #[test]
+    fn max_min_is_permutation_equivariant(
+        capacity in 1.0f64..1e6,
+        demands in prop::collection::vec(0.0f64..1e5, 2..32),
+        rot in 1usize..31,
+    ) {
+        let rot = rot % demands.len();
+        let mut rotated = demands.clone();
+        rotated.rotate_left(rot);
+        let shares = max_min_allocation(capacity, &demands);
+        let rot_shares = max_min_allocation(capacity, &rotated);
+        for i in 0..demands.len() {
+            let j = (i + rot) % demands.len();
+            prop_assert!(
+                (shares[j] - rot_shares[i]).abs() <= 1e-9 * shares[j].max(1.0),
+                "share of demand {} moved: {} vs {}",
+                demands[j],
+                shares[j],
+                rot_shares[i]
+            );
+        }
+    }
+
+    /// Adding one more (unconstrained) flow never increases anyone
+    /// else's share: max-min allocations are monotone under contention.
+    #[test]
+    fn max_min_adding_a_flow_never_helps_the_others(
+        capacity in 1.0f64..1e6,
+        demands in prop::collection::vec(0.0f64..1e5, 1..32),
+    ) {
+        let before = max_min_allocation(capacity, &demands);
+        let mut more = demands.clone();
+        more.push(f64::INFINITY); // unconstrained newcomer
+        let after = max_min_allocation(capacity, &more);
+        for i in 0..demands.len() {
+            prop_assert!(
+                after[i] <= before[i] * (1.0 + 1e-9) + 1e-9,
+                "flow {i} grew from {} to {}",
+                before[i],
+                after[i]
+            );
         }
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod aqm;
 pub mod audit;
+pub mod background;
 pub mod ckpt;
 pub mod impair;
 pub mod metrics;
@@ -34,6 +35,7 @@ pub mod trace;
 
 pub use aqm::{Action, Aqm, AqmState, Decision, PassAqm, QueueSnapshot};
 pub use audit::AuditSink;
+pub use background::{Background, BackgroundAggregate, MIN_FOREGROUND_FRACTION};
 pub use impair::{ImpairState, ImpairStats, ImpairmentConf, LinkImpairments, PathFate};
 pub use metrics::SimMetrics;
 pub use monitor::{FlowAccount, Monitor, MonitorConfig};

@@ -34,6 +34,7 @@
 
 use crate::aqm::{Action, Decision};
 use crate::audit::AuditSink;
+use crate::background::{Background, BackgroundAggregate};
 use crate::ckpt::{read_ack, read_packet, write_ack, write_packet};
 use crate::impair::{ImpairState, LinkImpairments};
 use crate::metrics::SimMetrics;
@@ -1313,8 +1314,10 @@ pub fn event_class(ev: &Event) -> usize {
 /// Checkpoint format version written by [`Sim::save`]; bumped whenever
 /// the field layout changes incompatibly. Version 2 added the multi-hop
 /// topology section (per-hop qdisc state, admission counters and per-hop
-/// per-flow egress bytes).
-pub const CKPT_VERSION: u32 = 2;
+/// per-flow egress bytes). Version 3 added the hybrid-mode background
+/// section (presence flag, capacity-stealing bookkeeping, the aggregate
+/// rate track and the aggregate's own state).
+pub const CKPT_VERSION: u32 = 3;
 
 /// The complete simulator: shared core + traffic sources.
 pub struct Sim {
@@ -1322,6 +1325,7 @@ pub struct Sim {
     pub core: SimCore,
     sources: Vec<Box<dyn Source>>,
     profiler: Option<Box<LoopProfiler>>,
+    background: Option<Background>,
 }
 
 impl Sim {
@@ -1365,6 +1369,7 @@ impl Sim {
             core,
             sources: Vec::new(),
             profiler: None,
+            background: None,
         };
         // PI2_PROFILE=1 turns on the event-loop self-profiler (same as
         // `pi2sim --profile` / `enable_profiler`). Off is free: without a
@@ -1453,6 +1458,50 @@ impl Sim {
         self.core.set_route(flow, route);
     }
 
+    /// Attach a hybrid-mode background aggregate (see
+    /// [`crate::background`]). The nominal capacity it steals from is the
+    /// bottleneck's current rate; subsequent `SetLinkRate` events move
+    /// that nominal capacity and re-grant against it. Attach before
+    /// running (and before `restore` — the aggregate is part of the
+    /// checkpoint schema).
+    pub fn attach_background(&mut self, agg: Box<dyn BackgroundAggregate>) {
+        let cap = self.core.queue.rate_bps();
+        self.background = Some(Background::new(agg, cap));
+    }
+
+    /// The attached background aggregate, if the run is hybrid.
+    pub fn background(&self) -> Option<&Background> {
+        self.background.as_ref()
+    }
+
+    /// Advance the attached background aggregate one coupling tick and
+    /// re-split the bottleneck capacity. No-op without an attachment, so
+    /// packet-only runs take no extra work (and no `probe()` read).
+    fn background_tick(&mut self, now: Time, state: &crate::aqm::AqmState) {
+        let Some(dt) = self.core.queue.update_interval() else {
+            return;
+        };
+        let Some(bg) = &mut self.background else {
+            return;
+        };
+        let bps = bg
+            .agg
+            .on_tick(dt, state.prob, state.scalable_prob, state.qdelay);
+        let granted = bps.min(bg.grant_ceiling());
+        bg.bg_bytes += granted as f64 * dt.as_secs_f64() / 8.0;
+        bg.ticks += 1;
+        bg.series.push((now, granted));
+        let changed = granted != bg.applied_bps;
+        let fg_rate = bg.capacity_bps - granted;
+        bg.applied_bps = granted;
+        // Only touch the qdisc when the split actually moved: an aggregate
+        // that never ramps (zero background flows) leaves the bottleneck
+        // untouched, keeping the run identical to a packet-only one.
+        if changed {
+            self.core.queue.set_rate_bps(fg_rate);
+        }
+    }
+
     /// Structural fingerprint of this simulator build: format version,
     /// flow count and monitor flow labels. Values are deliberately
     /// excluded — the hash changes exactly when a restore would write
@@ -1477,6 +1526,17 @@ impl Sim {
                 h.update_u64(u64::from(hop));
             }
         }
+        // Hybrid background shape: a restore must not mix a hybrid
+        // snapshot into a packet-only build (or vice versa), nor into a
+        // differently shaped aggregate.
+        match &self.background {
+            Some(bg) => {
+                h.update_u64(1);
+                h.update_u64(bg.agg.flow_count());
+                h.update_u64(bg.agg.schema_fingerprint());
+            }
+            None => h.update_u64(0),
+        }
         h.finish()
     }
 
@@ -1493,6 +1553,13 @@ impl Sim {
         w.usize(self.sources.len());
         for s in &self.sources {
             s.save_ckpt(&mut w);
+        }
+        match &self.background {
+            Some(bg) => {
+                w.bool(true);
+                bg.save_ckpt(&mut w);
+            }
+            None => w.bool(false),
         }
         w.into_bytes()
     }
@@ -1531,7 +1598,21 @@ impl Sim {
         for s in &mut self.sources {
             s.restore_ckpt(&mut r)?;
         }
+        let has_bg = r.bool()?;
+        if has_bg != self.background.is_some() {
+            return Err(CkptError::Corrupt("background presence mismatch"));
+        }
+        if let Some(bg) = &mut self.background {
+            bg.restore_ckpt(&mut r)?;
+        }
         r.finish()?;
+        // Re-apply the capacity split so the foreground drain rate is
+        // consistent with the restored grant even if the qdisc snapshot
+        // predates the last tick (idempotent when it doesn't).
+        if let Some(bg) = &self.background {
+            let fg_rate = bg.capacity_bps - bg.applied_bps;
+            self.core.queue.set_rate_bps(fg_rate);
+        }
         // The auditor (a pure observer, not checkpointed) resumes from the
         // restored occupancy: conservation from here on is
         // baseline + enqueued - dequeued == qlen.
@@ -1601,6 +1682,10 @@ impl Sim {
                     for sink in &mut self.core.sinks {
                         sink.on_aqm_state(now, &state);
                     }
+                    self.background_tick(now, &state);
+                } else if self.background.is_some() {
+                    let state = self.core.queue.probe();
+                    self.background_tick(now, &state);
                 }
                 if let Some(iv) = self.core.queue.update_interval() {
                     self.core.events.push(now + iv, Event::AqmUpdate);
@@ -1613,7 +1698,17 @@ impl Sim {
                 self.core.events.push(now + iv, Event::Sample);
             }
             Event::SetLinkRate(rate) => {
-                self.core.queue.set_rate_bps(rate);
+                if let Some(bg) = &mut self.background {
+                    // Disturbances move the *nominal* capacity; the
+                    // aggregate keeps its grant (clamped to the new
+                    // foreground floor) and the foreground gets the rest.
+                    bg.capacity_bps = rate;
+                    let granted = bg.applied_bps.min(bg.grant_ceiling());
+                    bg.applied_bps = granted;
+                    self.core.queue.set_rate_bps(rate - granted);
+                } else {
+                    self.core.queue.set_rate_bps(rate);
+                }
             }
             Event::SourceOn(flow) => {
                 self.sources[flow.idx()].on_start(&mut self.core);

@@ -107,6 +107,8 @@ pub struct Tolerances {
     pub qdelay: Tol,
     /// Per-flow rate ratio (dimensionless, fluid side ≡ 1).
     pub rate_ratio: Tol,
+    /// Bottleneck utilization (fraction of capacity, 0..1).
+    pub util: Tol,
 }
 
 impl Tolerances {
@@ -125,13 +127,12 @@ impl Tolerances {
     ///   target — a destabilized loop overshoots by the buffer depth;
     /// * rate ratio: ±60 % relative — identical long flows through one
     ///   queue land well under 1.6× max/min over a 40 s window, while
-    ///   an unfair pathology (e.g. lockout) shows up as ≥3×.
+    ///   an unfair pathology (e.g. lockout) shows up as ≥3×;
+    /// * utilization: ±10 % relative ± 0.05 absolute — both formalisms
+    ///   saturate a long-flow bottleneck, so anything below ~0.85 of the
+    ///   reference flags starvation (e.g. a runaway hybrid aggregate).
     pub fn default_band() -> Self {
-        Tolerances {
-            signal: Tol { rel: 0.30, abs: 0.005 },
-            qdelay: Tol { rel: 0.25, abs: 0.004 },
-            rate_ratio: Tol { rel: 0.60, abs: 0.0 },
-        }
+        bands()
     }
 
     /// Scale every tolerance (both terms) by `f` — `f < 1` tightens.
@@ -143,7 +144,22 @@ impl Tolerances {
             signal: s(self.signal),
             qdelay: s(self.qdelay),
             rate_ratio: s(self.rate_ratio),
+            util: s(self.util),
         }
+    }
+}
+
+/// The shared tolerance-band table — the single source both the
+/// `validate_grid` bin (via [`Tolerances::default_band`]) and the
+/// `tests/hybrid.rs` backend-conformance suite judge against, so the two
+/// cannot drift apart. See [`Tolerances::default_band`] for the rationale
+/// behind each band.
+pub fn bands() -> Tolerances {
+    Tolerances {
+        signal: Tol { rel: 0.30, abs: 0.005 },
+        qdelay: Tol { rel: 0.25, abs: 0.004 },
+        rate_ratio: Tol { rel: 0.60, abs: 0.0 },
+        util: Tol { rel: 0.10, abs: 0.05 },
     }
 }
 

@@ -29,7 +29,7 @@ pub mod differential;
 pub mod metamorphic;
 
 pub use differential::{
-    default_grid, run_config, run_grid, ConfigReport, DiffAqm, DiffTraffic, GridReport,
+    bands, default_grid, run_config, run_grid, ConfigReport, DiffAqm, DiffTraffic, GridReport,
     MatchedConfig, MetricReport, Tol, Tolerances,
 };
 pub use metamorphic::{coupling_scenario, run_summary, standard_scenario, SummaryMetrics};

@@ -298,6 +298,35 @@ echo "== differential validation: packet sim vs fluid model (6 configs)"
 # documented tolerance band (see crates/validate/src/differential.rs).
 cargo run -q -p pi2-bench --release --bin validate_grid > /dev/null
 
+echo "== hybrid/fluid backend smoke: conformance, CLI sweep, 100k-flow fluid run"
+# The backend conformance suite (tests/hybrid.rs): the paper's scenario
+# grid under packet, fluid and hybrid, judged against the shared
+# pi2_validate::bands() table, plus the zero-background identity and
+# seed-determinism oracles. The binaries are already built by the
+# workspace test stage, so this re-run is seconds — it keeps the stage
+# self-contained when invoked piecemeal.
+cargo test -q --release --test hybrid
+hyb_dir="$(mktemp -d -t pi2_hybrid_smoke.XXXXXX)"
+trap 'rm -rf "$smoke_out" "$trace_out" "$trace_log" "$metrics_json" "$metrics_prom" "$profile_log" "$hyb_dir"' EXIT
+# Small hybrid sweep over the CLI: 2 packet foreground flows riding on an
+# 8-flow fluid background; the summary must report the aggregate served.
+"$bin/pi2sim" --aqm pi2 --rate 10M --flows 2xreno --secs 8 --warmup 2 \
+    --seed 7 --backend hybrid --bg-flows 8xreno > "$hyb_dir/hybrid.txt"
+grep -q '^background: 8 fluid flows' "$hyb_dir/hybrid.txt"
+# Time-boxed 100k-flow fluid run: a population 100x beyond the packet
+# backend's practical reach must finish within a 60 s wall budget (it
+# takes milliseconds — the engine's cost is per class, not per flow).
+timeout 60 "$bin/pi2sim" --backend fluid --aqm pi2 --rate 10G \
+    --flows 100000xreno --secs 20 --warmup 5 --seed 7 > "$hyb_dir/fluid.txt"
+grep -q '^# pi2sim: backend=fluid' "$hyb_dir/fluid.txt"
+grep -q '^flows: 100000 across' "$hyb_dir/fluid.txt"
+# Backend scaling bench: gates the headline claim (fluid at 100k flows
+# beats packet at 1k) and records the "hybrid" trajectory entry in the
+# committed BENCH_pi2.json when PI2_BENCH_HISTORY=1.
+env "${bench_out_env[@]}" \
+    cargo run -q -p pi2-bench --release --bin hybrid_bench
+rm -rf "$hyb_dir"
+
 echo "== randomized proptests (vendored shim; time-boxed via PROPTEST_CASES)"
 # Each case can simulate minutes of traffic, so CI clamps the case count;
 # nightly / local runs can raise it (PROPTEST_CASES=32 scripts/ci.sh).

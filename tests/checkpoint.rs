@@ -22,6 +22,7 @@ use pi2::aqm::{
     DualPi2Config, FqConfig, FqDrr, Pi, PiConfig, Pi2, Pi2Config, Pie, PieConfig, Red, RedConfig,
 };
 use pi2::experiments::runner::par_map_threads;
+use pi2::experiments::{AqmKind, BgGroup, FluidBackground};
 use pi2::netsim::{AuditSink, JsonlSink, Qdisc};
 use pi2::prelude::*;
 use pi2::simcore::CkptError;
@@ -55,10 +56,30 @@ const GRID: &[Cell] = &[
     // events, and a short flow's completion state.
     Cell { aqm: "pi2", mix: "multihop", seed: 22 },
     Cell { aqm: "dualq", mix: "multihop", seed: 23 },
+    // Hybrid backend: the checkpoint must carry the fluid background's
+    // full state (per-class windows, the engine clock, served-byte and
+    // rate-track accounting, the applied grant) or the replayed grants —
+    // and with them the foreground's link rate — diverge.
+    Cell { aqm: "pi2", mix: "hybrid", seed: 24 },
+    Cell { aqm: "dualq", mix: "hybrid", seed: 25 },
 ];
 
 const RATE: u64 = 10_000_000;
 const T_END: Time = Time::from_secs(4);
+
+/// A small two-class fluid background for the hybrid cells.
+fn background(aqm: &str) -> FluidBackground {
+    let kind = match aqm {
+        "pi2" => AqmKind::Pi2(Pi2Config::default()),
+        "dualq" => AqmKind::DualQ(DualPi2Config::for_link(RATE)),
+        other => panic!("no hybrid cell for {other}"),
+    };
+    let groups = [
+        BgGroup::new(3, CcKind::Reno, Duration::from_millis(40), "bg-reno"),
+        BgGroup::new(2, CcKind::Dctcp, Duration::from_millis(40), "bg-dctcp"),
+    ];
+    FluidBackground::new(&groups, &kind, RATE).expect("PI-family AQMs are fluid-encodable")
+}
 
 fn build_sim(cell: &Cell) -> Sim {
     let cfg = SimConfig {
@@ -168,6 +189,15 @@ fn build_sim(cell: &Cell) -> Sim {
                 Box::new(UdpCbrSource::new(id, 2_000_000, 1000, Ecn::NotEct))
             });
             sim.set_route(cross, vec![h2]);
+        }
+        // Same flow set as "mixed", plus the fluid background — so a
+        // hybrid blob offered to a "mixed" sim differs ONLY in the
+        // background-presence fold of the schema hash.
+        "hybrid" => {
+            tcp(&mut sim, "cubic", CcKind::Cubic, EcnSetting::NotEcn);
+            tcp(&mut sim, "ecn-cubic", CcKind::Cubic, EcnSetting::Classic);
+            tcp(&mut sim, "dctcp", CcKind::Dctcp, EcnSetting::Scalable);
+            sim.attach_background(Box::new(background(cell.aqm)));
         }
         other => panic!("unknown mix {other}"),
     }
@@ -421,6 +451,30 @@ fn impairment_presence_mismatch_is_rejected() {
         Err(CkptError::Corrupt(msg)) => assert!(msg.contains("impairment"), "{msg}"),
         other => panic!("expected Corrupt, got {other:?}"),
     }
+}
+
+/// A sim without the hybrid background aggregate must refuse a blob that
+/// has one (and vice versa) rather than silently dropping — or
+/// fabricating — a background population.
+#[test]
+fn background_presence_mismatch_is_rejected() {
+    let cell = Cell { aqm: "pi2", mix: "hybrid", seed: 71 };
+    let mut with = build_sim(&cell);
+    with.run_until(Time::from_millis(500));
+    let blob = with.save();
+
+    // Identical flow set ("mixed"), no background: the only schema
+    // difference is the background-presence fold, and it must reject.
+    let mut without = build_sim(&Cell { aqm: "pi2", mix: "mixed", seed: 71 });
+    assert!(matches!(
+        without.restore(&blob),
+        Err(CkptError::SchemaMismatch { .. })
+    ));
+
+    // And the pristine round trip still works.
+    let mut target = build_sim(&cell);
+    target.restore(&blob).expect("hybrid blob restores");
+    assert!(target.background().is_some());
 }
 
 /// Saving is read-only: saving twice at the same instant yields the same
